@@ -1,0 +1,164 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V) plus Bechamel micro-benchmarks of the
+   substrate primitives.
+
+     dune exec bench/main.exe            -- all experiments + micro
+     dune exec bench/main.exe -- quick   -- shortened windows/sweeps
+     dune exec bench/main.exe -- fig4    -- one experiment
+     (also: fig5 fig6 fig7 table1 fig8 ablations micro_kv micro)
+
+   Absolute numbers come from the calibrated simulation (DESIGN.md);
+   EXPERIMENTS.md records the paper-vs-measured comparison. *)
+
+open Heron_stats
+open Heron_harness
+
+let say fmt = Printf.printf fmt
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  say "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+
+let print_tables ts =
+  List.iter
+    (fun t ->
+      Table.print t;
+      print_newline ())
+    ts
+
+let run_fig4 ~quick = timed "fig4" (fun () -> print_tables [ Experiments.fig4 ~quick () ])
+let run_fig5 ~quick = timed "fig5" (fun () -> print_tables [ Experiments.fig5 ~quick () ])
+
+let run_fig6 ~quick =
+  timed "fig6" (fun () ->
+      let a, b = Experiments.fig6 ~quick () in
+      print_tables [ a; b ])
+
+let run_fig7 ~quick =
+  timed "fig7" (fun () ->
+      let a, b = Experiments.fig7 ~quick () in
+      print_tables [ a; b ])
+
+let run_table1 ~quick =
+  timed "table1" (fun () -> print_tables [ Experiments.table1 ~quick () ])
+
+let run_fig8 ~quick = timed "fig8" (fun () -> print_tables [ Experiments.fig8 ~quick () ])
+
+let run_ablations ~quick =
+  timed "ablations" (fun () ->
+      print_tables
+        [
+          Experiments.ablation_grace ~quick ();
+          Experiments.ablation_parallel ~quick ();
+          Experiments.ablation_batching ~quick ();
+        ])
+
+let run_micro_kv ~quick =
+  timed "micro_kv" (fun () ->
+      let a, b = Experiments.micro_kv ~quick () in
+      print_tables [ a; b ])
+
+(* {1 Micro-benchmarks (Bechamel)} *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Heron_sim in
+  let open Heron_core in
+  let open Heron_multicast in
+  let open Heron_tpcc in
+  let eng = Engine.create () in
+  let t_engine =
+    Test.make ~name:"engine.event"
+      (Staged.stage (fun () ->
+           Engine.schedule eng (fun () -> ());
+           Engine.run eng))
+  in
+  let pq = Prio_queue.create ~cmp:compare in
+  let t_pq =
+    Test.make ~name:"prio_queue.push_pop"
+      (Staged.stage (fun () ->
+           Prio_queue.push pq 42;
+           ignore (Prio_queue.pop pq)))
+  in
+  let tmp = Tstamp.make ~clock:123_456 ~uid:789 in
+  let t_tstamp =
+    Test.make ~name:"tstamp.pack_unpack"
+      (Staged.stage (fun () -> ignore (Tstamp.of_int64 (Tstamp.to_int64 tmp))))
+  in
+  let store_eng = Engine.create () in
+  let fab = Heron_rdma.Fabric.create store_eng ~profile:Heron_rdma.Profile.default in
+  let node = Heron_rdma.Fabric.add_node fab ~name:"bench" in
+  let store = Versioned_store.create node ~region_size:4096 in
+  Versioned_store.register store 1 ~klass:Versioned_store.Registered ~cap:64
+    ~init:(Bytes.make 32 'x');
+  let counter = ref 0 in
+  let payload = Bytes.make 32 'y' in
+  let t_store =
+    Test.make ~name:"store.set_get"
+      (Staged.stage (fun () ->
+           incr counter;
+           Versioned_store.set store 1 payload
+             ~tmp:(Tstamp.make ~clock:!counter ~uid:1);
+           ignore (Versioned_store.get store 1)))
+  in
+  let stock = Gen.make_stock ~w:1 ~i:1 in
+  let t_stock =
+    Test.make ~name:"tpcc.stock_roundtrip"
+      (Staged.stage (fun () -> ignore (Schema.decode_stock (Schema.encode_stock stock))))
+  in
+  let t_sim_request =
+    Test.make ~name:"sim.kv_request_end_to_end"
+      (Staged.stage (fun () ->
+           let eng = Engine.create () in
+           let cfg = Config.default ~partitions:1 ~replicas:3 in
+           let sys =
+             System.create eng ~cfg
+               ~app:(Heron_kv.Kv_app.app ~keys:1 ~partitions:1 ~init:0L)
+           in
+           System.start sys;
+           let client = System.new_client_node sys ~name:"c" in
+           Heron_rdma.Fabric.spawn_on client (fun () ->
+               ignore (System.submit sys ~from:client (Heron_kv.Kv_app.Put (0, 1L))));
+           Engine.run_until eng (Time_ns.ms 1)))
+  in
+  [ t_engine; t_pq; t_tstamp; t_store; t_stock; t_sim_request ]
+
+let run_micro () =
+  timed "micro" (fun () ->
+      let open Bechamel in
+      let benchmark test =
+        let instance = Toolkit.Instance.monotonic_clock in
+        let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+        let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+        let ols =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+            instance raw
+        in
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> say "  %-36s %12.1f ns/run\n" name est
+            | Some _ | None -> say "  %-36s (no estimate)\n" name)
+          ols
+      in
+      say "== Micro-benchmarks (Bechamel, ns per run) ==\n";
+      List.iter benchmark (micro_tests ());
+      print_newline ())
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let wants name = args = [] || args = [ "quick" ] || List.mem name args in
+  let t0 = Unix.gettimeofday () in
+  if wants "fig4" then run_fig4 ~quick;
+  if wants "fig5" then run_fig5 ~quick;
+  if wants "fig6" then run_fig6 ~quick;
+  if wants "fig7" then run_fig7 ~quick;
+  if wants "table1" then run_table1 ~quick;
+  if wants "fig8" then run_fig8 ~quick;
+  if wants "ablations" then run_ablations ~quick;
+  if wants "micro_kv" then run_micro_kv ~quick;
+  if wants "micro" then run_micro ();
+  say "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

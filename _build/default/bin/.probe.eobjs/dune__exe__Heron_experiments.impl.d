@@ -1,0 +1,1 @@
+bin/heron_experiments.ml: Arg Cmd Cmdliner Experiments Heron_harness Heron_stats List Manpage Printf Stdlib Term

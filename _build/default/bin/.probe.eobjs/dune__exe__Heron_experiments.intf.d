@@ -1,0 +1,1 @@
+bin/heron_experiments.mli:

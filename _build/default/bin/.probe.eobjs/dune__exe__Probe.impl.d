@@ -1,0 +1,1 @@
+bin/probe.ml: Driver Heron_core Heron_harness Heron_stats Heron_tpcc List Printf Random Sample_set Scale Unix Workload

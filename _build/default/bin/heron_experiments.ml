@@ -1,0 +1,88 @@
+(* Command-line runner for the paper's experiments.
+
+     heron_experiments fig4 [--quick]
+     heron_experiments all --quick
+     heron_experiments list *)
+
+open Cmdliner
+open Heron_harness
+
+let experiments =
+  [
+    ("fig4", "Throughput of RamCast / Heron-null / TPCC / local TPCC vs warehouses");
+    ("fig5", "Heron vs DynaStar: throughput and latency");
+    ("fig6", "Single-client latency breakdown and CDF (1..4 partitions)");
+    ("fig7", "Latency per TPCC transaction type");
+    ("table1", "Delayed transactions when coordination waits for all replicas");
+    ("fig8", "State transfer latency");
+    ("ablations", "Grace-delay and parallel-execution ablations (extensions)");
+    ("micro_kv", "Key-value microbenchmarks: latency vs value size, YCSB mixes");
+    ("all", "Run every experiment in paper order");
+    ("list", "List available experiments");
+  ]
+
+let print_tables ts =
+  List.iter
+    (fun t ->
+      Heron_stats.Table.print t;
+      print_newline ())
+    ts
+
+let run name quick =
+  match name with
+  | "fig4" -> print_tables [ Experiments.fig4 ~quick () ]
+  | "fig5" -> print_tables [ Experiments.fig5 ~quick () ]
+  | "fig6" ->
+      let a, b = Experiments.fig6 ~quick () in
+      print_tables [ a; b ]
+  | "fig7" ->
+      let a, b = Experiments.fig7 ~quick () in
+      print_tables [ a; b ]
+  | "table1" -> print_tables [ Experiments.table1 ~quick () ]
+  | "fig8" -> print_tables [ Experiments.fig8 ~quick () ]
+  | "ablations" ->
+      print_tables
+        [
+          Experiments.ablation_grace ~quick ();
+          Experiments.ablation_parallel ~quick ();
+          Experiments.ablation_batching ~quick ();
+        ]
+  | "micro_kv" ->
+      let a, b = Experiments.micro_kv ~quick () in
+      print_tables [ a; b ]
+  | "all" -> print_tables (Experiments.all ~quick ())
+  | "list" ->
+      List.iter (fun (n, d) -> Printf.printf "%-8s %s\n" n d) experiments
+  | other -> raise (Invalid_argument ("unknown experiment: " ^ other))
+
+let name_arg =
+  let doc =
+    "Experiment to run: fig4, fig5, fig6, fig7, table1, fig8, ablations, all, or list."
+  in
+  Arg.(value & pos 0 string "list" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Shorter warmup/measurement windows and smaller sweeps." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the tables and figures of the Heron paper (DSN'23)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the calibrated simulation experiments described in DESIGN.md and \
+         prints each result as an aligned table mirroring the paper's evaluation. \
+         See EXPERIMENTS.md for the paper-vs-measured comparison.";
+    ]
+  in
+  let main name quick =
+    try run name quick
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      Stdlib.exit 2
+  in
+  let term = Term.(const main $ name_arg $ quick_arg) in
+  Cmd.v (Cmd.info "heron_experiments" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,86 @@
+(* Calibration probe: prints the key latency/throughput numbers the
+   cost model is tuned against. Not part of the benchmark suite. *)
+
+open Heron_stats
+open Heron_tpcc
+open Heron_harness
+
+let pr fmt = Printf.printf fmt
+
+let show name (rs : Driver.run_stats) =
+  pr "%-28s tput=%8.0f tps  lat(avg)=%7.1fus  single=%7.1fus  multi=%7.1fus  n=%d\n"
+    name rs.Driver.rs_throughput_tps
+    (Sample_set.mean rs.Driver.rs_latency /. 1e3)
+    (if Sample_set.is_empty rs.Driver.rs_latency_single then 0.
+     else Sample_set.mean rs.Driver.rs_latency_single /. 1e3)
+    (if Sample_set.is_empty rs.Driver.rs_latency_multi then 0.
+     else Sample_set.mean rs.Driver.rs_latency_multi /. 1e3)
+    rs.Driver.rs_completed
+
+let () =
+  let t_start = Unix.gettimeofday () in
+  (* 1. Single-client NewOrder latency + breakdown, 1WH. *)
+  let scale = Scale.bench ~warehouses:1 in
+  let sys = Driver.heron_tpcc_system ~scale () in
+  let rs =
+    Driver.run_system ~sys ~clients:1
+      ~gen:(fun ~client rng ->
+        ignore client;
+        (Workload.gen_new_order Workload.local_only ~scale ~rng ~home_w:1, None))
+      ()
+  in
+  show "1WH NewOrder 1 client" rs;
+  let ord = Driver.merged_replica_stat sys (fun s -> s.Heron_core.Replica.st_ordering) in
+  let exc = Driver.merged_replica_stat sys (fun s -> s.Heron_core.Replica.st_exec) in
+  pr "  breakdown: ordering=%.1fus exec=%.1fus\n"
+    (Sample_set.mean ord /. 1e3) (Sample_set.mean exc /. 1e3);
+
+  (* 2. Single-client pinned 4-partition NewOrder. *)
+  let scale4 = Scale.bench ~warehouses:4 in
+  let sys4 = Driver.heron_tpcc_system ~scale:scale4 () in
+  let rs4 =
+    Driver.run_system ~sys:sys4 ~clients:1
+      ~gen:(fun ~client rng ->
+        ignore client;
+        (Workload.gen_new_order_pinned ~scale:scale4 ~rng ~warehouses:[ 1; 2; 3; 4 ], None))
+      ()
+  in
+  show "4WH pinned NewOrder 1c" rs4;
+  let ord4 = Driver.merged_replica_stat sys4 (fun s -> s.Heron_core.Replica.st_ordering) in
+  let coord4 = Driver.merged_replica_stat sys4 (fun s -> s.Heron_core.Replica.st_coord) in
+  let exec4 = Driver.merged_replica_stat sys4 (fun s -> s.Heron_core.Replica.st_exec) in
+  pr "  breakdown: ordering=%.1fus coord=%.1fus exec=%.1fus\n"
+    (Sample_set.mean ord4 /. 1e3)
+    (Sample_set.mean coord4 /. 1e3)
+    (Sample_set.mean exec4 /. 1e3);
+
+  (* 3. Heron TPCC throughput, 2WH, saturation. *)
+  List.iter
+    (fun clients ->
+      let scale2 = Scale.bench ~warehouses:2 in
+      let sys2 = Driver.heron_tpcc_system ~scale:scale2 () in
+      let rs2 =
+        Driver.run_system ~sys:sys2 ~clients
+          ~gen:(Driver.tpcc_gen ~profile:Workload.standard ~scale:scale2)
+          ()
+      in
+      show (Printf.sprintf "2WH TPCC %d clients" clients) rs2)
+    [ 2; 4; 8; 16 ];
+
+  (* 4. RamCast null, 2 groups. *)
+  let rs_rc =
+    Driver.run_ramcast ~partitions:2 ~clients:8 ~msg_bytes:200
+      ~gen_dst:(fun rng ->
+        if Random.State.int rng 100 < 10 then [ 0; 1 ]
+        else [ Random.State.int rng 2 ])
+      ()
+  in
+  show "RamCast 2 groups 8c" rs_rc;
+
+  (* 5. DynaStar 1WH. *)
+  let scale_ds = Scale.bench ~warehouses:1 in
+  let rs_ds =
+    Driver.run_dynastar ~scale:scale_ds ~clients:4 ~profile:Workload.standard ()
+  in
+  show "DynaStar 1WH 4c" rs_ds;
+  pr "wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -1,0 +1,1 @@
+examples/bank.ml: Bytes Config Engine Fabric Format Fun Heron_core Heron_kv Heron_rdma Heron_sim Int64 Kv_app List Printf Random Replica System Time_ns

@@ -1,0 +1,1 @@
+examples/config_service.ml: Config Engine Fabric Format Heron_core Heron_rdma Heron_sim Heron_zk List Option Printf System Time_ns Zk_app

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Engine Fabric Format Heron_core Heron_kv Heron_rdma Heron_sim Kv_app List Replica System Time_ns Trace

@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Bytes Config Engine Fabric Format Heron_core Heron_kv Heron_rdma Heron_sim Kv_app List Printf Replica System Time_ns Versioned_store

@@ -1,0 +1,104 @@
+(* TPCC on Heron: run the standard mix on a 4-warehouse deployment and
+   print throughput, latency percentiles, and per-type statistics —
+   a miniature of the paper's performance evaluation.
+
+     dune exec examples/tpcc_demo.exe *)
+
+open Heron_sim
+open Heron_rdma
+open Heron_stats
+open Heron_core
+open Heron_tpcc
+
+let warehouses = 4
+let clients = 12
+let duration = Time_ns.ms 50
+
+let () =
+  let scale = Scale.bench ~warehouses in
+  let eng = Engine.create ~seed:11 () in
+  let cfg = Config.default ~partitions:warehouses ~replicas:3 in
+  let sys = System.create eng ~cfg ~app:(Tx.app ~scale ~seed:1) in
+  System.start sys;
+
+  let overall = Sample_set.create () in
+  let by_type : (string, Sample_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let sample name =
+    match Hashtbl.find_opt by_type name with
+    | Some s -> s
+    | None ->
+        let s = Sample_set.create () in
+        Hashtbl.replace by_type name s;
+        s
+  in
+  let completed = ref 0 in
+  for c = 0 to clients - 1 do
+    let node = System.new_client_node sys ~name:(Printf.sprintf "client-%d" c) in
+    let rng = Random.State.make [| c; 5 |] in
+    let home_w = (c mod warehouses) + 1 in
+    Fabric.spawn_on node (fun () ->
+        let rec loop () =
+          let req = Workload.gen Workload.standard ~scale ~rng ~home_w in
+          let name =
+            match req with
+            | Tx.New_order _ -> "NewOrder"
+            | Tx.Payment _ -> "Payment"
+            | Tx.Order_status _ -> "OrderStatus"
+            | Tx.Delivery _ -> "Delivery"
+            | Tx.Stock_level _ -> "StockLevel"
+          in
+          let t0 = Engine.self_now () in
+          let resps = System.submit sys ~from:node req in
+          ignore (Tx.merge_responses resps);
+          let dt = Engine.self_now () - t0 in
+          incr completed;
+          Sample_set.add overall dt;
+          Sample_set.add (sample name) dt;
+          loop ()
+        in
+        loop ())
+  done;
+  Engine.run_until eng duration;
+
+  Format.printf "TPCC on Heron: %d warehouses, %d closed-loop clients, %a of load@."
+    warehouses clients Time_ns.pp duration;
+  Format.printf "throughput : %.0f tps@."
+    (float_of_int !completed /. Time_ns.to_s_f duration);
+  Format.printf "latency    : avg %s us, p50 %s, p95 %s, p99 %s@."
+    (Table.cell_us (int_of_float (Sample_set.mean overall)))
+    (Table.cell_us (Sample_set.percentile overall 50.))
+    (Table.cell_us (Sample_set.percentile overall 95.))
+    (Table.cell_us (Sample_set.percentile overall 99.));
+
+  let table =
+    Table.make ~title:"Per-transaction-type latency"
+      ~headers:[ "type"; "count"; "avg (us)"; "p95 (us)" ]
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt by_type name with
+      | Some s when not (Sample_set.is_empty s) ->
+          Table.add_row table
+            [
+              name;
+              string_of_int (Sample_set.count s);
+              Table.cell_us (int_of_float (Sample_set.mean s));
+              Table.cell_us (Sample_set.percentile s 95.);
+            ]
+      | Some _ | None -> ())
+    [ "NewOrder"; "Payment"; "OrderStatus"; "Delivery"; "StockLevel" ];
+  Table.print table;
+
+  (* Database-level sanity: orders created = NewOrder responses. *)
+  let orders = ref 0 in
+  for w = 1 to warehouses do
+    for d = 1 to scale.Scale.districts do
+      let store = Replica.store (System.replica sys ~part:(w - 1) ~idx:0) in
+      let raw, _ =
+        Heron_core.Versioned_store.get store (Oid_codec.encode (Oid_codec.District (w, d)))
+      in
+      let dist = Schema.decode_district raw in
+      orders := !orders + dist.Schema.d_next_o_id - 1 - scale.Scale.init_orders_per_district
+    done
+  done;
+  Format.printf "orders created during the run: %d@." !orders

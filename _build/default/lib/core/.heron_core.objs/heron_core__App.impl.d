@@ -1,0 +1,1 @@
+lib/core/app.ml: Heron_multicast Heron_sim List Oid Time_ns Versioned_store

@@ -1,0 +1,1 @@
+lib/core/app.mli: Heron_multicast Heron_sim Oid Time_ns Versioned_store

@@ -1,0 +1,1 @@
+lib/core/coord_mem.ml: Bytes Fabric Heron_multicast Heron_rdma Int64 Memory Tstamp

@@ -1,0 +1,1 @@
+lib/core/coord_mem.mli: Heron_multicast Heron_rdma Tstamp

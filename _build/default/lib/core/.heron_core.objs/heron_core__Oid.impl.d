@@ -1,0 +1,1 @@
+lib/core/oid.ml: Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/core/oid.mli: Format

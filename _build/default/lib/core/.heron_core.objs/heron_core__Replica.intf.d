@@ -1,0 +1,1 @@
+lib/core/replica.mli: App Config Heron_multicast Heron_rdma Heron_sim Heron_stats Mailbox Ramcast Time_ns Trace Tstamp Update_log Versioned_store

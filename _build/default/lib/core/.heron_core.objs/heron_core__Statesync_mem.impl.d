@@ -1,0 +1,1 @@
+lib/core/statesync_mem.ml: Bytes Fabric Heron_multicast Heron_rdma Int64 Memory Tstamp

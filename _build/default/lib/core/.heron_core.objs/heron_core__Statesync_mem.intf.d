@@ -1,0 +1,1 @@
+lib/core/statesync_mem.mli: Heron_multicast Heron_rdma Tstamp

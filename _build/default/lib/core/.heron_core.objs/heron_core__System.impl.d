@@ -1,0 +1,1 @@
+lib/core/system.ml: App Array Config Engine Fabric Heron_multicast Heron_rdma Heron_sim Ivar List Mailbox Printf Ramcast Replica Tstamp Versioned_store

@@ -1,0 +1,1 @@
+lib/core/system.mli: App Config Engine Heron_multicast Heron_rdma Heron_sim Replica

@@ -1,0 +1,1 @@
+lib/core/update_log.ml: Hashtbl Heron_multicast List Oid Queue Tstamp

@@ -1,0 +1,1 @@
+lib/core/update_log.mli: Heron_multicast Oid Tstamp

@@ -1,0 +1,1 @@
+lib/core/versioned_store.ml: Bytes Fabric Hashtbl Heron_multicast Heron_rdma Int64 List Memory Oid Tstamp

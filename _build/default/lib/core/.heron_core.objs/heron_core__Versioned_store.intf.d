@@ -1,0 +1,1 @@
+lib/core/versioned_store.mli: Heron_multicast Heron_rdma Oid Tstamp

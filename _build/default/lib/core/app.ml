@@ -1,0 +1,49 @@
+open Heron_sim
+
+type placement = Partition of int | Replicated
+
+type obj_spec = {
+  spec_oid : Oid.t;
+  spec_placement : placement;
+  spec_klass : Versioned_store.klass;
+  spec_cap : int;
+  spec_init : bytes;
+}
+
+type ctx = {
+  ctx_partition : int;
+  ctx_tmp : Heron_multicast.Tstamp.t;
+  ctx_read : Oid.t -> bytes;
+  ctx_read_opt : Oid.t -> bytes option;
+  ctx_is_local : Oid.t -> bool;
+  ctx_write : Oid.t -> bytes -> unit;
+  ctx_charge : Time_ns.t -> unit;
+}
+
+type ('req, 'resp) t = {
+  app_name : string;
+  placement_of : Oid.t -> placement;
+  klass_of : Oid.t -> Versioned_store.klass;
+  read_set : 'req -> Oid.t list;
+  read_plan : part:int -> 'req -> Oid.t list;
+  write_sketch : 'req -> Oid.t list;
+  req_size : 'req -> int;
+  resp_size : 'resp -> int;
+  execute : ctx -> 'req -> 'resp;
+  serial_hint : 'req -> bool;
+  catalog : unit -> obj_spec list;
+}
+
+let destinations app ~partitions req =
+  let add acc oid =
+    match app.placement_of oid with
+    | Replicated -> acc
+    | Partition p ->
+        if p < 0 || p >= partitions then
+          invalid_arg "App.destinations: partition out of range";
+        if List.mem p acc then acc else p :: acc
+  in
+  let parts = List.fold_left add [] (app.read_set req @ app.write_sketch req) in
+  match List.sort compare parts with
+  | [] -> invalid_arg "App.destinations: request touches no partition"
+  | dst -> dst

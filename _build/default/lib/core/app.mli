@@ -1,0 +1,90 @@
+(** Application interface to Heron (the paper's [exec_callback] plus
+    the partitioning oracle, Section III-A).
+
+    An application declares how its objects map onto partitions, how to
+    estimate the read set of a request before execution (the standard
+    partitioned-SMR assumption), and a deterministic execute callback
+    with a reading phase (through {!type-ctx}) followed by a writing
+    phase. Execution must be deterministic: every replica of every
+    involved partition runs the same callback on the same inputs and
+    must buffer identical writes, of which each replica applies only
+    those local to its partition. *)
+
+open Heron_sim
+
+type placement =
+  | Partition of int  (** the object lives in one partition *)
+  | Replicated
+      (** read-only object replicated in every partition (TPCC's
+          Warehouse and Item tables, Section IV-A) *)
+
+type obj_spec = {
+  spec_oid : Oid.t;
+  spec_placement : placement;
+  spec_klass : Versioned_store.klass;
+  spec_cap : int;  (** capacity for registered objects; ignored for local *)
+  spec_init : bytes;
+}
+(** One object of the initial database. *)
+
+type ctx = {
+  ctx_partition : int;  (** the executing replica's partition *)
+  ctx_tmp : Heron_multicast.Tstamp.t;  (** the request's timestamp *)
+  ctx_read : Oid.t -> bytes;
+      (** value of an object: from the prefetched read set, or — for
+          objects local to this partition — read on demand (index
+          lookups whose keys are only known during execution). Raises
+          [Invalid_argument] for remote objects outside the read set. *)
+  ctx_read_opt : Oid.t -> bytes option;
+      (** existence-aware read of an object local to this partition (or
+          replicated): [None] if it does not exist — for applications
+          with dynamic namespaces (e.g. a coordination-service tree).
+          Raises [Invalid_argument] for remote objects. *)
+  ctx_is_local : Oid.t -> bool;
+      (** whether writes to this object will be applied here *)
+  ctx_write : Oid.t -> bytes -> unit;
+      (** buffer a write; the replica applies local ones after the
+          callback returns (writing phase) *)
+  ctx_charge : Time_ns.t -> unit;
+      (** charge simulated CPU time for application compute *)
+}
+
+type ('req, 'resp) t = {
+  app_name : string;
+  placement_of : Oid.t -> placement;
+  klass_of : Oid.t -> Versioned_store.klass;
+      (** storage class of an object: only [Registered] objects can be
+          read from remote partitions; remote [Local] objects in a read
+          set are skipped and the execute callback must guard accesses
+          to them with [ctx_is_local] (partial execution,
+          Section IV-A) *)
+  read_set : 'req -> Oid.t list;
+      (** objects the request may read, estimated before execution;
+          used (with [write_sketch]) to route the request *)
+  read_plan : part:int -> 'req -> Oid.t list;
+      (** what a replica of partition [part] prefetches in its reading
+          phase. Usually [read_set] everywhere; partial execution
+          (Section IV-A) prunes it to the objects that partition
+          actually needs — e.g. a supply-only partition of a TPCC
+          NewOrder prefetches just its own stock rows *)
+  write_sketch : 'req -> Oid.t list;
+      (** objects the request may write, used only to compute the
+          destination partition set; may over-approximate *)
+  req_size : 'req -> int;  (** serialized request size (timing) *)
+  resp_size : 'resp -> int;
+  execute : ctx -> 'req -> 'resp;
+  serial_hint : 'req -> bool;
+      (** parallel execution (Config.workers > 1) only: [true] forces
+          the request to run alone, like a barrier. Required for
+          requests whose object footprint cannot be approximated from
+          [read_set]/[write_sketch] before execution (e.g. TPCC's
+          Delivery, which follows index objects to rows chosen at run
+          time). Ignored when workers = 1. *)
+  catalog : unit -> obj_spec list;  (** the initial database *)
+}
+
+val destinations : ('req, 'resp) t -> partitions:int -> 'req -> int list
+(** Sorted set of partitions a request must be multicast to: the home
+    partitions of its read set and write sketch ([Replicated] objects
+    contribute nothing). Raises [Invalid_argument] if empty or if any
+    partition is out of range. *)

@@ -1,0 +1,60 @@
+type coord_wait = Majority | Grace of int | Wait_all
+
+type costs = {
+  exec_base_ns : int;
+  read_local_ns : int;
+  write_local_ns : int;
+  deser_per_byte_x100 : int;
+  ser_per_byte_x100 : int;
+  coord_post_ns : int;
+  hiccup_pct : int;
+  hiccup_max_ns : int;
+  coord_check_slot_ns : int;
+  transfer_chunk_bytes : int;
+}
+
+type t = {
+  partitions : int;
+  replicas : int;
+  profile : Heron_rdma.Profile.t;
+  mcast : Heron_multicast.Ramcast.config;
+  costs : costs;
+  wait_phase2 : coord_wait;
+  wait_phase4 : coord_wait;
+  log_capacity : int;
+  workers : int;
+  statesync_timeout_ns : int;
+  addr_query_ns : int;
+}
+
+let default_costs =
+  {
+    exec_base_ns = 2_000;
+    read_local_ns = 150;
+    write_local_ns = 200;
+    deser_per_byte_x100 = 95;
+    ser_per_byte_x100 = 95;
+    coord_post_ns = 150;
+    hiccup_pct = 2;
+    hiccup_max_ns = 12_000;
+    coord_check_slot_ns = 200;
+    transfer_chunk_bytes = 32_768;
+  }
+
+let default ~partitions ~replicas =
+  if partitions <= 0 then invalid_arg "Config.default: partitions must be positive";
+  if replicas <= 0 || replicas mod 2 = 0 then
+    invalid_arg "Config.default: replicas must be odd and positive";
+  {
+    partitions;
+    replicas;
+    profile = Heron_rdma.Profile.default;
+    mcast = Heron_multicast.Ramcast.default_config;
+    costs = default_costs;
+    wait_phase2 = Majority;
+    wait_phase4 = Grace 5_000;
+    log_capacity = 100_000;
+    workers = 1;
+    statesync_timeout_ns = 5_000_000;
+    addr_query_ns = 4_000;
+  }

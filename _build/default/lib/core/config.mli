@@ -1,0 +1,77 @@
+(** Heron deployment configuration and calibrated cost model.
+
+    The cost constants are the simulation's substitute for the paper's
+    Java prototype running on CloudLab XL170 nodes; see DESIGN.md for
+    the calibration targets (Figure 6's latency breakdown, Figure 8's
+    state-transfer costs). *)
+
+type coord_wait =
+  | Majority  (** proceed as soon as a majority per partition answered *)
+  | Grace of int
+      (** after a majority, wait up to this many ns for the remaining
+          replicas — the paper's anti-lagger heuristic *)
+  | Wait_all
+      (** wait for every replica; used by the Table I experiment, which
+          measures how long "waiting for all" actually takes *)
+
+type costs = {
+  exec_base_ns : int;  (** fixed dispatch cost per executed request *)
+  read_local_ns : int;  (** access to a Local-class (map) object *)
+  write_local_ns : int;
+  deser_per_byte_x100 : int;
+      (** deserialization of Registered (serialized) values,
+          hundredths of ns per byte *)
+  ser_per_byte_x100 : int;
+  coord_post_ns : int;
+      (** CPU cost of preparing and posting one coordination write
+          (work-request setup in the user-level verbs library); paid
+          per destination replica before the coordination wait begins *)
+  hiccup_pct : int;
+      (** probability (percent) that a request execution suffers a
+          runtime hiccup (GC pause, cache pollution — the paper's 1WH
+          CDF shows ~8% such outliers); source of the genuine
+          replica skew behind Table I's delayed transactions *)
+  hiccup_max_ns : int;  (** hiccup duration is uniform in [1us, max] *)
+  coord_check_slot_ns : int;
+      (** granularity of the coordination polling loop, per slot
+          scanned: the time between observing the majority condition and
+          completing the all-replicas check is this times the number of
+          (replica, partition) slots involved. A real replica busy-polls
+          its coordination memory; announcements landing within one loop
+          iteration are seen together (Table I's instrumentation
+          point). *)
+  transfer_chunk_bytes : int;
+      (** RDMA payload size for state transfer (32 KB in the paper) *)
+}
+
+type t = {
+  partitions : int;
+  replicas : int;  (** per partition; odd *)
+  profile : Heron_rdma.Profile.t;
+  mcast : Heron_multicast.Ramcast.config;
+  costs : costs;
+  wait_phase2 : coord_wait;
+  wait_phase4 : coord_wait;
+  log_capacity : int;  (** update-log entries retained per replica *)
+  workers : int;
+      (** execution threads per replica for {e single-partition}
+          requests (paper Section III-D.1, left as future work there):
+          with [workers > 1] a replica executes non-conflicting
+          single-partition requests concurrently; conflicting requests
+          and multi-partition requests serialize (the latter act as
+          barriers). 1 reproduces the paper's prototype. *)
+  statesync_timeout_ns : int;
+      (** per-candidate timeout in donor selection (Algorithm 3); must
+          exceed the worst-case transfer time or backup candidates start
+          duplicate transfers *)
+  addr_query_ns : int;
+      (** modelled cost of the one-time remote object address query
+          (Algorithm 2 lines 8-13) *)
+}
+
+val default_costs : costs
+
+val default : partitions:int -> replicas:int -> t
+(** Grace-based phase-4 coordination, majority phase-2, calibrated
+    defaults. Raises [Invalid_argument] for non-positive or even
+    replica counts. *)

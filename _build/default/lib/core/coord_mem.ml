@@ -1,0 +1,47 @@
+open Heron_rdma
+open Heron_multicast
+
+type t = {
+  cm_node : Fabric.node;
+  region : Memory.region;
+  replicas : int;  (* max replicas per partition, for slot indexing *)
+}
+
+let slot_bytes = 16
+
+let create node ~partitions ~replicas =
+  let region = Fabric.alloc_region node ~size:(partitions * replicas * slot_bytes) in
+  { cm_node = node; region; replicas }
+
+let off t ~part ~idx = ((part * t.replicas) + idx) * slot_bytes
+
+let slot_addr t ~part ~idx =
+  Memory.addr ~node:(Fabric.node_id t.cm_node) t.region ~off:(off t ~part ~idx)
+
+let read_slot t ~part ~idx =
+  let off = off t ~part ~idx in
+  let tmp = Tstamp.of_int64 (Memory.get_i64 t.region ~off) in
+  let stage = Int64.to_int (Memory.get_i64 t.region ~off:(off + 8)) in
+  (tmp, stage)
+
+let write_local t ~part ~idx tmp ~stage =
+  let off = off t ~part ~idx in
+  Memory.set_i64 t.region ~off (Tstamp.to_int64 tmp);
+  Memory.set_i64 t.region ~off:(off + 8) (Int64.of_int stage)
+
+let encode_slot tmp ~stage =
+  let b = Bytes.create slot_bytes in
+  Bytes.set_int64_le b 0 (Tstamp.to_int64 tmp);
+  Bytes.set_int64_le b 8 (Int64.of_int stage);
+  b
+
+let reached t ~part ~idx ~tmp ~stage =
+  let slot_tmp, slot_stage = read_slot t ~part ~idx in
+  (Tstamp.equal slot_tmp tmp && slot_stage >= stage) || Tstamp.(tmp < slot_tmp)
+
+let count_reached t ~part ~replicas ~tmp ~stage =
+  let n = ref 0 in
+  for idx = 0 to replicas - 1 do
+    if reached t ~part ~idx ~tmp ~stage then incr n
+  done;
+  !n

@@ -1,0 +1,44 @@
+(** Coordination memory (Algorithm 1's [coord_mem]).
+
+    Each replica owns an RDMA-registered array with one 16-byte slot
+    per (partition, replica) pair in the system. During Phases 2 and 4
+    of a multi-partition request, every involved replica writes
+    [(request timestamp, stage)] into its own slot in the memory of
+    every replica involved, then waits for a majority of slots per
+    involved partition to reach the request (paper Figure 2).
+
+    Slot layout: [packed timestamp : int64][stage : int64]. Stage 1 is
+    the pre-execution barrier (Phase 2), stage 2 the post-execution
+    barrier (Phase 4). *)
+
+open Heron_multicast
+
+type t
+
+val create : Heron_rdma.Fabric.node -> partitions:int -> replicas:int -> t
+
+val slot_bytes : int
+(** 16. *)
+
+val slot_addr : t -> part:int -> idx:int -> Heron_rdma.Memory.addr
+(** Address of the slot belonging to replica [idx] of partition
+    [part], for use by that replica's remote writes. *)
+
+val read_slot : t -> part:int -> idx:int -> Tstamp.t * int
+(** Current [(timestamp, stage)] in a slot of this (local) memory. *)
+
+val write_local : t -> part:int -> idx:int -> Tstamp.t -> stage:int -> unit
+(** Local update of one's own slot in one's own memory (a replica also
+    "coordinates with itself"). *)
+
+val encode_slot : Tstamp.t -> stage:int -> bytes
+(** Wire image of a slot, for remote writes. *)
+
+(** [reached t ~part ~idx ~tmp ~stage] holds when the slot shows that
+    the replica either coordinated at [>= stage] for exactly this
+    request, or has already moved past it (its latest coordinated
+    request is newer) — the wait condition of Algorithm 1 lines 10/16. *)
+val reached : t -> part:int -> idx:int -> tmp:Tstamp.t -> stage:int -> bool
+
+val count_reached : t -> part:int -> replicas:int -> tmp:Tstamp.t -> stage:int -> int
+(** Number of replicas of [part] whose slot satisfies {!reached}. *)

@@ -1,0 +1,11 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Oid.of_int: negative id";
+  i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp = Format.pp_print_int

@@ -1,0 +1,18 @@
+(** Object identifiers.
+
+    Heron tracks application state as named objects (a TPCC row, a
+    key-value pair, ...). An oid is an opaque 63-bit integer;
+    applications encode their own key structure into it (see
+    [Heron_tpcc.Oid_codec] for a worked example). *)
+
+type t = int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative ids. *)
+
+val to_int : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

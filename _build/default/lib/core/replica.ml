@@ -1,0 +1,758 @@
+open Heron_sim
+open Heron_rdma
+open Heron_multicast
+
+type ('req, 'resp) request = {
+  rq_payload : 'req;
+  rq_dst : int list;
+  rq_submitted : Time_ns.t;
+  rq_client_node : Fabric.node;
+  rq_reply : part:int -> 'resp -> unit;
+}
+
+type stats = {
+  st_ordering : Heron_stats.Sample_set.t;
+  st_coord : Heron_stats.Sample_set.t;
+  st_exec : Heron_stats.Sample_set.t;
+  mutable st_executed : int;
+  mutable st_skipped : int;
+  mutable st_multi : int;
+  mutable st_delayed : int;
+  st_delay : Heron_stats.Sample_set.t;
+  mutable st_laggers : int;
+  mutable st_transfers_served : int;
+}
+
+let make_stats () =
+  {
+    st_ordering = Heron_stats.Sample_set.create ();
+    st_coord = Heron_stats.Sample_set.create ();
+    st_exec = Heron_stats.Sample_set.create ();
+    st_executed = 0;
+    st_skipped = 0;
+    st_multi = 0;
+    st_delayed = 0;
+    st_delay = Heron_stats.Sample_set.create ();
+    st_laggers = 0;
+    st_transfers_served = 0;
+  }
+
+type ('req, 'resp) t = {
+  r_cfg : Config.t;
+  r_app : ('req, 'resp) App.t;
+  r_part : int;
+  r_idx : int;
+  r_node : Fabric.node;
+  r_store : Versioned_store.t;
+  r_coord : Coord_mem.t;
+  r_sync : Statesync_mem.t;
+  r_log : Update_log.t;
+  r_inbox : ('req, 'resp) request Ramcast.delivery Mailbox.t;
+  mutable r_last_req : Tstamp.t;
+  mutable r_last_applied : Tstamp.t;
+      (* last request whose writes are fully in the store; trails
+         r_last_req while a request is being executed. The state
+         transfer donor must ship state consistent with a request
+         boundary, so it snapshots this, not r_last_req. *)
+  mutable r_peers : ('req, 'resp) t array array;  (* [part].(idx); set later *)
+  r_qps : (int, Qp.t) Hashtbl.t;  (* by destination node id *)
+  r_addr_known : (Oid.t * int, unit) Hashtbl.t;  (* object_map cache *)
+  r_stats : stats;
+  mutable r_pending_deser : int;  (* bytes to deserialize after a transfer *)
+  mutable r_exec_delay : Time_ns.t;  (* failure injection: extra exec cost *)
+  mutable r_tracer : Trace.t option;
+  r_eng : Engine.t;
+}
+
+exception Lagging
+(* Internal: a remote read found no version older than the current
+   request (Algorithm 2 line 23). *)
+
+let create ~cfg ~app ~part ~idx ~node ~store_region_size =
+  {
+    r_cfg = cfg;
+    r_app = app;
+    r_part = part;
+    r_idx = idx;
+    r_node = node;
+    r_store = Versioned_store.create node ~region_size:store_region_size;
+    r_coord = Coord_mem.create node ~partitions:cfg.Config.partitions ~replicas:cfg.Config.replicas;
+    r_sync = Statesync_mem.create node ~replicas:cfg.Config.replicas;
+    r_log = Update_log.create ~capacity:cfg.Config.log_capacity;
+    r_inbox = Mailbox.create ();
+    r_last_req = Tstamp.zero;
+    r_last_applied = Tstamp.zero;
+    r_peers = [||];
+    r_qps = Hashtbl.create 16;
+    r_addr_known = Hashtbl.create 1024;
+    r_stats = make_stats ();
+    r_pending_deser = 0;
+    r_exec_delay = 0;
+    r_tracer = None;
+    r_eng = Fabric.engine (Fabric.fabric_of node);
+  }
+
+let set_directory r peers = r.r_peers <- peers
+let inbox r = r.r_inbox
+let store r = r.r_store
+let node r = r.r_node
+let part r = r.r_part
+let idx r = r.r_idx
+let last_req r = r.r_last_req
+let stats r = r.r_stats
+
+let clear_stats r =
+  let s = r.r_stats in
+  Heron_stats.Sample_set.clear s.st_ordering;
+  Heron_stats.Sample_set.clear s.st_coord;
+  Heron_stats.Sample_set.clear s.st_exec;
+  Heron_stats.Sample_set.clear s.st_delay;
+  s.st_executed <- 0;
+  s.st_skipped <- 0;
+  s.st_multi <- 0;
+  s.st_delayed <- 0;
+  s.st_laggers <- 0;
+  s.st_transfers_served <- 0
+
+let update_log r = r.r_log
+let inject_exec_delay r d = r.r_exec_delay <- d
+let set_tracer r tr = r.r_tracer <- Some tr
+
+let trace r ~name ~tmp ~start stop =
+  match r.r_tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.record tr ~name
+        ~attrs:[ ("tmp", Format.asprintf "%a" Tstamp.pp tmp) ]
+        ~start stop
+
+let qp_to r dst_node =
+  let key = Fabric.node_id dst_node in
+  match Hashtbl.find_opt r.r_qps key with
+  | Some qp -> qp
+  | None ->
+      let qp = Qp.connect ~src:r.r_node ~dst:dst_node in
+      Hashtbl.replace r.r_qps key qp;
+      qp
+
+let peer r ~part ~idx = r.r_peers.(part).(idx)
+let n_replicas r = r.r_cfg.Config.replicas
+let majority r = (n_replicas r / 2) + 1
+let costs r = r.r_cfg.Config.costs
+
+let charge_deser r bytes =
+  Engine.consume (bytes * (costs r).Config.deser_per_byte_x100 / 100)
+
+let charge_ser r bytes =
+  Engine.consume (bytes * (costs r).Config.ser_per_byte_x100 / 100)
+
+let wait_mem r pred = Signal.wait_until (Fabric.mem_signal r.r_node) pred
+
+(* Wait until [pred] holds or the virtual clock reaches [deadline]. *)
+let wait_mem_deadline r pred ~deadline =
+  let delay = deadline - Engine.now r.r_eng in
+  if delay > 0 then
+    Engine.schedule ~delay r.r_eng (fun () ->
+        Signal.broadcast (Fabric.mem_signal r.r_node));
+  wait_mem r (fun () -> pred () || Engine.now r.r_eng >= deadline)
+
+(* {1 Coordination (Algorithm 1, Phases 2 and 4)} *)
+
+(* Write (tmp, stage) into our slot of every replica of every involved
+   partition; self-coordination is a local write. *)
+let announce r ~tmp ~dst ~stage =
+  List.iter
+    (fun h ->
+      for i = 0 to n_replicas r - 1 do
+        let q = peer r ~part:h ~idx:i in
+        if q == r then Coord_mem.write_local r.r_coord ~part:r.r_part ~idx:r.r_idx tmp ~stage
+        else begin
+          Engine.consume (costs r).Config.coord_post_ns;
+          Qp.write_post (qp_to r q.r_node)
+            (Coord_mem.slot_addr q.r_coord ~part:r.r_part ~idx:r.r_idx)
+            (Coord_mem.encode_slot tmp ~stage)
+        end
+      done)
+    dst
+
+let majority_reached r ~tmp ~dst ~stage () =
+  List.for_all
+    (fun h ->
+      Coord_mem.count_reached r.r_coord ~part:h ~replicas:(n_replicas r) ~tmp ~stage
+      >= majority r)
+    dst
+
+let all_reached r ~tmp ~dst ~stage () =
+  List.for_all
+    (fun h ->
+      Coord_mem.count_reached r.r_coord ~part:h ~replicas:(n_replicas r) ~tmp ~stage
+      = n_replicas r)
+    dst
+
+(* One coordination phase: announce, wait for a majority per involved
+   partition, then apply the configured tail policy. Wait_all feeds the
+   Table I instrumentation (delayed transactions and their delay). *)
+let coordinate r ~tmp ~dst ~stage ~(wait : Config.coord_wait) =
+  announce r ~tmp ~dst ~stage;
+  wait_mem r (majority_reached r ~tmp ~dst ~stage);
+  let check_cost =
+    (costs r).Config.coord_check_slot_ns * n_replicas r * List.length dst
+  in
+  match wait with
+  | Config.Majority -> ()
+  | Config.Grace grace ->
+      (* One polling iteration separates the majority observation from
+         the all-replicas check. *)
+      Engine.consume check_cost;
+      if not (all_reached r ~tmp ~dst ~stage ()) then begin
+        let deadline = Engine.now r.r_eng + grace in
+        wait_mem_deadline r (all_reached r ~tmp ~dst ~stage) ~deadline
+      end
+  | Config.Wait_all ->
+      Engine.consume check_cost;
+      if all_reached r ~tmp ~dst ~stage () then ()
+      else begin
+        r.r_stats.st_delayed <- r.r_stats.st_delayed + 1;
+        let t0 = Engine.now r.r_eng in
+        wait_mem r (all_reached r ~tmp ~dst ~stage);
+        Heron_stats.Sample_set.add r.r_stats.st_delay (Engine.now r.r_eng - t0)
+      end
+
+(* {1 State transfer (Algorithm 3)} *)
+
+(* Lagger side: request a transfer from the group and block until a
+   donor reports completion, then adopt the synchronised prefix. *)
+let rec initiate_state_transfer r ~failed_tmp =
+  let transfer_start = Engine.now r.r_eng in
+  r.r_stats.st_laggers <- r.r_stats.st_laggers + 1;
+  for i = 0 to n_replicas r - 1 do
+    let q = peer r ~part:r.r_part ~idx:i in
+    if q == r then Statesync_mem.write_local r.r_sync ~idx:r.r_idx failed_tmp ~status:1
+    else
+      Qp.write_post (qp_to r q.r_node)
+        (Statesync_mem.slot_addr q.r_sync ~idx:r.r_idx)
+        (Statesync_mem.encode_slot failed_tmp ~status:1)
+  done;
+  wait_mem r (fun () -> snd (Statesync_mem.read_slot r.r_sync ~idx:r.r_idx) = 0);
+  (* Non-serialized data shipped by the donor must be deserialized
+     before resuming (Figure 8's second scenario). *)
+  if r.r_pending_deser > 0 then begin
+    charge_deser r r.r_pending_deser;
+    r.r_pending_deser <- 0
+  end;
+  let rid, _ = Statesync_mem.read_slot r.r_sync ~idx:r.r_idx in
+  if Tstamp.(r.r_last_req < rid) then r.r_last_req <- rid;
+  if Tstamp.(r.r_last_applied < rid) then r.r_last_applied <- rid;
+  (* The donor had not reached the failed request yet: its state cannot
+     cover it, so ask again (it keeps executing meanwhile). *)
+  trace r ~name:"state-transfer" ~tmp:failed_tmp ~start:transfer_start
+    (Engine.now r.r_eng);
+  if Tstamp.(rid < failed_tmp) then begin
+    Engine.sleep r.r_cfg.Config.statesync_timeout_ns;
+    initiate_state_transfer r ~failed_tmp
+  end
+
+let force_state_transfer r ~failed_tmp = initiate_state_transfer r ~failed_tmp
+
+(* Donor side: ship the objects the lagger misses, 32 KB per RDMA
+   write; registered cells land directly in the lagger's store,
+   local-class values are serialized here and deserialized there. *)
+let do_transfer r ~lagger_idx ~failed_tmp =
+  let lagger = peer r ~part:r.r_part ~idx:lagger_idx in
+  (* Snapshot the state to ship in a single event-loop turn (no
+     suspension points): [upto] and the copied values then describe one
+     instant, with at most the single in-flight request per object
+     beyond [upto] — which dual versioning absorbs. Copy first, sleep
+     through the wire transfer after. *)
+  let upto = r.r_last_applied in
+  let full = not (Update_log.covers r.r_log ~from:failed_tmp) in
+  let oids =
+    if full then
+      Versioned_store.registered_oids r.r_store @ Versioned_store.local_oids r.r_store
+    else Update_log.oids_in_range r.r_log ~from:failed_tmp ~upto
+  in
+  let reg, loc =
+    List.partition
+      (fun oid -> Versioned_store.klass_of r.r_store oid = Versioned_store.Registered)
+      oids
+  in
+  let reg_cells =
+    List.map (fun oid -> (oid, Versioned_store.encode_cell_of r.r_store oid)) reg
+  in
+  (* Ship local-class values as of the snapshot point; objects created
+     by an in-flight request beyond it are skipped (the lagger creates
+     them itself when it executes that request). *)
+  let loc_values =
+    List.filter_map
+      (fun oid ->
+        match Versioned_store.get_at_most r.r_store oid ~bound:upto with
+        | Some (v, tmp) -> Some (oid, (v, tmp))
+        | None -> None)
+      loc
+  in
+  let reg_bytes =
+    List.fold_left (fun acc (_, cell) -> acc + Bytes.length cell) 0 reg_cells
+  in
+  let loc_bytes =
+    List.fold_left (fun acc (_, (v, _)) -> acc + Bytes.length v + 24) 0 loc_values
+  in
+  charge_ser r loc_bytes;
+  let qp = qp_to r lagger.r_node in
+  let chunk = (costs r).Config.transfer_chunk_bytes in
+  let rec ship remaining =
+    if remaining > 0 then begin
+      Qp.transfer qp ~bytes_len:(min remaining chunk);
+      ship (remaining - chunk)
+    end
+  in
+  (try
+     ship (reg_bytes + loc_bytes);
+     List.iter
+       (fun (oid, cell) -> Versioned_store.write_raw_cell lagger.r_store oid cell)
+       reg_cells;
+     List.iter
+       (fun (oid, (v, tmp)) -> Versioned_store.set lagger.r_store oid v ~tmp)
+       loc_values;
+     lagger.r_pending_deser <- lagger.r_pending_deser + loc_bytes;
+     r.r_stats.st_transfers_served <- r.r_stats.st_transfers_served + 1;
+     (* Report completion to the whole group (Algorithm 3 lines 16-17). *)
+     for i = 0 to n_replicas r - 1 do
+       let q = peer r ~part:r.r_part ~idx:i in
+       if q == r then Statesync_mem.write_local r.r_sync ~idx:lagger_idx upto ~status:0
+       else
+         Qp.write_post (qp_to r q.r_node)
+           (Statesync_mem.slot_addr q.r_sync ~idx:lagger_idx)
+           (Statesync_mem.encode_slot upto ~status:0)
+     done
+   with Qp.Rdma_exception _ -> (* lagger died mid-transfer *) ())
+
+(* Watch our state-transfer memory for requests from laggers and run
+   the deterministic donor selection (Algorithm 3 lines 7-22). *)
+let statesync_watcher r =
+  let n = n_replicas r in
+  let handling = Array.make n false in
+  let pending_request j =
+    j <> r.r_idx && (not handling.(j))
+    && snd (Statesync_mem.read_slot r.r_sync ~idx:j) = 1
+  in
+  let rec loop () =
+    wait_mem r (fun () ->
+        let found = ref false in
+        for j = 0 to n - 1 do
+          if pending_request j then found := true
+        done;
+        !found);
+    for j = 0 to n - 1 do
+      if pending_request j then begin
+        handling.(j) <- true;
+        let failed_tmp, _ = Statesync_mem.read_slot r.r_sync ~idx:j in
+        Fabric.spawn_on r.r_node (fun () ->
+            (* Deterministic candidate order: (j+1) mod n, (j+2) ...;
+               each candidate waits its turn and only acts if no
+               earlier candidate completed the transfer. *)
+            let order = List.init (n - 1) (fun k -> (j + 1 + k) mod n) in
+            let rec pos i = function
+              | [] -> i
+              | c :: rest -> if c = r.r_idx then i else pos (i + 1) rest
+            in
+            let my_pos = pos 0 order in
+            Engine.sleep (my_pos * r.r_cfg.Config.statesync_timeout_ns);
+            let tmp', status' = Statesync_mem.read_slot r.r_sync ~idx:j in
+            if status' = 1 && Tstamp.equal tmp' failed_tmp then
+              do_transfer r ~lagger_idx:j ~failed_tmp;
+            handling.(j) <- false)
+      end
+    done;
+    loop ()
+  in
+  loop ()
+
+(* {1 Execution (Algorithm 2)} *)
+
+(* Modelled query_obj_addr (Algorithm 2 lines 8-13): one round trip to
+   the partition, after which the addresses of the object in every
+   replica of [h] are cached. *)
+let ensure_addr_known r oid ~h =
+  let q0 = peer r ~part:h ~idx:0 in
+  if not (Hashtbl.mem r.r_addr_known (oid, Fabric.node_id q0.r_node)) then begin
+    Engine.consume r.r_cfg.Config.addr_query_ns;
+    for i = 0 to n_replicas r - 1 do
+      let q = peer r ~part:h ~idx:i in
+      Hashtbl.replace r.r_addr_known (oid, Fabric.node_id q.r_node) ()
+    done
+  end
+
+(* Remote read with dual-version selection: pick a replica of [h] that
+   coordinated in Phase 2, read its cell, take the freshest version
+   older than the request. Failed replicas are skipped on
+   RDMA exceptions; finding no old-enough version means we lag. *)
+let remote_read r oid ~h ~tmp =
+  ensure_addr_known r oid ~h;
+  let rng = Engine.rng r.r_eng in
+  let rec attempt tried =
+    let candidates = ref [] in
+    for i = 0 to n_replicas r - 1 do
+      if
+        (not (List.mem i tried))
+        && Coord_mem.reached r.r_coord ~part:h ~idx:i ~tmp ~stage:1
+      then candidates := i :: !candidates
+    done;
+    match !candidates with
+    | [] ->
+        if tried = [] then begin
+          (* Phase 2 guaranteed a majority; wait for their slots. *)
+          wait_mem r (fun () ->
+              Coord_mem.count_reached r.r_coord ~part:h ~replicas:(n_replicas r)
+                ~tmp ~stage:1
+              > 0);
+          attempt []
+        end
+        else attempt []  (* all candidates failed: retry the full set *)
+    | cs -> (
+        let i = List.nth cs (Random.State.int rng (List.length cs)) in
+        let q = peer r ~part:h ~idx:i in
+        match
+          Qp.read (qp_to r q.r_node)
+            (Versioned_store.cell_addr q.r_store oid)
+            ~len:(Versioned_store.cell_len q.r_store oid)
+        with
+        | raw -> (
+            let versions = Versioned_store.decode_cell raw in
+            match Versioned_store.pick_version versions ~bound:tmp with
+            | Some (v, _) ->
+                charge_deser r (Bytes.length v);
+                v
+            | None -> raise Lagging)
+        | exception Qp.Rdma_exception _ -> attempt (i :: tried))
+  in
+  attempt []
+
+(* Reading phase: prefetch every object of this partition's read
+   plan. *)
+let read_objects r req ~tmp =
+  let plan = r.r_app.App.read_plan ~part:r.r_part req.rq_payload in
+  let values = Hashtbl.create 16 in
+  List.iter
+    (fun oid ->
+      if not (Hashtbl.mem values oid) then begin
+        (* Local objects that do not exist (dynamic namespaces) are
+           simply not prefetched; the callback sees them as absent. *)
+        let local_read () =
+          if Versioned_store.mem r.r_store oid then
+            match Versioned_store.get_before r.r_store oid ~bound:tmp with
+            | Some (v, _) ->
+                (match Versioned_store.klass_of r.r_store oid with
+                | Versioned_store.Registered -> charge_deser r (Bytes.length v)
+                | Versioned_store.Local ->
+                    Engine.consume (costs r).Config.read_local_ns);
+                Hashtbl.replace values oid v
+            | None ->
+                (* Both versions are at or past the request: a state
+                   transfer moved this replica's own state ahead of the
+                   request it is executing; resynchronise (the transfer
+                   covering those versions also covers this request). *)
+                raise Lagging
+        in
+        match r.r_app.App.placement_of oid with
+        | App.Replicated -> local_read ()
+        | App.Partition h when h = r.r_part -> local_read ()
+        | App.Partition h ->
+            (* Remote Local-class objects cannot be read one-sidedly;
+               the callback must guard them (partial execution). *)
+            if r.r_app.App.klass_of oid = Versioned_store.Registered then
+              Hashtbl.replace values oid (remote_read r oid ~h ~tmp)
+      end)
+    plan;
+  values
+
+(* Writing phase: apply buffered writes that belong to this partition,
+   tag them with the request timestamp, and log them. *)
+let write_objects r writes ~tmp =
+  List.iter
+    (fun (oid, v) ->
+      let local =
+        match r.r_app.App.placement_of oid with
+        | App.Partition h -> h = r.r_part
+        | App.Replicated ->
+            invalid_arg "Heron: applications must not write replicated objects"
+      in
+      if local then begin
+        (match Versioned_store.mem r.r_store oid with
+        | true -> (
+            match Versioned_store.klass_of r.r_store oid with
+            | Versioned_store.Registered -> charge_ser r (Bytes.length v)
+            | Versioned_store.Local ->
+                Engine.consume (costs r).Config.write_local_ns)
+        | false -> Engine.consume (costs r).Config.write_local_ns);
+        Versioned_store.set r.r_store oid v ~tmp;
+        Update_log.append r.r_log tmp oid
+      end)
+    (List.rev writes)
+
+(* On-demand read of a local (or replicated) object during execution:
+   [Some value] charged appropriately, [None] if the object does not
+   exist, [Lagging] if it exists but only in versions at or past the
+   request (a state transfer moved this replica's state ahead). *)
+let local_read_on_demand r values oid ~tmp =
+  match Hashtbl.find_opt values oid with
+  | Some v -> Some v
+  | None -> (
+      let local =
+        match r.r_app.App.placement_of oid with
+        | App.Replicated -> true
+        | App.Partition h -> h = r.r_part
+      in
+      if not local then
+        invalid_arg
+          (Printf.sprintf "Heron: remote object %d read outside the declared read set"
+             (Oid.to_int oid));
+      if not (Versioned_store.mem r.r_store oid) then None
+      else
+        match Versioned_store.get_before r.r_store oid ~bound:tmp with
+        | Some (v, _) ->
+            (match Versioned_store.klass_of r.r_store oid with
+            | Versioned_store.Registered -> charge_deser r (Bytes.length v)
+            | Versioned_store.Local -> Engine.consume (costs r).Config.read_local_ns);
+            Hashtbl.replace values oid v;
+            Some v
+        | None -> raise Lagging)
+
+let execute r req ~tmp =
+  Engine.consume ((costs r).Config.exec_base_ns + r.r_exec_delay);
+  (* Runtime hiccups: rare multi-microsecond stalls (GC, cache), the
+     noise source behind delayed transactions in Table I and the
+     latency outliers in the paper's CDFs. *)
+  let c = costs r in
+  if c.Config.hiccup_pct > 0 then begin
+    let rng = Engine.rng r.r_eng in
+    if Random.State.int rng 100 < c.Config.hiccup_pct then
+      Engine.consume (1_000 + Random.State.int rng (max 1 (c.Config.hiccup_max_ns - 1_000)))
+  end;
+  let values = read_objects r req ~tmp in
+  let writes = ref [] in
+  let ctx =
+    {
+      App.ctx_partition = r.r_part;
+      ctx_tmp = tmp;
+      ctx_read =
+        (fun oid ->
+          match local_read_on_demand r values oid ~tmp with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Heron: local object %d does not exist"
+                   (Oid.to_int oid)));
+      ctx_read_opt = (fun oid -> local_read_on_demand r values oid ~tmp);
+      ctx_is_local =
+        (fun oid ->
+          match r.r_app.App.placement_of oid with
+          | App.Partition h -> h = r.r_part
+          | App.Replicated -> true);
+      ctx_write = (fun oid v -> writes := (oid, v) :: !writes);
+      ctx_charge = Engine.consume;
+    }
+  in
+  let resp = r.r_app.App.execute ctx req.rq_payload in
+  write_objects r !writes ~tmp;
+  resp
+
+(* Reply to the client: one transfer of the serialized response; the
+   client keeps the first reply per partition. *)
+let send_reply r req resp =
+  let bytes = r.r_app.App.resp_size resp in
+  let client = req.rq_client_node in
+  Fabric.spawn_on r.r_node (fun () ->
+      try
+        Qp.transfer (qp_to r client) ~bytes_len:bytes;
+        req.rq_reply ~part:r.r_part resp
+      with Qp.Rdma_exception _ -> ())
+
+(* {1 The main loop (Algorithm 1)} *)
+
+(* Single-partition request: no coordination (Algorithm 1 lines 5-7).
+   [on_applied] marks the request fully applied (the sequential loop
+   advances the frontier directly; the parallel dispatcher goes through
+   its completion queue). *)
+let exec_single r req ~tmp ~on_applied =
+  let t0 = Engine.now r.r_eng in
+  match execute r req ~tmp with
+  | resp ->
+      on_applied ();
+      trace r ~name:"execute" ~tmp ~start:t0 (Engine.now r.r_eng);
+      Heron_stats.Sample_set.add r.r_stats.st_exec (Engine.now r.r_eng - t0);
+      r.r_stats.st_executed <- r.r_stats.st_executed + 1;
+      send_reply r req resp
+  | exception Lagging ->
+      initiate_state_transfer r ~failed_tmp:tmp;
+      on_applied ()
+
+(* Multi-partition request: Phase 2, execute, Phase 4, reply — or, on a
+   failed remote read, Algorithm 3. *)
+let exec_multi r req ~tmp ~dst ~on_applied =
+  let t0 = Engine.now r.r_eng in
+  coordinate r ~tmp ~dst ~stage:1 ~wait:r.r_cfg.Config.wait_phase2;
+  let t1 = Engine.now r.r_eng in
+  trace r ~name:"phase2" ~tmp ~start:t0 t1;
+  match execute r req ~tmp with
+  | resp ->
+      on_applied ();
+      let t2 = Engine.now r.r_eng in
+      trace r ~name:"execute" ~tmp ~start:t1 t2;
+      coordinate r ~tmp ~dst ~stage:2 ~wait:r.r_cfg.Config.wait_phase4;
+      let t3 = Engine.now r.r_eng in
+      trace r ~name:"phase4" ~tmp ~start:t2 t3;
+      Heron_stats.Sample_set.add r.r_stats.st_coord (t1 - t0 + (t3 - t2));
+      Heron_stats.Sample_set.add r.r_stats.st_exec (t2 - t1);
+      r.r_stats.st_executed <- r.r_stats.st_executed + 1;
+      r.r_stats.st_multi <- r.r_stats.st_multi + 1;
+      send_reply r req resp
+  | exception Lagging ->
+      (* Algorithm 2 lines 23-25: synchronise and skip. The request only
+         counts as applied once the transferred state (which covers it)
+         has arrived. *)
+      initiate_state_transfer r ~failed_tmp:tmp;
+      on_applied ()
+
+let handle_delivery r (dv : ('req, 'resp) request Ramcast.delivery) =
+  let tmp = dv.Ramcast.d_tmp in
+  let req = dv.Ramcast.d_payload in
+  if Tstamp.(tmp <= r.r_last_req) then begin
+    (* Covered by a state transfer (Algorithm 1 line 3). *)
+    if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
+    r.r_stats.st_skipped <- r.r_stats.st_skipped + 1
+  end
+  else begin
+    r.r_last_req <- tmp;
+    trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
+    Heron_stats.Sample_set.add r.r_stats.st_ordering
+      (Engine.now r.r_eng - req.rq_submitted);
+    let on_applied () =
+      if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp
+    in
+    match dv.Ramcast.d_dst with
+    | [ _ ] -> exec_single r req ~tmp ~on_applied
+    | dst -> exec_multi r req ~tmp ~dst ~on_applied
+  end
+
+(* {1 Parallel execution of single-partition requests (Section III-D.1)}
+
+   The paper leaves multi-threaded execution as future work and sketches
+   the standard recipe: run requests that do not conflict (no common
+   objects, or only common reads) on different worker threads;
+   everything else keeps its delivery order. Multi-partition requests
+   act as barriers. Object footprints come from the application's read
+   plan and write sketch; the write sketch must contain an object that
+   serialises any two requests whose dynamically created objects could
+   collide (TPCC's district row plays that role for order-id
+   allocation). *)
+
+type footprint = {
+  fp_reads : (Oid.t, unit) Hashtbl.t;
+  fp_writes : (Oid.t, unit) Hashtbl.t;
+}
+
+let footprint_of r req =
+  let reads = Hashtbl.create 16 and writes = Hashtbl.create 8 in
+  List.iter
+    (fun oid -> Hashtbl.replace reads oid ())
+    (r.r_app.App.read_plan ~part:r.r_part req.rq_payload);
+  List.iter
+    (fun oid ->
+      match r.r_app.App.placement_of oid with
+      | App.Partition h when h = r.r_part -> Hashtbl.replace writes oid ()
+      | App.Partition _ | App.Replicated -> ())
+    (r.r_app.App.write_sketch req.rq_payload);
+  { fp_reads = reads; fp_writes = writes }
+
+let footprints_conflict a b =
+  let overlaps set tbl =
+    Hashtbl.fold (fun oid () acc -> acc || Hashtbl.mem tbl oid) set false
+  in
+  overlaps a.fp_writes b.fp_writes
+  || overlaps a.fp_writes b.fp_reads
+  || overlaps b.fp_writes a.fp_reads
+
+let parallel_loop r =
+  let workers = r.r_cfg.Config.workers in
+  let inflight : (int, footprint) Hashtbl.t = Hashtbl.create 8 in
+  let next_token = ref 0 in
+  let done_sig = Signal.create () in
+  (* Completion queue: r_last_applied only advances over a prefix of the
+     delivery order, even though workers finish out of order — the
+     state-transfer donor needs a request-boundary-consistent view. *)
+  let order : Tstamp.t Queue.t = Queue.create () in
+  let completed : (Tstamp.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let advance_frontier () =
+    let rec go () =
+      match Queue.peek_opt order with
+      | Some tmp when Hashtbl.mem completed tmp ->
+          Hashtbl.remove completed tmp;
+          ignore (Queue.pop order);
+          if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  let mark_applied tmp () =
+    Hashtbl.replace completed tmp ();
+    advance_frontier ()
+  in
+  let rec loop () =
+    let dv = Mailbox.recv r.r_inbox in
+    let tmp = dv.Ramcast.d_tmp in
+    let req = dv.Ramcast.d_payload in
+    (if Tstamp.(tmp <= r.r_last_req) then begin
+       Queue.push tmp order;
+       mark_applied tmp ();
+       r.r_stats.st_skipped <- r.r_stats.st_skipped + 1
+     end
+     else begin
+       r.r_last_req <- tmp;
+       Heron_stats.Sample_set.add r.r_stats.st_ordering
+         (Engine.now r.r_eng - req.rq_submitted);
+       match dv.Ramcast.d_dst with
+       | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
+           let fp = footprint_of r req in
+           Signal.wait_until done_sig (fun () ->
+               Hashtbl.length inflight < workers
+               && Hashtbl.fold
+                    (fun _ other ok -> ok && not (footprints_conflict fp other))
+                    inflight true);
+           let token = !next_token in
+           incr next_token;
+           Hashtbl.replace inflight token fp;
+           Queue.push tmp order;
+           Fabric.spawn_on r.r_node (fun () ->
+               exec_single r req ~tmp ~on_applied:(mark_applied tmp);
+               Hashtbl.remove inflight token;
+               Signal.broadcast done_sig)
+       | dst ->
+           (* Barrier: multi-partition and serial-hinted requests run
+              alone. *)
+           Signal.wait_until done_sig (fun () -> Hashtbl.length inflight = 0);
+           Queue.push tmp order;
+           (match dst with
+           | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)
+           | _ -> exec_multi r req ~tmp ~dst ~on_applied:(mark_applied tmp))
+     end);
+    loop ()
+  in
+  loop ()
+
+let start r =
+  if Array.length r.r_peers = 0 then
+    invalid_arg "Replica.start: set_directory must be called first";
+  if r.r_cfg.Config.workers < 1 then
+    invalid_arg "Replica.start: workers must be at least 1";
+  Fabric.spawn_on r.r_node (fun () ->
+      if r.r_cfg.Config.workers = 1 then begin
+        let rec loop () =
+          let dv = Mailbox.recv r.r_inbox in
+          handle_delivery r dv;
+          loop ()
+        in
+        loop ()
+      end
+      else parallel_loop r);
+  Fabric.spawn_on r.r_node (fun () -> statesync_watcher r)

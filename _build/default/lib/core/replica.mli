@@ -1,0 +1,90 @@
+(** A Heron replica: the coordination, execution and state-transfer
+    logic of Algorithms 1-3.
+
+    Replicas are created and wired together by {!System}; the functions
+    here are exposed for the test suite and the experiment harness.
+
+    Lifecycle: {!create} every replica of the deployment, then
+    {!set_directory} with the full replica matrix (replicas address each
+    other's coordination memory, state-transfer memory and object cells
+    directly, as RDMA peers do after connection setup), then {!start}.
+    Deliveries from atomic multicast are pushed into {!inbox}. *)
+
+open Heron_sim
+open Heron_multicast
+
+type ('req, 'resp) request = {
+  rq_payload : 'req;
+  rq_dst : int list;  (** destination partitions, sorted *)
+  rq_submitted : Time_ns.t;  (** client submit instant (latency metrics) *)
+  rq_client_node : Heron_rdma.Fabric.node;
+  rq_reply : part:int -> 'resp -> unit;
+      (** invoked (on a replica fiber, after the reply transfer) at most
+          once per partition *)
+}
+
+type stats = {
+  st_ordering : Heron_stats.Sample_set.t;
+      (** client-submit to delivery, per executed request *)
+  st_coord : Heron_stats.Sample_set.t;
+      (** total Phase 2 + Phase 4 wait, per multi-partition request *)
+  st_exec : Heron_stats.Sample_set.t;  (** execution time per request *)
+  mutable st_executed : int;
+  mutable st_skipped : int;  (** deliveries skipped (state transfer) *)
+  mutable st_multi : int;  (** executed multi-partition requests *)
+  mutable st_delayed : int;
+      (** Table I: multi-partition requests for which, at the instant
+          the majority condition held, some replica was still missing *)
+  st_delay : Heron_stats.Sample_set.t;
+      (** Table I: extra wait from majority until all present *)
+  mutable st_laggers : int;  (** times this replica found itself lagging *)
+  mutable st_transfers_served : int;  (** times it acted as donor *)
+}
+
+type ('req, 'resp) t
+
+val create :
+  cfg:Config.t ->
+  app:('req, 'resp) App.t ->
+  part:int ->
+  idx:int ->
+  node:Heron_rdma.Fabric.node ->
+  store_region_size:int ->
+  ('req, 'resp) t
+
+val set_directory : ('req, 'resp) t -> ('req, 'resp) t array array -> unit
+(** [set_directory r all] gives [r] the full matrix
+    [all.(partition).(replica_index)]; must include [r] itself. *)
+
+val start : ('req, 'resp) t -> unit
+(** Spawn the replica's processes: the execution loop and the
+    state-transfer handler. *)
+
+val inbox : ('req, 'resp) t -> ('req, 'resp) request Ramcast.delivery Mailbox.t
+val store : ('req, 'resp) t -> Versioned_store.t
+val node : ('req, 'resp) t -> Heron_rdma.Fabric.node
+val part : ('req, 'resp) t -> int
+val idx : ('req, 'resp) t -> int
+val last_req : ('req, 'resp) t -> Tstamp.t
+val stats : ('req, 'resp) t -> stats
+
+val clear_stats : ('req, 'resp) t -> unit
+(** Reset all counters and samples (end of a warmup window). *)
+
+val force_state_transfer : ('req, 'resp) t -> failed_tmp:Tstamp.t -> unit
+(** Run the lagger side of Algorithm 3 as if a read had just failed at
+    [failed_tmp]; blocks the calling fiber until the transfer
+    completes. For tests and the Figure 8 experiment. *)
+
+val update_log : ('req, 'resp) t -> Update_log.t
+(** The replica's update log (tests and the Figure 8 experiment). *)
+
+val inject_exec_delay : ('req, 'resp) t -> Time_ns.t -> unit
+(** Failure injection: add a fixed delay to every request this replica
+    executes, making it slower than its peers. Used to manufacture
+    laggers (paper Section V-E). *)
+
+val set_tracer : ('req, 'resp) t -> Trace.t -> unit
+(** Attach a span tracer: the replica records per-request spans
+    ([ordering], [phase2], [execute], [phase4], [state-transfer]) with
+    the request timestamp as an attribute. *)

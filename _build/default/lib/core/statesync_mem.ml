@@ -1,0 +1,29 @@
+open Heron_rdma
+open Heron_multicast
+
+type t = { sm_node : Fabric.node; region : Memory.region }
+
+let slot_bytes = 16
+
+let create node ~replicas =
+  { sm_node = node; region = Fabric.alloc_region node ~size:(replicas * slot_bytes) }
+
+let slot_addr t ~idx =
+  Memory.addr ~node:(Fabric.node_id t.sm_node) t.region ~off:(idx * slot_bytes)
+
+let read_slot t ~idx =
+  let off = idx * slot_bytes in
+  let tmp = Tstamp.of_int64 (Memory.get_i64 t.region ~off) in
+  let status = Int64.to_int (Memory.get_i64 t.region ~off:(off + 8)) in
+  (tmp, status)
+
+let write_local t ~idx tmp ~status =
+  let off = idx * slot_bytes in
+  Memory.set_i64 t.region ~off (Tstamp.to_int64 tmp);
+  Memory.set_i64 t.region ~off:(off + 8) (Int64.of_int status)
+
+let encode_slot tmp ~status =
+  let b = Bytes.create slot_bytes in
+  Bytes.set_int64_le b 0 (Tstamp.to_int64 tmp);
+  Bytes.set_int64_le b 8 (Int64.of_int status);
+  b

@@ -1,0 +1,28 @@
+(** State Transfer Memory (paper Section III-A, Algorithm 3).
+
+    Each replica owns an RDMA-registered array with one slot per
+    replica of its partition. Slot [j] carries lagger [j]'s transfer
+    state: [req_tmp], the timestamp of the request the lagger failed to
+    execute, and [status] (0 = idle, 1 = transfer requested). A lagger
+    writes [(tmp, 1)] into its slot in every replica's memory; the
+    donor, once done, writes [(last_req, 0)] back everywhere, telling
+    the lagger which prefix is now reflected in its state. *)
+
+open Heron_multicast
+
+type t
+
+val create : Heron_rdma.Fabric.node -> replicas:int -> t
+
+val slot_bytes : int
+(** 16. *)
+
+val slot_addr : t -> idx:int -> Heron_rdma.Memory.addr
+(** Address of lagger [idx]'s slot in this memory. *)
+
+val read_slot : t -> idx:int -> Tstamp.t * int
+(** [(req_tmp, status)] of a slot in this (local) memory. *)
+
+val write_local : t -> idx:int -> Tstamp.t -> status:int -> unit
+
+val encode_slot : Tstamp.t -> status:int -> bytes

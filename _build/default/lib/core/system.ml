@@ -1,0 +1,149 @@
+open Heron_sim
+open Heron_rdma
+open Heron_multicast
+
+type ('req, 'resp) t = {
+  sys_eng : Engine.t;
+  sys_fab : Fabric.t;
+  sys_cfg : Config.t;
+  sys_app : ('req, 'resp) App.t;
+  sys_replicas : ('req, 'resp) Replica.t array array;
+  sys_mcast : ('req, 'resp) Replica.request Ramcast.t;
+  mutable sys_clients : int;
+}
+
+let engine t = t.sys_eng
+let fabric t = t.sys_fab
+let config t = t.sys_cfg
+let app t = t.sys_app
+let replica t ~part ~idx = t.sys_replicas.(part).(idx)
+let replicas t = t.sys_replicas
+let multicast t = t.sys_mcast
+
+(* Serialized size of a request on the wire: payload plus the read-set
+   object ids and the header. *)
+let request_size app (rq : ('req, 'resp) Replica.request) =
+  app.App.req_size rq.Replica.rq_payload + 32
+
+(* Registered-store region size needed by one partition: cells of all
+   registered objects homed (or replicated) there. *)
+let region_size_for cfg specs ~part =
+  let cell cap = 32 + (2 * cap) in
+  ignore cfg;
+  List.fold_left
+    (fun acc spec ->
+      match (spec.App.spec_klass, spec.App.spec_placement) with
+      | Versioned_store.Local, _ -> acc
+      | Versioned_store.Registered, App.Replicated -> acc + cell spec.App.spec_cap
+      | Versioned_store.Registered, App.Partition p ->
+          if p = part then acc + cell spec.App.spec_cap else acc)
+    0 specs
+
+(* Register the catalog objects owned by one partition into a store. *)
+let load_partition_catalog ~specs ~part store =
+  List.iter
+    (fun spec ->
+      let owned =
+        match spec.App.spec_placement with
+        | App.Partition p -> p = part
+        | App.Replicated -> true
+      in
+      if owned then
+        Versioned_store.register store spec.App.spec_oid ~klass:spec.App.spec_klass
+          ~cap:spec.App.spec_cap ~init:spec.App.spec_init)
+    specs
+
+let create eng ~cfg ~app =
+  let fab = Fabric.create eng ~profile:cfg.Config.profile in
+  let specs = app.App.catalog () in
+  let sys_replicas =
+    Array.init cfg.Config.partitions (fun part ->
+        let region = region_size_for cfg specs ~part + 64 in
+        Array.init cfg.Config.replicas (fun idx ->
+            let node =
+              Fabric.add_node fab ~name:(Printf.sprintf "p%d-r%d" part idx)
+            in
+            Replica.create ~cfg ~app ~part ~idx ~node ~store_region_size:region))
+  in
+  Array.iter
+    (fun row -> Array.iter (fun r -> Replica.set_directory r sys_replicas) row)
+    sys_replicas;
+  (* Load the catalog. *)
+  Array.iteri
+    (fun part row ->
+      Array.iter (fun r -> load_partition_catalog ~specs ~part (Replica.store r)) row)
+    sys_replicas;
+  let groups = Array.map (Array.map Replica.node) sys_replicas in
+  let sys_mcast =
+    Ramcast.create ~config:cfg.Config.mcast fab
+      ~size_of:(fun rq -> request_size app rq)
+      ~groups
+  in
+  Array.iteri
+    (fun part row ->
+      Array.iteri
+        (fun idx r ->
+          ignore idx;
+          Ramcast.set_deliver sys_mcast ~gid:part ~idx:(Replica.idx r) (fun dv ->
+              Mailbox.send (Replica.inbox r) dv))
+        row)
+    sys_replicas;
+  { sys_eng = eng; sys_fab = fab; sys_cfg = cfg; sys_app = app; sys_replicas;
+    sys_mcast; sys_clients = 0 }
+
+let start t =
+  Ramcast.start t.sys_mcast;
+  Array.iter (fun row -> Array.iter Replica.start row) t.sys_replicas
+
+let restart_replica t ~part ~idx =
+  let old = t.sys_replicas.(part).(idx) in
+  let node = Replica.node old in
+  if Fabric.is_alive node then
+    invalid_arg "System.restart_replica: replica is not crashed";
+  Fabric.recover node;
+  let specs = t.sys_app.App.catalog () in
+  let region = region_size_for t.sys_cfg specs ~part + 64 in
+  let fresh =
+    Replica.create ~cfg:t.sys_cfg ~app:t.sys_app ~part ~idx ~node
+      ~store_region_size:region
+  in
+  load_partition_catalog ~specs ~part (Replica.store fresh);
+  (* Peers address coordination/state/store memory through the shared
+     directory matrix; the in-place swap repoints them all. *)
+  t.sys_replicas.(part).(idx) <- fresh;
+  Replica.set_directory fresh t.sys_replicas;
+  Ramcast.restart_member t.sys_mcast ~gid:part ~idx ~deliver:(fun dv ->
+      Mailbox.send (Replica.inbox fresh) dv);
+  Fabric.spawn_on node (fun () ->
+      (* Complete state transfer before executing anything: the fresh
+         store only holds initial values. Asking from the earliest
+         timestamp forces a full transfer whenever the donor's log does
+         not reach back to the beginning. *)
+      Replica.force_state_transfer fresh ~failed_tmp:(Tstamp.make ~clock:1 ~uid:1);
+      Replica.start fresh)
+
+let new_client_node t ~name =
+  t.sys_clients <- t.sys_clients + 1;
+  Fabric.add_node t.sys_fab ~name
+
+let submit_to t ~from ~dst payload =
+  let replies = List.map (fun p -> (p, Ivar.create ())) dst in
+  let rq =
+    {
+      Replica.rq_payload = payload;
+      rq_dst = dst;
+      rq_submitted = Engine.now t.sys_eng;
+      rq_client_node = from;
+      rq_reply =
+        (fun ~part resp ->
+          match List.assoc_opt part replies with
+          | Some iv -> ignore (Ivar.try_fill iv resp)
+          | None -> ());
+    }
+  in
+  ignore (Ramcast.multicast t.sys_mcast ~from ~dst rq);
+  List.map (fun (p, iv) -> (p, Ivar.read iv)) replies
+
+let submit t ~from payload =
+  let dst = App.destinations t.sys_app ~partitions:t.sys_cfg.Config.partitions payload in
+  submit_to t ~from ~dst payload

@@ -1,0 +1,43 @@
+open Heron_multicast
+
+type entry = { en_tmp : Tstamp.t; en_oid : Oid.t }
+
+type t = {
+  capacity : int;
+  entries : entry Queue.t;
+  mutable trunc : Tstamp.t;  (* largest dropped timestamp *)
+  mutable last : Tstamp.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Update_log.create: capacity must be positive";
+  { capacity; entries = Queue.create (); trunc = Tstamp.zero; last = Tstamp.zero }
+
+let append t tmp oid =
+  if Tstamp.(t.last < tmp) then t.last <- tmp;
+  Queue.push { en_tmp = tmp; en_oid = oid } t.entries;
+  while Queue.length t.entries > t.capacity do
+    let dropped = Queue.pop t.entries in
+    if Tstamp.(t.trunc < dropped.en_tmp) then t.trunc <- dropped.en_tmp
+  done
+
+let length t = Queue.length t.entries
+let covers t ~from = Tstamp.(t.trunc < from)
+
+let oids_in_range t ~from ~upto =
+  if not (covers t ~from) then
+    invalid_arg "Update_log.oids_in_range: range behind truncation point";
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Queue.iter
+    (fun e ->
+      if
+        Tstamp.(from <= e.en_tmp)
+        && Tstamp.(e.en_tmp <= upto)
+        && not (Hashtbl.mem seen e.en_oid)
+      then begin
+        Hashtbl.replace seen e.en_oid ();
+        acc := e.en_oid :: !acc
+      end)
+    t.entries;
+  List.rev !acc

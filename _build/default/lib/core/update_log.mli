@@ -1,0 +1,33 @@
+(** Log of object updates performed during normal execution.
+
+    Replicas append one entry per object write; during state transfer
+    the donor uses the log to compute the set of objects a lagger must
+    synchronise (Algorithm 3 line 12), instead of shipping the whole
+    store. The log is bounded: when it overflows, the oldest entries are
+    dropped and the log records the truncation point, after which it can
+    no longer answer range queries reaching behind it (the donor then
+    falls back to a full-store transfer). *)
+
+open Heron_multicast
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if capacity is not positive. *)
+
+val append : t -> Tstamp.t -> Oid.t -> unit
+(** Record that the object was updated by the request with this
+    timestamp. Appends may be slightly out of timestamp order (parallel
+    execution of non-conflicting requests); {!covers} stays sound
+    because truncation tracks the largest dropped timestamp. *)
+
+val length : t -> int
+
+val covers : t -> from:Tstamp.t -> bool
+(** Whether the log retains every update with timestamp >= [from]. *)
+
+val oids_in_range : t -> from:Tstamp.t -> upto:Tstamp.t -> Oid.t list
+(** Distinct oids updated by requests with timestamp in
+    [[from, upto]] (both inclusive), in first-update order. Raises
+    [Invalid_argument] if the range reaches behind the truncation point
+    (check {!covers} first). *)

@@ -1,0 +1,1 @@
+lib/dynastar/dynastar.ml: App Array Bytes Engine Hashtbl Heron_core Heron_multicast Heron_sim List Mailbox Msgnet Oid Option Printf Queue Signal Tstamp

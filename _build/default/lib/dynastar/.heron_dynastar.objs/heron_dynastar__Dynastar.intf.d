@@ -1,0 +1,1 @@
+lib/dynastar/dynastar.mli: App Engine Heron_core Heron_sim Msgnet Oid

@@ -1,0 +1,1 @@
+lib/dynastar/msgnet.ml: Engine Heron_sim Mailbox

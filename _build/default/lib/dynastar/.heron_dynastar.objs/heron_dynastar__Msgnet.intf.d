@@ -1,0 +1,1 @@
+lib/dynastar/msgnet.mli: Engine Heron_sim

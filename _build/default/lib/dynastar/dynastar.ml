@@ -1,0 +1,448 @@
+open Heron_sim
+open Heron_core
+open Heron_multicast
+
+type config = {
+  net : Msgnet.config;
+  exec_overhead_ns : int;
+  read_local_ns : int;
+  ser_per_byte_x100 : int;
+}
+
+let default_config =
+  {
+    net = Msgnet.default_config;
+    exec_overhead_ns = 30_000;
+    read_local_ns = 150;
+    ser_per_byte_x100 = 95;
+  }
+
+type ('req, 'resp) env = {
+  e_uid : int;
+  e_dst : int list;  (* involved partitions, sorted *)
+  e_payload : 'req;
+  e_client : ('req, 'resp) wire Msgnet.endpoint;
+}
+
+and ('req, 'resp) entry = { en_env : ('req, 'resp) env; en_ts : int }
+
+and ('req, 'resp) wire =
+  | M_submit of ('req, 'resp) env
+  | M_propose of { p_uid : int; p_gid : int; p_ts : int }
+  | M_accept of ('req, 'resp) entry
+  | M_ack of { a_uid : int }
+  | M_commit of { c_uid : int }
+  | M_objects of { o_uid : int; o_from : int; o_values : (Oid.t * bytes) list }
+  | M_update of { u_uid : int; u_writes : (Oid.t * bytes) list }
+  | M_reply of { r_uid : int; r_resp : 'resp }
+
+type ('req, 'resp) pending = {
+  pn_env : ('req, 'resp) env;
+  mutable pn_ts : int;
+  mutable pn_heard : int list;
+  mutable pn_final : bool;
+}
+
+type ('req, 'resp) commit = { cm_entry : ('req, 'resp) entry; mutable cm_acks : int }
+
+type ('req, 'resp) replica = {
+  rp_part : int;
+  rp_idx : int;
+  rp_ep : ('req, 'resp) wire Msgnet.endpoint;
+  rp_store : (Oid.t, bytes) Hashtbl.t;
+  rp_deliveries : ('req, 'resp) entry Mailbox.t;
+  rp_wake : Signal.t;
+  (* buffers filled by the protocol fiber, consumed by the exec fiber *)
+  rp_objects : (int * int, (Oid.t * bytes) list) Hashtbl.t;  (* (uid, part) *)
+  rp_updates : (int, (Oid.t * bytes) list) Hashtbl.t;
+  (* leader ordering state *)
+  mutable rp_clock : int;
+  rp_pending : (int, ('req, 'resp) pending) Hashtbl.t;
+  rp_early : (int, (int * int) list) Hashtbl.t;
+  rp_commits : ('req, 'resp) commit Queue.t;
+  rp_seen : (int, unit) Hashtbl.t;
+  (* follower commit state *)
+  rp_uncommitted : ('req, 'resp) entry Queue.t;
+  rp_committed : (int, unit) Hashtbl.t;
+  mutable rp_executed : int;
+}
+
+type ('req, 'resp) t = {
+  eng : Engine.t;
+  cfg : config;
+  app : ('req, 'resp) App.t;
+  partitions : int;
+  replicas : int;
+  net : ('req, 'resp) wire Msgnet.t;
+  reps : ('req, 'resp) replica array array;
+  mutable next_uid : int;
+}
+
+type ('req, 'resp) client = { cl_ep : ('req, 'resp) wire Msgnet.endpoint }
+
+let create eng ?(config = default_config) ~partitions ~replicas ~app () =
+  let net = Msgnet.create eng config.net in
+  let reps =
+    Array.init partitions (fun part ->
+        Array.init replicas (fun idx ->
+            {
+              rp_part = part;
+              rp_idx = idx;
+              rp_ep = Msgnet.endpoint net ~name:(Printf.sprintf "ds-p%d-r%d" part idx);
+              rp_store = Hashtbl.create 4096;
+              rp_deliveries = Mailbox.create ();
+              rp_wake = Signal.create ();
+              rp_objects = Hashtbl.create 64;
+              rp_updates = Hashtbl.create 64;
+              rp_clock = 0;
+              rp_pending = Hashtbl.create 64;
+              rp_early = Hashtbl.create 64;
+              rp_commits = Queue.create ();
+              rp_seen = Hashtbl.create 256;
+              rp_uncommitted = Queue.create ();
+              rp_committed = Hashtbl.create 64;
+              rp_executed = 0;
+            }))
+  in
+  (* Load the catalog: partitioned objects at their home partition,
+     replicated ones everywhere. *)
+  List.iter
+    (fun spec ->
+      let load part =
+        Array.iter
+          (fun rp -> Hashtbl.replace rp.rp_store spec.App.spec_oid spec.App.spec_init)
+          reps.(part)
+      in
+      match spec.App.spec_placement with
+      | App.Partition p -> load p
+      | App.Replicated ->
+          for p = 0 to partitions - 1 do
+            load p
+          done)
+    (app.App.catalog ());
+  { eng; cfg = config; app; partitions; replicas; net; reps; next_uid = 1 }
+
+let leader t part = t.reps.(part).(0)
+let is_leader rp = rp.rp_idx = 0
+let majority t = (t.replicas / 2) + 1
+
+let env_bytes t env = t.app.App.req_size env.e_payload + 64
+
+let values_bytes values =
+  List.fold_left (fun acc (_, v) -> acc + Bytes.length v + 16) 64 values
+
+(* {1 Leader ordering (Skeen over message passing + replication)} *)
+
+let deliver_entry rp entry =
+  Hashtbl.replace rp.rp_seen entry.en_env.e_uid ();
+  Mailbox.send rp.rp_deliveries entry
+
+let drain_commits t rp =
+  let need = majority t - 1 in
+  let rec loop () =
+    match Queue.peek_opt rp.rp_commits with
+    | Some c when c.cm_acks >= need ->
+        ignore (Queue.pop rp.rp_commits);
+        deliver_entry rp c.cm_entry;
+        Array.iter
+          (fun f ->
+            if f.rp_idx <> rp.rp_idx then
+              Msgnet.send t.net ~from:rp.rp_ep f.rp_ep ~bytes:32
+                (M_commit { c_uid = c.cm_entry.en_env.e_uid }))
+          t.reps.(rp.rp_part);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let dispatch t rp (p : ('req, 'resp) pending) =
+  let entry = { en_env = p.pn_env; en_ts = p.pn_ts } in
+  Hashtbl.remove rp.rp_pending p.pn_env.e_uid;
+  Hashtbl.remove rp.rp_early p.pn_env.e_uid;
+  Array.iter
+    (fun f ->
+      if f.rp_idx <> rp.rp_idx then
+        Msgnet.send t.net ~from:rp.rp_ep f.rp_ep ~bytes:(env_bytes t p.pn_env)
+          (M_accept entry))
+    t.reps.(rp.rp_part);
+  Queue.push { cm_entry = entry; cm_acks = 0 } rp.rp_commits;
+  drain_commits t rp
+
+let rec try_dispatch t rp =
+  let min_pending =
+    Hashtbl.fold
+      (fun _ p acc ->
+        match acc with
+        | None -> Some p
+        | Some q ->
+            if
+              p.pn_ts < q.pn_ts
+              || (p.pn_ts = q.pn_ts && p.pn_env.e_uid < q.pn_env.e_uid)
+            then Some p
+            else acc)
+      rp.rp_pending None
+  in
+  match min_pending with
+  | Some p when p.pn_final ->
+      dispatch t rp p;
+      try_dispatch t rp
+  | Some _ | None -> ()
+
+let maybe_finalize t rp p =
+  if (not p.pn_final) && List.length p.pn_heard = List.length p.pn_env.e_dst then begin
+    p.pn_final <- true;
+    rp.rp_clock <- max rp.rp_clock p.pn_ts;
+    try_dispatch t rp
+  end
+
+let record_proposal p ~gid ~ts =
+  if not (List.mem gid p.pn_heard) then begin
+    p.pn_heard <- gid :: p.pn_heard;
+    p.pn_ts <- max p.pn_ts ts
+  end
+
+let on_submit t rp env =
+  if Hashtbl.mem rp.rp_seen env.e_uid || Hashtbl.mem rp.rp_pending env.e_uid then ()
+  else begin
+    rp.rp_clock <- rp.rp_clock + 1;
+    let p =
+      { pn_env = env; pn_ts = rp.rp_clock; pn_heard = [ rp.rp_part ]; pn_final = false }
+    in
+    Hashtbl.replace rp.rp_pending env.e_uid p;
+    (match Hashtbl.find_opt rp.rp_early env.e_uid with
+    | Some props -> List.iter (fun (gid, ts) -> record_proposal p ~gid ~ts) props
+    | None -> ());
+    List.iter
+      (fun gid ->
+        if gid <> rp.rp_part then
+          Msgnet.send t.net ~from:rp.rp_ep (leader t gid).rp_ep ~bytes:32
+            (M_propose { p_uid = env.e_uid; p_gid = rp.rp_part; p_ts = p.pn_ts }))
+      env.e_dst;
+    maybe_finalize t rp p
+  end
+
+let on_propose t rp ~uid ~gid ~ts =
+  rp.rp_clock <- max rp.rp_clock ts;
+  if Hashtbl.mem rp.rp_seen uid then ()
+  else
+    match Hashtbl.find_opt rp.rp_pending uid with
+    | Some p ->
+        record_proposal p ~gid ~ts;
+        maybe_finalize t rp p
+    | None ->
+        let props = Option.value ~default:[] (Hashtbl.find_opt rp.rp_early uid) in
+        if not (List.exists (fun (g, _) -> g = gid) props) then
+          Hashtbl.replace rp.rp_early uid ((gid, ts) :: props)
+
+(* Follower: deliver accepted entries in leader order once committed. *)
+let drain_follower rp =
+  let rec loop () =
+    match Queue.peek_opt rp.rp_uncommitted with
+    | Some entry when Hashtbl.mem rp.rp_committed entry.en_env.e_uid ->
+        ignore (Queue.pop rp.rp_uncommitted);
+        Hashtbl.remove rp.rp_committed entry.en_env.e_uid;
+        deliver_entry rp entry;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let protocol_loop t rp =
+  let rec loop () =
+    (match Msgnet.recv t.net rp.rp_ep with
+    | M_submit env -> if is_leader rp then on_submit t rp env
+    | M_propose { p_uid; p_gid; p_ts } ->
+        if is_leader rp then on_propose t rp ~uid:p_uid ~gid:p_gid ~ts:p_ts
+    | M_accept entry ->
+        Queue.push entry rp.rp_uncommitted;
+        Msgnet.send t.net ~from:rp.rp_ep (leader t rp.rp_part).rp_ep ~bytes:32
+          (M_ack { a_uid = entry.en_env.e_uid });
+        drain_follower rp
+    | M_ack { a_uid } ->
+        Queue.iter
+          (fun c -> if c.cm_entry.en_env.e_uid = a_uid then c.cm_acks <- c.cm_acks + 1)
+          rp.rp_commits;
+        drain_commits t rp
+    | M_commit { c_uid } ->
+        Hashtbl.replace rp.rp_committed c_uid ();
+        drain_follower rp
+    | M_objects { o_uid; o_from; o_values } ->
+        Hashtbl.replace rp.rp_objects (o_uid, o_from) o_values;
+        Signal.broadcast rp.rp_wake
+    | M_update { u_uid; u_writes } ->
+        Hashtbl.replace rp.rp_updates u_uid u_writes;
+        Signal.broadcast rp.rp_wake
+    | M_reply _ -> ());
+    loop ()
+  in
+  loop ()
+
+(* {1 Execution} *)
+
+let charge_ser t bytes = Engine.consume (bytes * t.cfg.ser_per_byte_x100 / 100)
+
+let local_objects t rp env =
+  List.filter_map
+    (fun oid ->
+      let mine =
+        match t.app.App.placement_of oid with
+        | App.Partition p -> p = rp.rp_part
+        | App.Replicated -> false
+      in
+      match (mine, Hashtbl.find_opt rp.rp_store oid) with
+      | true, Some v -> Some (oid, v)
+      | true, None | false, _ -> None)
+    (t.app.App.read_set env.e_payload)
+
+let execute_here t rp entry ~moved =
+  Engine.consume t.cfg.exec_overhead_ns;
+  let env = entry.en_env in
+  let received = Hashtbl.create 16 in
+  List.iter (fun (oid, v) -> Hashtbl.replace received oid v) moved;
+  let writes = ref [] in
+  let ctx =
+    {
+      App.ctx_partition = rp.rp_part;
+      ctx_tmp = Tstamp.make ~clock:entry.en_ts ~uid:env.e_uid;
+      ctx_read =
+        (fun oid ->
+          match Hashtbl.find_opt received oid with
+          | Some v -> v
+          | None -> (
+              Engine.consume t.cfg.read_local_ns;
+              match Hashtbl.find_opt rp.rp_store oid with
+              | Some v -> v
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Dynastar: object %d not available" (Oid.to_int oid))));
+      ctx_read_opt =
+        (fun oid ->
+          match Hashtbl.find_opt received oid with
+          | Some v -> Some v
+          | None ->
+              Engine.consume t.cfg.read_local_ns;
+              Hashtbl.find_opt rp.rp_store oid);
+      ctx_is_local = (fun _ -> true);
+      ctx_write = (fun oid v -> writes := (oid, v) :: !writes);
+      ctx_charge = Engine.consume;
+    }
+  in
+  let resp = t.app.App.execute ctx env.e_payload in
+  let writes = List.rev !writes in
+  (* Apply local writes; collect the rest per owning partition. *)
+  let remote_writes = Hashtbl.create 4 in
+  List.iter
+    (fun (oid, v) ->
+      match t.app.App.placement_of oid with
+      | App.Replicated -> invalid_arg "Dynastar: writes to replicated objects"
+      | App.Partition p ->
+          if p = rp.rp_part then Hashtbl.replace rp.rp_store oid v
+          else
+            Hashtbl.replace remote_writes p
+              ((oid, v) :: Option.value ~default:[] (Hashtbl.find_opt remote_writes p)))
+    writes;
+  (resp, remote_writes)
+
+let exec_loop t rp =
+  let rec loop () =
+    let entry = Mailbox.recv rp.rp_deliveries in
+    let env = entry.en_env in
+    let uid = env.e_uid in
+    (match env.e_dst with
+    | [ _ ] ->
+        let resp, _ = execute_here t rp entry ~moved:[] in
+        rp.rp_executed <- rp.rp_executed + 1;
+        if is_leader rp then
+          Msgnet.send t.net ~from:rp.rp_ep env.e_client
+            ~bytes:(t.app.App.resp_size resp + 32)
+            (M_reply { r_uid = uid; r_resp = resp })
+    | dst ->
+        let executor = List.hd dst in
+        if rp.rp_part = executor then begin
+          let others = List.filter (fun p -> p <> executor) dst in
+          (* Wait for the moved objects from every other partition. *)
+          Signal.wait_until rp.rp_wake (fun () ->
+              List.for_all (fun p -> Hashtbl.mem rp.rp_objects (uid, p)) others);
+          let moved =
+            List.concat_map
+              (fun p ->
+                let vs = Hashtbl.find rp.rp_objects (uid, p) in
+                Hashtbl.remove rp.rp_objects (uid, p);
+                vs)
+              others
+          in
+          (* Deserialize what arrived. *)
+          charge_ser t (values_bytes moved);
+          let resp, remote_writes = execute_here t rp entry ~moved in
+          rp.rp_executed <- rp.rp_executed + 1;
+          if is_leader rp then begin
+            (* Ship updated objects back to their partitions. *)
+            List.iter
+              (fun p ->
+                let ws = Option.value ~default:[] (Hashtbl.find_opt remote_writes p) in
+                charge_ser t (values_bytes ws);
+                Array.iter
+                  (fun peer ->
+                    Msgnet.send t.net ~from:rp.rp_ep peer.rp_ep
+                      ~bytes:(values_bytes ws)
+                      (M_update { u_uid = uid; u_writes = ws }))
+                  t.reps.(p))
+              others;
+            Msgnet.send t.net ~from:rp.rp_ep env.e_client
+              ~bytes:(t.app.App.resp_size resp + 32)
+              (M_reply { r_uid = uid; r_resp = resp })
+          end
+        end
+        else begin
+          (* Ship our objects to the executor, then wait for the
+             updated values before moving on. *)
+          if is_leader rp then begin
+            let values = local_objects t rp env in
+            charge_ser t (values_bytes values);
+            Array.iter
+              (fun peer ->
+                Msgnet.send t.net ~from:rp.rp_ep peer.rp_ep
+                  ~bytes:(values_bytes values)
+                  (M_objects { o_uid = uid; o_from = rp.rp_part; o_values = values }))
+              t.reps.(executor)
+          end;
+          Signal.wait_until rp.rp_wake (fun () -> Hashtbl.mem rp.rp_updates uid);
+          let ws = Hashtbl.find rp.rp_updates uid in
+          Hashtbl.remove rp.rp_updates uid;
+          charge_ser t (values_bytes ws);
+          List.iter (fun (oid, v) -> Hashtbl.replace rp.rp_store oid v) ws;
+          rp.rp_executed <- rp.rp_executed + 1
+        end);
+    loop ()
+  in
+  loop ()
+
+let start t =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun rp ->
+          Engine.spawn t.eng (fun () -> protocol_loop t rp);
+          Engine.spawn t.eng (fun () -> exec_loop t rp))
+        row)
+    t.reps
+
+let new_client t ~name = { cl_ep = Msgnet.endpoint t.net ~name }
+
+let submit t client req =
+  let ep = client.cl_ep in
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let dst = App.destinations t.app ~partitions:t.partitions req in
+  let env = { e_uid = uid; e_dst = dst; e_payload = req; e_client = ep } in
+  List.iter
+    (fun p ->
+      Msgnet.send t.net ~from:ep (leader t p).rp_ep ~bytes:(env_bytes t env)
+        (M_submit env))
+    dst;
+  match Msgnet.recv t.net ep with
+  | M_reply { r_resp; _ } -> r_resp
+  | _ -> invalid_arg "Dynastar.submit: unexpected message at client"
+
+let store_value t ~part ~idx oid = Hashtbl.find_opt t.reps.(part).(idx).rp_store oid
+let executed_count t ~part ~idx = t.reps.(part).(idx).rp_executed

@@ -1,0 +1,62 @@
+(** DynaStar-style message-passing partitioned SMR (the Figure 5
+    baseline).
+
+    A faithful-in-shape reimplementation of the system Heron is
+    compared against (Le et al., ICDCS'19): partitions of replicas
+    ordered by a leader-based protocol over a kernel/TCP network
+    ({!Msgnet}), with multi-partition requests executed by a single
+    partition after the other involved partitions ship it the objects
+    it needs, and updated objects shipped back — the data-movement
+    rounds that dominate DynaStar's multi-partition cost.
+
+    Simplifications (documented in DESIGN.md): the location oracle is
+    static (objects never migrate between partitions, matching the
+    static TPCC placement used in the evaluation), replica failover is
+    not modelled (the experiments are failure-free), and the executing
+    partition is the lowest-numbered involved partition.
+
+    It runs the same unmodified {!Heron_core.App} applications as
+    Heron, so the Figure 5 comparison executes identical TPCC logic on
+    both systems. *)
+
+open Heron_sim
+open Heron_core
+
+type config = {
+  net : Msgnet.config;
+  exec_overhead_ns : int;
+      (** extra per-request execution cost vs Heron's callback
+          (JVM/runtime overheads of the baseline) *)
+  read_local_ns : int;  (** in-memory map access *)
+  ser_per_byte_x100 : int;
+      (** (de)serialization cost of moved objects, per byte *)
+}
+
+val default_config : config
+
+type ('req, 'resp) t
+
+val create :
+  Engine.t ->
+  ?config:config ->
+  partitions:int ->
+  replicas:int ->
+  app:('req, 'resp) App.t ->
+  unit ->
+  ('req, 'resp) t
+(** Build a deployment preloaded with the application catalog. *)
+
+val start : ('req, 'resp) t -> unit
+
+type ('req, 'resp) client
+
+val new_client : ('req, 'resp) t -> name:string -> ('req, 'resp) client
+
+val submit : ('req, 'resp) t -> ('req, 'resp) client -> 'req -> 'resp
+(** Submit from a fiber and block until the executing partition's
+    reply. One outstanding request per client (closed loop). *)
+
+val store_value : ('req, 'resp) t -> part:int -> idx:int -> Oid.t -> bytes option
+(** Current value of an object at one replica (tests). *)
+
+val executed_count : ('req, 'resp) t -> part:int -> idx:int -> int

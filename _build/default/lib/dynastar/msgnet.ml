@@ -1,0 +1,23 @@
+open Heron_sim
+
+type config = { one_way_ns : int; per_byte_ns_x100 : int; msg_cpu_ns : int }
+
+let default_config = { one_way_ns = 50_000; per_byte_ns_x100 = 32; msg_cpu_ns = 60_000 }
+
+type 'a endpoint = { ep_name : string; inbox : 'a Mailbox.t }
+type 'a t = { eng : Engine.t; cfg : config }
+
+let create eng cfg = { eng; cfg }
+let endpoint _ ~name = { ep_name = name; inbox = Mailbox.create () }
+let name ep = ep.ep_name
+
+let send t ~from dst ~bytes msg =
+  ignore from;
+  Engine.consume t.cfg.msg_cpu_ns;
+  let delay = t.cfg.one_way_ns + (bytes * t.cfg.per_byte_ns_x100 / 100) in
+  Engine.schedule ~delay t.eng (fun () -> Mailbox.send dst.inbox msg)
+
+let recv t ep =
+  let msg = Mailbox.recv ep.inbox in
+  Engine.consume t.cfg.msg_cpu_ns;
+  msg

@@ -1,0 +1,38 @@
+(** Simulated kernel/TCP message-passing network.
+
+    The transport under the DynaStar baseline. Unlike the RDMA fabric,
+    every message costs CPU at both endpoints (syscalls, protocol
+    stack, serialization — the overheads Section V-C credits for
+    Heron's advantage) on top of a propagation delay and a bandwidth
+    term. Delivery is reliable and per-sender FIFO. *)
+
+open Heron_sim
+
+type config = {
+  one_way_ns : int;  (** propagation + switching delay *)
+  per_byte_ns_x100 : int;  (** bandwidth term (32 = 25 Gbps) *)
+  msg_cpu_ns : int;  (** CPU burned per message at sender and receiver *)
+}
+
+val default_config : config
+(** 50 us one-way, 25 Gbps, 60 us of CPU per message endpoint —
+    calibrated so the DynaStar baseline lands in the paper's reported
+    regime (~1 ms requests, a few thousand tps per partition). *)
+
+type 'a t
+(** A network carrying messages of type ['a]. *)
+
+type 'a endpoint
+
+val create : Engine.t -> config -> 'a t
+val endpoint : 'a t -> name:string -> 'a endpoint
+val name : 'a endpoint -> string
+
+val send : 'a t -> from:'a endpoint -> 'a endpoint -> bytes:int -> 'a -> unit
+(** Send a message of [bytes] serialized size: blocks the calling fiber
+    for the sender-side CPU cost, then delivers after the network
+    delay. Must run in a fiber. *)
+
+val recv : 'a t -> 'a endpoint -> 'a
+(** Dequeue the next message, charging the receiver-side CPU cost.
+    Blocks until one is available. *)

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: App Config Heron_core Heron_dynastar Heron_sim Heron_stats Heron_tpcc Random Replica Sample_set Scale System Time_ns Tx Workload

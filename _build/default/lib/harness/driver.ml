@@ -1,0 +1,225 @@
+open Heron_sim
+open Heron_rdma
+open Heron_stats
+open Heron_multicast
+open Heron_core
+open Heron_tpcc
+
+type run_stats = {
+  rs_throughput_tps : float;
+  rs_latency : Sample_set.t;
+  rs_latency_single : Sample_set.t;
+  rs_latency_multi : Sample_set.t;
+  rs_completed : int;
+}
+
+let default_warmup = Time_ns.ms 10
+let default_measure = Time_ns.ms 40
+
+let finish ~measure ~latency ~single ~multi ~completed =
+  {
+    rs_throughput_tps = float_of_int !completed /. Time_ns.to_s_f measure;
+    rs_latency = latency;
+    rs_latency_single = single;
+    rs_latency_multi = multi;
+    rs_completed = !completed;
+  }
+
+let run_system ?(warmup = default_warmup) ?(measure = default_measure) ~sys ~clients
+    ~gen () =
+  let eng = System.engine sys in
+  let partitions = (System.config sys).Config.partitions in
+  let latency = Sample_set.create () in
+  let single = Sample_set.create () in
+  let multi = Sample_set.create () in
+  let completed = ref 0 in
+  let measuring = ref false in
+  for c = 0 to clients - 1 do
+    let rng = Random.State.make [| c; 0xC11E47 |] in
+    let node = System.new_client_node sys ~name:(Printf.sprintf "client-%d" c) in
+    Fabric.spawn_on node (fun () ->
+        let rec loop () =
+          let req, dst_override = gen ~client:c rng in
+          let dst =
+            match dst_override with
+            | Some dst -> dst
+            | None -> App.destinations (System.app sys) ~partitions req
+          in
+          let t0 = Engine.self_now () in
+          ignore (System.submit_to sys ~from:node ~dst req);
+          let t1 = Engine.self_now () in
+          if !measuring then begin
+            incr completed;
+            Sample_set.add latency (t1 - t0);
+            Sample_set.add (if List.length dst = 1 then single else multi) (t1 - t0)
+          end;
+          loop ()
+        in
+        loop ())
+  done;
+  Engine.run_until eng (Engine.now eng + warmup);
+  Array.iter (fun row -> Array.iter Replica.clear_stats row) (System.replicas sys);
+  measuring := true;
+  Engine.run_until eng (Engine.now eng + measure);
+  measuring := false;
+  finish ~measure ~latency ~single ~multi ~completed
+
+let heron_tpcc_system ?(seed = 1) ?(replicas = 3) ?(cfg_tweak = Fun.id) ~scale () =
+  let eng = Engine.create ~seed () in
+  let cfg = cfg_tweak (Config.default ~partitions:scale.Scale.warehouses ~replicas) in
+  let app = Tx.app ~scale ~seed:1 in
+  let sys = System.create eng ~cfg ~app in
+  System.start sys;
+  sys
+
+let tpcc_gen ~profile ~scale ~client rng =
+  let home_w = (client mod scale.Scale.warehouses) + 1 in
+  (Workload.gen profile ~scale ~rng ~home_w, None)
+
+(* {1 Null application (coordination-only requests)} *)
+
+type null_req = { nr_dst : int list; nr_bytes : int }
+
+let null_app =
+  {
+    App.app_name = "null";
+    placement_of = (fun _ -> App.Partition 0);
+    klass_of = (fun _ -> Versioned_store.Registered);
+    read_set = (fun _ -> []);
+    read_plan = (fun ~part:_ _ -> []);
+    write_sketch = (fun _ -> []);
+    req_size = (fun r -> r.nr_bytes);
+    resp_size = (fun () -> 8);
+    execute = (fun _ _ -> ());
+    serial_hint = (fun _ -> false);
+    catalog = (fun () -> []);
+  }
+
+(* {1 RamCast-only runs} *)
+
+let run_ramcast ?(seed = 1) ?(warmup = default_warmup) ?(measure = default_measure)
+    ?(replicas = 3) ~partitions ~clients ~gen_dst ~msg_bytes () =
+  let eng = Engine.create ~seed () in
+  let fab = Fabric.create eng ~profile:Profile.default in
+  let groups =
+    Array.init partitions (fun g ->
+        Array.init replicas (fun i ->
+            Fabric.add_node fab ~name:(Printf.sprintf "g%d-r%d" g i)))
+  in
+  let sys = Ramcast.create fab ~size_of:(fun _ -> msg_bytes) ~groups in
+  (* Completion tracking: a message is complete once every destination
+     group has delivered it somewhere. *)
+  let waiting : (int, int ref * unit Ivar.t) Hashtbl.t = Hashtbl.create 4096 in
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  for g = 0 to partitions - 1 do
+    for i = 0 to replicas - 1 do
+      Ramcast.set_deliver sys ~gid:g ~idx:i (fun d ->
+          let uid = d.Ramcast.d_uid in
+          if not (Hashtbl.mem seen (uid, g)) then begin
+            Hashtbl.replace seen (uid, g) ();
+            match Hashtbl.find_opt waiting uid with
+            | Some (remaining, iv) ->
+                decr remaining;
+                if !remaining = 0 then begin
+                  Hashtbl.remove waiting uid;
+                  Ivar.fill iv ()
+                end
+            | None -> ()
+          end)
+    done
+  done;
+  Ramcast.start sys;
+  let latency = Sample_set.create () in
+  let single = Sample_set.create () in
+  let multi = Sample_set.create () in
+  let completed = ref 0 in
+  let measuring = ref false in
+  for c = 0 to clients - 1 do
+    let rng = Random.State.make [| c; 0x52414d |] in
+    let node = Fabric.add_node fab ~name:(Printf.sprintf "rc-client-%d" c) in
+    Fabric.spawn_on node (fun () ->
+        let rec loop () =
+          let dst = gen_dst rng in
+          let iv = Ivar.create () in
+          let t0 = Engine.self_now () in
+          (* Register before multicasting: delivery can be concurrent. *)
+          let remaining = ref (List.length dst) in
+          let uid = Ramcast.multicast sys ~from:node ~dst () in
+          (* Deliveries cannot have fired yet at this instant: the
+             submit transfer itself takes non-zero time. *)
+          Hashtbl.replace waiting uid (remaining, iv);
+          Ivar.read iv;
+          let t1 = Engine.self_now () in
+          if !measuring then begin
+            incr completed;
+            Sample_set.add latency (t1 - t0);
+            Sample_set.add (if List.length dst = 1 then single else multi) (t1 - t0)
+          end;
+          loop ()
+        in
+        loop ())
+  done;
+  Engine.run_until eng warmup;
+  measuring := true;
+  Engine.run_until eng (warmup + measure);
+  measuring := false;
+  finish ~measure ~latency ~single ~multi ~completed
+
+(* {1 DynaStar runs} *)
+
+let run_dynastar ?(seed = 1) ?(warmup = Time_ns.ms 40) ?(measure = Time_ns.ms 160)
+    ?(replicas = 3) ?(config = Heron_dynastar.Dynastar.default_config) ~scale ~clients
+    ~profile () =
+  let open Heron_dynastar in
+  let eng = Engine.create ~seed () in
+  let app = Tx.app ~scale ~seed:1 in
+  let ds =
+    Dynastar.create eng ~config ~partitions:scale.Scale.warehouses ~replicas ~app ()
+  in
+  Dynastar.start ds;
+  let latency = Sample_set.create () in
+  let single = Sample_set.create () in
+  let multi = Sample_set.create () in
+  let completed = ref 0 in
+  let measuring = ref false in
+  for c = 0 to clients - 1 do
+    let rng = Random.State.make [| c; 0xD57A7 |] in
+    let client = Dynastar.new_client ds ~name:(Printf.sprintf "ds-client-%d" c) in
+    let home_w = (c mod scale.Scale.warehouses) + 1 in
+    Engine.spawn eng (fun () ->
+        let rec loop () =
+          let req = Workload.gen profile ~scale ~rng ~home_w in
+          let is_multi = Tx.is_multi_warehouse req in
+          let t0 = Engine.self_now () in
+          ignore (Dynastar.submit ds client req);
+          let t1 = Engine.self_now () in
+          if !measuring then begin
+            incr completed;
+            Sample_set.add latency (t1 - t0);
+            Sample_set.add (if is_multi then multi else single) (t1 - t0)
+          end;
+          loop ()
+        in
+        loop ())
+  done;
+  Engine.run_until eng warmup;
+  measuring := true;
+  Engine.run_until eng (warmup + measure);
+  measuring := false;
+  finish ~measure ~latency ~single ~multi ~completed
+
+(* {1 Aggregation} *)
+
+let merged_replica_stat sys pick =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc r -> Sample_set.merge acc (pick (Replica.stats r)))
+        acc row)
+    (Sample_set.create ()) (System.replicas sys)
+
+let sum_replica_stat sys pick =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc r -> acc + pick (Replica.stats r)) acc row)
+    0 (System.replicas sys)

@@ -1,0 +1,1 @@
+lib/kv/kv_app.ml: App Bytes Format Heron_core Int64 List Oid Versioned_store

@@ -1,0 +1,1 @@
+lib/kv/kv_app.mli: App Format Heron_core Oid

@@ -1,0 +1,104 @@
+open Heron_core
+
+type req =
+  | Get of int
+  | Put of int * int64
+  | Add of int * int64
+  | Transfer of { src : int; dst : int; amount : int64 }
+  | Incr_all of int list
+  | Read_all of int list
+
+type resp = Value of int64 | Values of (int * int64) list | Ack
+
+let pp_resp fmt = function
+  | Value v -> Format.fprintf fmt "Value %Ld" v
+  | Ack -> Format.fprintf fmt "Ack"
+  | Values kvs ->
+      Format.fprintf fmt "Values [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f "; ")
+           (fun f (k, v) -> Format.fprintf f "%d=%Ld" k v))
+        kvs
+
+let oid_of_key k = Oid.of_int k
+let partition_of_key ~partitions k = k mod partitions
+
+let encode_value v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  b
+
+let decode_value b = Bytes.get_int64_le b 0
+
+let read_set = function
+  | Get k -> [ oid_of_key k ]
+  | Put _ -> []
+  | Add (k, _) -> [ oid_of_key k ]
+  | Transfer { src; dst; _ } -> [ oid_of_key src; oid_of_key dst ]
+  | Incr_all ks | Read_all ks -> List.map oid_of_key ks
+
+let write_sketch = function
+  | Get _ | Read_all _ -> []
+  | Put (k, _) | Add (k, _) -> [ oid_of_key k ]
+  | Transfer { src; dst; _ } -> [ oid_of_key src; oid_of_key dst ]
+  | Incr_all ks -> List.map oid_of_key ks
+
+let req_size = function
+  | Get _ | Put _ | Add _ -> 24
+  | Transfer _ -> 32
+  | Incr_all ks | Read_all ks -> 16 + (8 * List.length ks)
+
+let resp_size = function
+  | Value _ -> 16
+  | Ack -> 8
+  | Values kvs -> 8 + (16 * List.length kvs)
+
+(* Deterministic execution: every involved partition computes the same
+   response; writes are buffered for all keys and Heron applies the
+   local ones. *)
+let execute (ctx : App.ctx) req =
+  let read k = decode_value (ctx.App.ctx_read (oid_of_key k)) in
+  let write k v = ctx.App.ctx_write (oid_of_key k) (encode_value v) in
+  match req with
+  | Get k -> Value (read k)
+  | Put (k, v) ->
+      write k v;
+      Ack
+  | Add (k, d) ->
+      let v = Int64.add (read k) d in
+      write k v;
+      Value v
+  | Transfer { src; dst; amount } ->
+      let s = read src and d = read dst in
+      write src (Int64.sub s amount);
+      write dst (Int64.add d amount);
+      Ack
+  | Incr_all ks ->
+      List.iter (fun k -> write k (Int64.add (read k) 1L)) ks;
+      Ack
+  | Read_all ks -> Values (List.map (fun k -> (k, read k)) ks)
+
+let app ~keys ~partitions ~init =
+  {
+    App.app_name = "kv";
+    placement_of =
+      (fun oid -> App.Partition (partition_of_key ~partitions (Oid.to_int oid)));
+    klass_of = (fun _ -> Versioned_store.Registered);
+    read_set;
+    read_plan = (fun ~part:_ req -> read_set req);
+    write_sketch;
+    req_size;
+    resp_size;
+    execute;
+    serial_hint = (fun _ -> false);
+    catalog =
+      (fun () ->
+        List.init keys (fun k ->
+            {
+              App.spec_oid = oid_of_key k;
+              spec_placement = App.Partition (partition_of_key ~partitions k);
+              spec_klass = Versioned_store.Registered;
+              spec_cap = 8;
+              spec_init = encode_value init;
+            }));
+  }

@@ -1,0 +1,41 @@
+(** A partitioned key-value / bank application on Heron.
+
+    The simplest realistic tenant of the core library: integer-valued
+    registers spread over partitions by key modulo, all stored as
+    registered (remotely readable) objects. Used by the quickstart and
+    bank examples and — because its invariants are easy to state — by
+    the consistency test-suite:
+
+    - [Incr_all ks] atomically increments every key in [ks] (possibly
+      spanning partitions);
+    - [Transfer] moves an amount between two keys, conserving the total;
+    - [Read_all ks] returns a consistent snapshot of [ks].
+
+    Under linearizability, keys incremented together are always read
+    equal, and transfers never change the sum — precisely the
+    guarantees Phases 2 and 4 of the paper exist to protect
+    (Figure 3). *)
+
+open Heron_core
+
+type req =
+  | Get of int
+  | Put of int * int64
+  | Add of int * int64  (** read-modify-write increment, returns new value *)
+  | Transfer of { src : int; dst : int; amount : int64 }
+  | Incr_all of int list
+  | Read_all of int list
+
+type resp =
+  | Value of int64
+  | Values of (int * int64) list  (** key, value — in request order *)
+  | Ack
+
+val pp_resp : Format.formatter -> resp -> unit
+
+val app : keys:int -> partitions:int -> init:int64 -> (req, resp) App.t
+(** The Heron application: [keys] registers initialised to [init], key
+    [k] homed in partition [k mod partitions]. *)
+
+val oid_of_key : int -> Oid.t
+val partition_of_key : partitions:int -> int -> int

@@ -1,0 +1,1 @@
+lib/lincheck/lincheck.ml: Array Bytes Char Hashtbl List Printf

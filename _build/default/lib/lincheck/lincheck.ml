@@ -1,0 +1,76 @@
+type ('op, 'res) event = {
+  ev_client : int;
+  ev_op : 'op;
+  ev_result : 'res;
+  ev_invoke : int;
+  ev_return : int;
+}
+
+type ('op, 'res, 'state) spec = {
+  initial : 'state;
+  apply : 'state -> 'op -> 'state * 'res;
+  equal_result : 'res -> 'res -> bool;
+}
+
+let bit_get mask i = Char.code (Bytes.get mask (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bit_flip mask i =
+  Bytes.set mask (i / 8)
+    (Char.chr (Char.code (Bytes.get mask (i / 8)) lxor (1 lsl (i mod 8))))
+
+let check spec events =
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  Array.iter
+    (fun e ->
+      if e.ev_return < e.ev_invoke then
+        invalid_arg "Lincheck.check: event returns before it is invoked")
+    evs;
+  if n = 0 then true
+  else begin
+    (* Memoize failed configurations: (linearized set, state). States
+       must be persistent values with structural equality. *)
+    let memo = Hashtbl.create 4096 in
+    let mask = Bytes.make ((n + 7) / 8) '\000' in
+    let rec dfs state count =
+      count = n
+      ||
+      let key = (Bytes.to_string mask, state) in
+      if Hashtbl.mem memo key then false
+      else begin
+        Hashtbl.add memo key ();
+        (* An event can be linearized next only if no other pending
+           event returned strictly before it was invoked. *)
+        let min_return = ref max_int in
+        for i = 0 to n - 1 do
+          if (not (bit_get mask i)) && evs.(i).ev_return < !min_return then
+            min_return := evs.(i).ev_return
+        done;
+        let found = ref false in
+        let i = ref 0 in
+        while (not !found) && !i < n do
+          let e = evs.(!i) in
+          if (not (bit_get mask !i)) && e.ev_invoke <= !min_return then begin
+            let state', res = spec.apply state e.ev_op in
+            if spec.equal_result res e.ev_result then begin
+              bit_flip mask !i;
+              if dfs state' (count + 1) then found := true;
+              bit_flip mask !i
+            end
+          end;
+          incr i
+        done;
+        !found
+      end
+    in
+    dfs spec.initial 0
+  end
+
+let counterexample_free spec events =
+  if check spec events then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "history of %d events admits no linearization consistent with the \
+          sequential specification"
+         (List.length events))

@@ -1,0 +1,40 @@
+(** Linearizability checking of concurrent histories (Wing & Gong).
+
+    Heron's correctness claim (paper Section III-C) is that every
+    execution is linearizable: client requests appear to take effect
+    atomically at some point between invocation and response, consistent
+    with the objects' sequential specification. This module decides that
+    property for recorded histories — the test-suite runs concurrent
+    clients against a deployment, records what each observed, and checks
+    the history against a pure model of the application.
+
+    The checker is the classic Wing & Gong depth-first search with
+    memoization on (set of linearized operations, abstract state);
+    exponential in the worst case but fast for the test-suite's
+    histories (hundreds of operations, single-digit client counts). *)
+
+type ('op, 'res) event = {
+  ev_client : int;  (** issuing client (one outstanding op per client) *)
+  ev_op : 'op;
+  ev_result : 'res;
+  ev_invoke : int;  (** invocation time *)
+  ev_return : int;  (** response time; must be >= [ev_invoke] *)
+}
+
+type ('op, 'res, 'state) spec = {
+  initial : 'state;
+  apply : 'state -> 'op -> 'state * 'res;
+      (** pure sequential semantics; ['state] must support structural
+          equality and hashing (used for memoization) *)
+  equal_result : 'res -> 'res -> bool;
+}
+
+val check : ('op, 'res, 'state) spec -> ('op, 'res) event list -> bool
+(** Whether some total order of the events respects both real time
+    (an event returning before another's invocation is ordered before
+    it) and the sequential specification (each event's recorded result
+    matches [apply] at its place in the order). *)
+
+val counterexample_free :
+  ('op, 'res, 'state) spec -> ('op, 'res) event list -> (unit, string) result
+(** Like {!check} but explains a violation (for test failure output). *)

@@ -1,0 +1,1 @@
+lib/multicast/ramcast.ml: Array Engine Fabric Hashtbl Heron_rdma Heron_sim List Mailbox Option Qp Queue Tstamp

@@ -1,0 +1,1 @@
+lib/multicast/ramcast.mli: Heron_rdma Tstamp

@@ -1,0 +1,1 @@
+lib/multicast/tstamp.ml: Format Int64 Stdlib

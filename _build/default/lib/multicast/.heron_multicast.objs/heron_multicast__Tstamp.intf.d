@@ -1,0 +1,1 @@
+lib/multicast/tstamp.mli: Format

@@ -1,0 +1,105 @@
+(** Timestamped atomic multicast over the simulated RDMA fabric.
+
+    This is the repository's substitute for RamCast (Le et al.,
+    Middleware'21), the protocol Heron uses to order requests within and
+    across partitions. Process groups are disjoint and each group has
+    [n = 2f + 1] members. The protocol is Skeen's algorithm made
+    fault-tolerant with per-group leaders:
+
+    + a client writes the message to the leader of every destination
+      group (and, when failover support is on, to the followers too, as
+      RamCast does);
+    + each leader proposes a local logical-clock timestamp and exchanges
+      proposals with the other destination groups' leaders;
+    + the final timestamp is the maximum proposal; a message is
+      dispatched once it is final and minimal among the group's pending
+      messages;
+    + the leader replicates dispatched messages to its followers in
+      delivery order (RC queue pairs keep follower logs in leader
+      order) and delivers after a majority of the group has the
+      message.
+
+    Guarantees (paper Section II-B): validity, integrity, uniform
+    agreement within the failure bound, uniform prefix order and uniform
+    acyclic order; delivered timestamps are unique and monotone with
+    respect to the delivery order everywhere. Leader failover is
+    implemented in a simplified form (see DESIGN.md): followers detect a
+    dead leader, the lowest-index live member takes over, synchronises
+    the replicated log from a majority, and re-proposes stashed
+    messages, reusing the failed leader's own proposal when it reached
+    the followers. *)
+
+type config = {
+  proc_ns : int;  (** CPU cost of handling one protocol message *)
+  submit_hdr_bytes : int;  (** header added to a payload on submit *)
+  propose_bytes : int;  (** size of a proposal control write *)
+  ack_bytes : int;  (** size of a follower ack *)
+  entry_hdr_bytes : int;  (** header added to a replicated log entry *)
+  failover : bool;
+      (** replicate submits/proposals to followers and run leader
+          failure detection; costs extra control writes per message *)
+  leader_check_ns : int;  (** follower's leader liveness poll period *)
+  resubmit_delay_ns : int;  (** client backoff before retrying a submit *)
+  batching : bool;
+      (** replicate all entries that become deliverable together in one
+          write (and commit-notify them together), amortizing headers
+          and per-message processing as RamCast does. Off by default:
+          the calibrated latency model assumes per-entry replication. *)
+}
+
+val default_config : config
+(** Failover support on, 1 us processing, header sizes matching the
+    prototype's wire format. *)
+
+type 'a delivery = {
+  d_tmp : Tstamp.t;
+  d_uid : int;
+  d_dst : int list;  (** destination group ids, sorted *)
+  d_payload : 'a;
+}
+
+type 'a t
+
+val create :
+  ?config:config ->
+  Heron_rdma.Fabric.t ->
+  size_of:('a -> int) ->
+  groups:Heron_rdma.Fabric.node array array ->
+  'a t
+(** [create fab ~size_of ~groups] builds a multicast system whose group
+    [g] has members [groups.(g)] (index 0 is the initial leader). Nodes
+    must be distinct; each group must be non-empty and of odd size.
+    [size_of] gives the serialized payload size used for timing. *)
+
+val set_deliver : 'a t -> gid:int -> idx:int -> ('a delivery -> unit) -> unit
+(** Install the delivery callback of member [idx] of group [gid]. The
+    callback runs on the member's node and must not block; push into a
+    mailbox for heavy work. Must be called before {!start}. *)
+
+val start : 'a t -> unit
+(** Spawn every member's protocol process. *)
+
+val multicast : 'a t -> from:Heron_rdma.Fabric.node -> dst:int list -> 'a -> int
+(** [multicast t ~from ~dst payload] submits a message to the groups in
+    [dst] from a fiber running on node [from], blocking until the
+    submission reached the (current) leader of every destination group;
+    retries through leader changes. Returns the message uid. *)
+
+val group_count : 'a t -> int
+val members : 'a t -> gid:int -> Heron_rdma.Fabric.node array
+val leader_idx : 'a t -> gid:int -> int
+
+val delivered_count : 'a t -> gid:int -> idx:int -> int
+(** Messages delivered so far by one member (tests/monitoring). *)
+
+val restart_member : 'a t -> gid:int -> idx:int -> deliver:('a delivery -> unit) -> unit
+(** Rejoin a member whose node crashed and was recovered (a process
+    restart loses all protocol state): reset its state, install a fresh
+    delivery callback, and respawn its processes. The member resumes as
+    a follower from the group's current position; messages it missed
+    while down are not redelivered — the layer above recovers them
+    (Heron's full state transfer). The node must be alive and must not
+    currently be the group's leader. *)
+
+val quorum : 'a t -> gid:int -> int
+(** f + 1 for the group. *)

@@ -1,0 +1,36 @@
+(** Atomic-multicast timestamps.
+
+    A timestamp is a [(clock, uid)] pair: [clock] is the agreed Skeen
+    timestamp and [uid] the globally unique message id used as a
+    tie-break. Timestamps are totally ordered and unique per message,
+    and for any two messages [m], [m'], if some process delivers [m]
+    before [m'] then [tmp m < tmp m'] — the property Heron's
+    dual-versioning relies on (paper Section II-B).
+
+    A timestamp packs into a non-negative [int64] whose numeric order
+    equals {!compare} (40-bit clock, 23-bit uid), so it can live in
+    RDMA-registered memory and be read/written atomically. *)
+
+type t = { clock : int; uid : int }
+
+val zero : t
+(** Smaller than any timestamp of a delivered message; tags initial
+    object versions. *)
+
+val make : clock:int -> uid:int -> t
+
+val compare : t -> t -> int
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val to_int64 : t -> int64
+(** Raises [Invalid_argument] if the clock exceeds 40 bits or the uid
+    exceeds 23 bits. *)
+
+val of_int64 : int64 -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rdma/fabric.ml: Engine Hashtbl Heron_sim Memory Profile Signal

@@ -1,0 +1,1 @@
+lib/rdma/fabric.mli: Heron_sim Memory Profile

@@ -1,0 +1,1 @@
+lib/rdma/memory.ml: Bytes Printf

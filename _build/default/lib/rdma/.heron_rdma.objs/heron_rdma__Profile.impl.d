@@ -1,0 +1,1 @@
+lib/rdma/profile.ml:

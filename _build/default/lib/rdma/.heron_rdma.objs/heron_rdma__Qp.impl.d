@@ -1,0 +1,1 @@
+lib/rdma/qp.ml: Bytes Engine Fabric Heron_sim Int64 Memory Profile Signal Time_ns

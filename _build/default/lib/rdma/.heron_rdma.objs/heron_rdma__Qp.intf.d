@@ -1,0 +1,1 @@
+lib/rdma/qp.mli: Fabric Memory

@@ -1,0 +1,64 @@
+(** The simulated cluster: nodes with registered memory, crash and
+    recovery, and processes pinned to nodes.
+
+    A fabric groups nodes sharing one RDMA network. Each node owns
+    memory regions, a broadcast signal raised whenever remote data lands
+    in its memory (the simulator's stand-in for busy-polling, see
+    DESIGN.md), and a cancellation token so that crashing the node stops
+    every fiber running on it. *)
+
+type t
+(** The fabric. *)
+
+type node
+(** A server or client machine. *)
+
+val create : Heron_sim.Engine.t -> profile:Profile.t -> t
+
+val engine : t -> Heron_sim.Engine.t
+val profile : t -> Profile.t
+
+val add_node : t -> name:string -> node
+(** Register a fresh (alive) node. *)
+
+val node_id : node -> int
+val node_name : node -> string
+val is_alive : node -> bool
+
+val fabric_of : node -> t
+(** The fabric a node belongs to. *)
+
+val find_node : t -> int -> node
+(** Node by id; raises [Not_found] for unknown ids. *)
+
+val node_count : t -> int
+
+val crash : node -> unit
+(** Kill the node: every fiber spawned with {!spawn_on} is cancelled at
+    its next suspension point, verbs targeting the node start failing,
+    and writes in flight towards it are dropped. Idempotent. *)
+
+val recover : ?wipe:bool -> node -> unit
+(** Bring a crashed node back. With [~wipe:true] (the default) its
+    memory regions are zeroed, modelling a process restart with empty
+    volatile state; the caller must respawn the node's processes. *)
+
+val spawn_on : node -> (unit -> unit) -> unit
+(** Run a fiber on the node; it dies silently if the node crashes. *)
+
+val alloc_region : node -> size:int -> Memory.region
+(** Register a new RDMA memory region of [size] bytes on the node. *)
+
+val region : node -> int -> Memory.region
+(** Region by id; raises [Not_found]. *)
+
+val mem_signal : node -> Heron_sim.Signal.t
+(** Broadcast whenever a remote write or CAS lands in the node's
+    memory. Local code waits on this instead of busy-polling. *)
+
+val local_read : node -> Memory.addr -> len:int -> bytes
+(** Direct local access (no latency); [addr] must name this node. *)
+
+val local_write : node -> Memory.addr -> bytes -> unit
+(** Direct local write (no latency, no signal); [addr] must name this
+    node. *)

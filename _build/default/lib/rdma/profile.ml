@@ -1,0 +1,16 @@
+type t = {
+  post_ns : int;
+  verb_ns : int;
+  per_byte_ns_x100 : int;
+  failure_timeout_ns : int;
+}
+
+let default =
+  {
+    post_ns = 150;
+    verb_ns = 1_500;
+    per_byte_ns_x100 = 32;
+    failure_timeout_ns = 100_000;
+  }
+
+let verb_latency t ~bytes_len = t.verb_ns + (bytes_len * t.per_byte_ns_x100 / 100)

@@ -1,0 +1,24 @@
+(** Calibrated timing profile of the simulated RDMA fabric.
+
+    The defaults model the paper's testbed (CloudLab XL170: Mellanox
+    ConnectX-4, 25 Gbps links, ~0.1 ms RTT switch fabric): one-sided
+    verbs complete in ~1.5 us for small payloads plus a bandwidth term,
+    posting a work request costs a fraction of a microsecond of local
+    CPU, and operations targeting a dead peer fail only after a
+    transport timeout (RDMA reports the failure as a work-completion
+    error, Algorithm 2 lines 20-21). *)
+
+type t = {
+  post_ns : int;  (** local CPU cost to post a work request *)
+  verb_ns : int;  (** base completion latency of a one-sided verb *)
+  per_byte_ns_x100 : int;
+      (** bandwidth term: hundredths of a nanosecond per payload byte
+          (32 = 0.32 ns/B = 25 Gbps) *)
+  failure_timeout_ns : int;
+      (** delay before a verb targeting a dead peer errors out *)
+}
+
+val default : t
+
+val verb_latency : t -> bytes_len:int -> int
+(** Completion latency of a verb carrying [bytes_len] payload bytes. *)

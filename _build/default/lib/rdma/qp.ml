@@ -1,0 +1,82 @@
+open Heron_sim
+
+type t = {
+  qp_src : Fabric.node;
+  qp_dst : Fabric.node;
+  mutable busy_until : Time_ns.t;
+}
+
+exception Rdma_exception of { target : int; verb : string }
+
+let connect ~src ~dst = { qp_src = src; qp_dst = dst; busy_until = 0 }
+let src t = t.qp_src
+let dst t = t.qp_dst
+
+let prof_and_eng t =
+  let fab = Fabric.fabric_of t.qp_src in
+  (Fabric.engine fab, Fabric.profile fab)
+
+(* Reserve this QP for one verb carrying [bytes_len] payload bytes and
+   return the completion instant. RC ordering: a verb starts only after
+   the previous one on the same QP completed. *)
+let reserve t ~bytes_len =
+  let eng, prof = prof_and_eng t in
+  Engine.consume prof.Profile.post_ns;
+  let start = max (Engine.now eng) t.busy_until in
+  let completion = start + Profile.verb_latency prof ~bytes_len in
+  t.busy_until <- completion;
+  completion
+
+let await_completion t completion ~verb =
+  let eng, prof = prof_and_eng t in
+  Engine.sleep (completion - Engine.now eng);
+  if not (Fabric.is_alive t.qp_dst) then begin
+    Engine.sleep prof.Profile.failure_timeout_ns;
+    raise (Rdma_exception { target = Fabric.node_id t.qp_dst; verb })
+  end
+
+let read t addr ~len =
+  let completion = reserve t ~bytes_len:len in
+  await_completion t completion ~verb:"read";
+  Fabric.local_read t.qp_dst addr ~len
+
+let land_write t addr payload =
+  Fabric.local_write t.qp_dst addr payload;
+  Signal.broadcast (Fabric.mem_signal t.qp_dst)
+
+let write t addr payload =
+  let payload = Bytes.copy payload in
+  let completion = reserve t ~bytes_len:(Bytes.length payload) in
+  await_completion t completion ~verb:"write";
+  land_write t addr payload
+
+let write_post t addr payload =
+  let payload = Bytes.copy payload in
+  let eng, _ = prof_and_eng t in
+  let completion = reserve t ~bytes_len:(Bytes.length payload) in
+  Engine.schedule ~delay:(completion - Engine.now eng) eng (fun () ->
+      if Fabric.is_alive t.qp_dst then land_write t addr payload)
+
+let cas t addr ~expected ~desired =
+  let completion = reserve t ~bytes_len:8 in
+  await_completion t completion ~verb:"cas";
+  let r = Fabric.region t.qp_dst addr.Memory.mem_rid in
+  let prev = Memory.get_i64 r ~off:addr.Memory.mem_off in
+  if Int64.equal prev expected then begin
+    Memory.set_i64 r ~off:addr.Memory.mem_off desired;
+    Signal.broadcast (Fabric.mem_signal t.qp_dst)
+  end;
+  prev
+
+let transfer t ~bytes_len =
+  let completion = reserve t ~bytes_len in
+  await_completion t completion ~verb:"transfer"
+
+let read_i64 t addr =
+  let b = read t addr ~len:8 in
+  Bytes.get_int64_le b 0
+
+let write_i64 t addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t addr b

@@ -1,0 +1,58 @@
+(** Reliable-Connection queue pairs and one-sided verbs.
+
+    A QP connects a source node to a destination node. As on real
+    hardware (RC transport): operations posted to one QP complete in
+    order, data transfer is reliable while the peer is up, and a verb
+    targeting a dead peer fails with a work-completion error after a
+    transport timeout — surfaced here as {!Rdma_exception}, which is
+    what lets Algorithm 2 detect failed replicas (lines 20-21).
+
+    All verbs must be called from a fiber running on the source node;
+    they block that fiber for the simulated duration of the operation.
+    {!write_post} is the exception: it models a posted write whose
+    completion is never polled (fire-and-forget). *)
+
+type t
+
+exception Rdma_exception of { target : int; verb : string }
+(** Work-completion error: the peer [target] was dead. *)
+
+val connect : src:Fabric.node -> dst:Fabric.node -> t
+(** Create a queue pair. Both nodes must be on the same fabric. *)
+
+val src : t -> Fabric.node
+val dst : t -> Fabric.node
+
+val read : t -> Memory.addr -> len:int -> bytes
+(** One-sided RDMA read of [len] bytes at [addr] on the destination
+    node. Returns the bytes as of the (simulated) completion instant.
+    Raises {!Rdma_exception} after the transport timeout if the peer is
+    dead. *)
+
+val write : t -> Memory.addr -> bytes -> unit
+(** One-sided RDMA write, blocking until completion. The payload is
+    snapshotted at post time. Raises {!Rdma_exception} if the peer is
+    dead. *)
+
+val write_post : t -> Memory.addr -> bytes -> unit
+(** Post a write and return after the local post cost only. The write
+    lands (and raises the destination's memory signal) at its in-order
+    completion instant; it is silently dropped if the peer is dead —
+    exactly the behaviour of an unpolled posted write. *)
+
+val cas : t -> Memory.addr -> expected:int64 -> desired:int64 -> int64
+(** One-sided atomic compare-and-swap on an 8-byte word. Returns the
+    previous value. Raises {!Rdma_exception} if the peer is dead. *)
+
+val transfer : t -> bytes_len:int -> unit
+(** Timing-and-failure-only write: blocks for the duration of a verb
+    carrying [bytes_len] bytes and raises {!Rdma_exception} if the peer
+    is dead, but moves no simulated memory. Used by control planes
+    (e.g. the multicast protocol) whose payloads are tracked as OCaml
+    values rather than serialized into regions. *)
+
+val read_i64 : t -> Memory.addr -> int64
+(** Atomic 8-byte one-sided read. *)
+
+val write_i64 : t -> Memory.addr -> int64 -> unit
+(** Atomic 8-byte one-sided write (blocking). *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Prio_queue Random Time_ns

@@ -1,0 +1,1 @@
+lib/sim/prio_queue.mli:

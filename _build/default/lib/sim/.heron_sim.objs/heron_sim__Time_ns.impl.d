@@ -1,0 +1,1 @@
+lib/sim/time_ns.ml: Float Format

@@ -1,0 +1,112 @@
+exception Cancelled
+
+type token = { mutable cancelled : bool }
+
+type event = { at : Time_ns.t; seq : int; run : unit -> unit }
+
+let event_cmp a b =
+  match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+type t = {
+  mutable clock : Time_ns.t;
+  mutable seq : int;
+  mutable fibers : int;
+  queue : event Prio_queue.t;
+  prng : Random.State.t;
+}
+
+type _ Effect.t +=
+  | Sleep : Time_ns.t -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Now : Time_ns.t Effect.t
+
+let create ?(seed = 42) () =
+  {
+    clock = 0;
+    seq = 0;
+    fibers = 0;
+    queue = Prio_queue.create ~cmp:event_cmp;
+    prng = Random.State.make [| seed; 0x4845524f (* "HERO" *) |];
+  }
+
+let now t = t.clock
+let rng t = t.prng
+let new_token (_ : t) = { cancelled = false }
+let cancel tok = tok.cancelled <- true
+let is_cancelled tok = tok.cancelled
+let pending_events t = Prio_queue.length t.queue
+let live_fibers t = t.fibers
+
+let schedule ?(delay = 0) t run =
+  let delay = max 0 delay in
+  t.seq <- t.seq + 1;
+  Prio_queue.push t.queue { at = t.clock + delay; seq = t.seq; run }
+
+let spawn ?token ?name t f =
+  let tok = match token with Some tok -> tok | None -> { cancelled = false } in
+  ignore name;
+  t.fibers <- t.fibers + 1;
+  let open Effect.Deep in
+  (* Resume a parked continuation, honouring cancellation: a fiber whose
+     token fired is discontinued so its stack unwinds cleanly. *)
+  let resume : (unit, unit) continuation -> unit =
+   fun k -> if tok.cancelled then discontinue k Cancelled else continue k ()
+  in
+  let handler =
+    {
+      retc = (fun () -> t.fibers <- t.fibers - 1);
+      exnc =
+        (fun e ->
+          t.fibers <- t.fibers - 1;
+          match e with Cancelled -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  schedule ~delay:(max 0 d) t (fun () -> resume k))
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let fired = ref false in
+                  let wake () =
+                    if not !fired then begin
+                      fired := true;
+                      schedule t (fun () -> resume k)
+                    end
+                  in
+                  register wake)
+          | Now -> Some (fun (k : (a, _) continuation) -> continue k t.clock)
+          | _ -> None);
+    }
+  in
+  schedule t (fun () ->
+      if tok.cancelled then t.fibers <- t.fibers - 1
+      else match_with f () handler)
+
+let step t =
+  match Prio_queue.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.at;
+      ev.run ();
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let rec loop () =
+    match Prio_queue.peek t.queue with
+    | Some ev when ev.at <= horizon ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> t.clock <- horizon
+  in
+  loop ()
+
+let run_for t d = run_until t (t.clock + d)
+let sleep d = Effect.perform (Sleep d)
+let consume d = Effect.perform (Sleep d)
+let suspend register = Effect.perform (Suspend register)
+let self_now () = Effect.perform Now

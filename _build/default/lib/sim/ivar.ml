@@ -1,0 +1,28 @@
+type 'a t = { mutable cell : 'a option; mutable waiters : (unit -> unit) list }
+
+let create () = { cell = None; waiters = [] }
+
+let try_fill iv v =
+  match iv.cell with
+  | Some _ -> false
+  | None ->
+      iv.cell <- Some v;
+      let waiters = iv.waiters in
+      iv.waiters <- [];
+      List.iter (fun wake -> wake ()) waiters;
+      true
+
+let fill iv v =
+  if not (try_fill iv v) then invalid_arg "Ivar.fill: already full"
+
+let is_full iv = Option.is_some iv.cell
+let peek iv = iv.cell
+
+let read iv =
+  match iv.cell with
+  | Some v -> v
+  | None -> (
+      Engine.suspend (fun wake -> iv.waiters <- wake :: iv.waiters);
+      match iv.cell with
+      | Some v -> v
+      | None -> assert false (* woken only by try_fill *))

@@ -1,0 +1,25 @@
+(** Write-once synchronization cell for fibers.
+
+    An ivar starts empty, is filled exactly once, and wakes every fiber
+    blocked in {!read}. Used for request/response rendezvous (a client
+    waiting for a replica's reply) and for one-shot completion
+    notifications. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** [fill iv v] stores [v] and wakes all readers. Raises
+    [Invalid_argument] if [iv] is already full. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising when full. *)
+
+val is_full : 'a t -> bool
+
+val peek : 'a t -> 'a option
+
+val read : 'a t -> 'a
+(** Block the calling fiber until the ivar is filled, then return its
+    value. Must run inside a fiber. *)

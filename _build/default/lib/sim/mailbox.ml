@@ -1,0 +1,21 @@
+type 'a t = { items : 'a Queue.t; mutable readers : (unit -> unit) Queue.t }
+
+let create () = { items = Queue.create (); readers = Queue.create () }
+
+let send mb v =
+  Queue.push v mb.items;
+  (* Wake one reader per available message; the woken fiber re-checks
+     the queue so spurious wakeups are safe. *)
+  if not (Queue.is_empty mb.readers) then (Queue.pop mb.readers) ()
+
+let try_recv mb = Queue.take_opt mb.items
+
+let rec recv mb =
+  match Queue.take_opt mb.items with
+  | Some v -> v
+  | None ->
+      Engine.suspend (fun wake -> Queue.push wake mb.readers);
+      recv mb
+
+let length mb = Queue.length mb.items
+let is_empty mb = Queue.is_empty mb.items

@@ -1,0 +1,17 @@
+type t = { mutable waiters : (unit -> unit) list }
+
+let create () = { waiters = [] }
+
+let wait s = Engine.suspend (fun wake -> s.waiters <- wake :: s.waiters)
+
+let broadcast s =
+  let waiters = s.waiters in
+  s.waiters <- [];
+  List.iter (fun wake -> wake ()) waiters
+
+let wait_until s pred =
+  while not (pred ()) do
+    wait s
+  done
+
+let waiters s = List.length s.waiters

@@ -1,0 +1,25 @@
+(** Broadcast condition variable for fibers.
+
+    A signal carries no value: fibers {!wait} on it and are all woken by
+    {!broadcast}. The standard pattern is a guarded loop, packaged as
+    {!wait_until}. In the simulated RDMA fabric a node's memory signal
+    is broadcast whenever a remote write lands, standing in for the
+    busy-polling loop a real Heron replica runs on its registered
+    memory. *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> unit
+(** Park the calling fiber until the next {!broadcast}. *)
+
+val broadcast : t -> unit
+(** Wake every fiber currently parked in {!wait}. *)
+
+val wait_until : t -> (unit -> bool) -> unit
+(** [wait_until s pred] returns immediately if [pred ()]; otherwise
+    waits on [s] and re-checks after every broadcast. *)
+
+val waiters : t -> int
+(** Number of currently parked fibers (for tests). *)

@@ -1,0 +1,17 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+let of_us_f x = int_of_float (Float.round (x *. 1_000.))
+let to_us_f t = float_of_int t /. 1_000.
+let to_ms_f t = float_of_int t /. 1_000_000.
+let to_s_f t = float_of_int t /. 1_000_000_000.
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us_f t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_ms_f t)
+  else Format.fprintf fmt "%.3fs" (to_s_f t)

@@ -1,0 +1,36 @@
+(** Virtual time for the discrete-event engine.
+
+    All simulated durations and instants are expressed in integer
+    nanoseconds. On a 64-bit platform this covers ~292 simulated years,
+    far beyond any experiment in this repository. *)
+
+type t = int
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is [n] seconds. *)
+
+val of_us_f : float -> t
+(** [of_us_f x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in microseconds. *)
+
+val to_ms_f : t -> float
+(** [to_ms_f t] is [t] expressed in milliseconds. *)
+
+val to_s_f : t -> float
+(** [to_s_f t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print a duration with an adaptive unit (ns, us, ms or s). *)

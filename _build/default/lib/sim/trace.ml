@@ -1,0 +1,70 @@
+type span = {
+  sp_name : string;
+  sp_start : Time_ns.t;
+  sp_end : Time_ns.t;
+  sp_attrs : (string * string) list;
+}
+
+type t = {
+  capacity : int;
+  buf : span option array;
+  mutable next : int;  (* insertion cursor *)
+  mutable count : int;  (* total spans ever added *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; next = 0; count = 0 }
+
+let add t span =
+  if span.sp_end < span.sp_start then invalid_arg "Trace.add: span ends before it starts";
+  t.buf.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.count <- t.count + 1
+
+let record t ~name ?(attrs = []) ~start stop =
+  add t { sp_name = name; sp_start = start; sp_end = stop; sp_attrs = attrs }
+
+let spans t =
+  let n = min t.count t.capacity in
+  let first = if t.count <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod t.capacity) with
+      | Some s -> s
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let dropped t = max 0 (t.count - t.capacity)
+
+let render_timeline ?(width = 60) t =
+  match spans t with
+  | [] -> ""
+  | all ->
+      let t0 = List.fold_left (fun acc s -> min acc s.sp_start) max_int all in
+      let t1 = List.fold_left (fun acc s -> max acc s.sp_end) min_int all in
+      let range = max 1 (t1 - t0) in
+      let name_w =
+        List.fold_left (fun acc s -> max acc (String.length s.sp_name)) 0 all
+      in
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun s ->
+          let lead = (s.sp_start - t0) * width / range in
+          let len = max 1 ((s.sp_end - s.sp_start) * width / range) in
+          let len = min len (width - lead) in
+          Buffer.add_string buf (Printf.sprintf "%-*s |" name_w s.sp_name);
+          Buffer.add_string buf (String.make lead ' ');
+          Buffer.add_string buf (String.make len '#');
+          Buffer.add_string buf (String.make (max 0 (width - lead - len)) ' ');
+          Buffer.add_string buf
+            (Printf.sprintf "| %s" (Format.asprintf "%a" Time_ns.pp (s.sp_end - s.sp_start)));
+          List.iter
+            (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+            s.sp_attrs;
+          Buffer.add_char buf '\n')
+        all;
+      Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Lightweight span recording for simulated processes.
+
+    A trace is a bounded buffer of named time spans with attributes.
+    Components record what they spent virtual time on (a replica's
+    ordering wait, coordination phases, execution, a state transfer);
+    tests assert on the spans and humans read the rendered timeline.
+    Recording is cheap and allocation-light so tracers can stay attached
+    during benchmarks. *)
+
+type span = {
+  sp_name : string;
+  sp_start : Time_ns.t;
+  sp_end : Time_ns.t;  (** must be >= [sp_start] *)
+  sp_attrs : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A trace keeping the most recent [capacity] (default 4096) spans. *)
+
+val add : t -> span -> unit
+(** Record a span; the oldest span is dropped when full. *)
+
+val record : t -> name:string -> ?attrs:(string * string) list -> start:Time_ns.t -> Time_ns.t -> unit
+(** [record t ~name ~start stop] is [add] without building the record
+    by hand. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val clear : t -> unit
+
+val dropped : t -> int
+(** Spans lost to the capacity bound. *)
+
+val render_timeline : ?width:int -> t -> string
+(** An ASCII timeline: one line per span, bars proportional to duration
+    and aligned on the trace's time range, [width] columns of bar area
+    (default 60). Returns [""] for an empty trace. *)

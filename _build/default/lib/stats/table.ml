@@ -1,0 +1,51 @@
+type t = {
+  table_title : string;
+  headers : string list;
+  mutable body : string list list; (* reversed *)
+}
+
+let make ~title ~headers = { table_title = title; headers; body = [] }
+
+let add_row t row =
+  let ncols = List.length t.headers in
+  let nrow = List.length row in
+  if nrow > ncols then invalid_arg "Table.add_row: too many cells";
+  let padded = row @ List.init (ncols - nrow) (fun _ -> "") in
+  t.body <- padded :: t.body
+
+let title t = t.table_title
+let rows t = List.rev t.body
+
+let render t =
+  let all = t.headers :: rows t in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.map2 (fun cell w -> Printf.sprintf "%-*s" w cell) row widths
+    in
+    String.concat "  " cells
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.table_title ^ " ==\n");
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  let total = List.fold_left ( + ) (2 * (ncols - 1)) widths in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+let cell_int n = string_of_int n
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_us ns = Printf.sprintf "%.1f" (float_of_int ns /. 1_000.)
+let cell_ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1_000_000.)
+let cell_pct f = Printf.sprintf "%.1f%%" (f *. 100.)

@@ -1,0 +1,38 @@
+(** Aligned plain-text tables for experiment output.
+
+    The benchmark harness prints every reproduced paper table/figure as
+    one of these. *)
+
+type t
+
+val make : title:string -> headers:string list -> t
+(** A fresh table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells and long rows
+    raise [Invalid_argument]. *)
+
+val title : t -> string
+
+val rows : t -> string list list
+(** Data rows, in insertion order (without the header). *)
+
+val render : t -> string
+(** The table as an aligned multi-line string, ending in a newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+
+val cell_us : int -> string
+(** Nanoseconds rendered as microseconds with 1 decimal, e.g. ["35.4"]. *)
+
+val cell_ms : int -> string
+(** Nanoseconds rendered as milliseconds with 2 decimals. *)
+
+val cell_pct : float -> string
+(** Fraction [0..1] rendered as a percentage with 1 decimal. *)

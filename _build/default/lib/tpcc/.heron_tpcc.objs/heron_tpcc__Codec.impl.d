@@ -1,0 +1,1 @@
+lib/tpcc/codec.pp.ml: Buffer Bytes Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/tpcc/codec.pp.mli:

@@ -1,0 +1,1 @@
+lib/tpcc/gen.pp.ml: App Array Buffer Heron_core List Oid_codec Printf Random Scale Schema Versioned_store

@@ -1,0 +1,1 @@
+lib/tpcc/gen.pp.mli: App Heron_core Random Scale Schema

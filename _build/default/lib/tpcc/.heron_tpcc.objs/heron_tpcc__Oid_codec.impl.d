@@ -1,0 +1,1 @@
+lib/tpcc/oid_codec.pp.ml: Heron_core Oid

@@ -1,0 +1,1 @@
+lib/tpcc/oid_codec.pp.mli: Heron_core Oid

@@ -1,0 +1,1 @@
+lib/tpcc/ref_exec.pp.ml: App Gen Hashtbl Heron_core Heron_multicast List Oid Printf Scale Tstamp Tx

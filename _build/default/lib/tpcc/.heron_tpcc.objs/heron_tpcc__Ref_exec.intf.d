@@ -1,0 +1,1 @@
+lib/tpcc/ref_exec.pp.mli: Heron_core Oid Scale Tx

@@ -1,0 +1,1 @@
+lib/tpcc/scale.pp.mli:

@@ -1,0 +1,1 @@
+lib/tpcc/schema.pp.ml: Array Codec Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tpcc/schema.pp.mli: Ppx_deriving_runtime

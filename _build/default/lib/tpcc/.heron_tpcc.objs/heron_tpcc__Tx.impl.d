@@ -1,0 +1,1 @@
+lib/tpcc/tx.pp.ml: App Array Gen Hashtbl Heron_core Heron_multicast List Oid_codec Ppx_deriving_runtime Printf Scale Schema String Versioned_store

@@ -1,0 +1,1 @@
+lib/tpcc/tx.pp.mli: App Heron_core Ppx_deriving_runtime Scale

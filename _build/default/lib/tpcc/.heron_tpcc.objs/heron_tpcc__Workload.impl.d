@@ -1,0 +1,1 @@
+lib/tpcc/workload.pp.ml: Gen List Scale Tx

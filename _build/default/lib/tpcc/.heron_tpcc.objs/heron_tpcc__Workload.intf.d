@@ -1,0 +1,1 @@
+lib/tpcc/workload.pp.mli: Random Scale Tx

@@ -1,0 +1,59 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 128
+let w_u8 b v = Buffer.add_uint8 b v
+let w_u16 b v = Buffer.add_uint16_le b v
+let w_i32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let w_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let w_bool b v = Buffer.add_uint8 b (if v then 1 else 0)
+
+let w_string b s =
+  Buffer.add_uint16_le b (String.length s);
+  Buffer.add_string b s
+
+let w_opt_i32 b = function
+  | None -> w_bool b false
+  | Some v ->
+      w_bool b true;
+      w_i32 b v
+
+let contents b = Buffer.to_bytes b
+
+type reader = { buf : bytes; mutable pos : int }
+
+let reader buf = { buf; pos = 0 }
+
+let r_u8 r =
+  let v = Bytes.get_uint8 r.buf r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u16 r =
+  let v = Bytes.get_uint16_le r.buf r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let r_i32 r =
+  let v = Int32.to_int (Bytes.get_int32_le r.buf r.pos) in
+  r.pos <- r.pos + 4;
+  v
+
+let r_i64 r =
+  let v = Int64.to_int (Bytes.get_int64_le r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_bool r = r_u8 r = 1
+
+let r_string r =
+  let len = r_u16 r in
+  let s = Bytes.sub_string r.buf r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_opt_i32 r = if r_bool r then Some (r_i32 r) else None
+
+let expect_end r =
+  if r.pos <> Bytes.length r.buf then
+    failwith
+      (Printf.sprintf "Codec.expect_end: %d trailing bytes" (Bytes.length r.buf - r.pos))

@@ -1,0 +1,32 @@
+(** Manual byte-level (de)serialization primitives.
+
+    The paper's prototype hand-serializes rows into ByteBuffers rather
+    than using a serializer library (Section V-C lists this among the
+    optimizations); these helpers play that role. Integers are
+    little-endian; strings are length-prefixed (u16). *)
+
+type writer
+
+val writer : unit -> writer
+val w_u8 : writer -> int -> unit
+val w_u16 : writer -> int -> unit
+val w_i32 : writer -> int -> unit
+val w_i64 : writer -> int -> unit
+val w_bool : writer -> bool -> unit
+val w_string : writer -> string -> unit
+val w_opt_i32 : writer -> int option -> unit
+val contents : writer -> bytes
+
+type reader
+
+val reader : bytes -> reader
+val r_u8 : reader -> int
+val r_u16 : reader -> int
+val r_i32 : reader -> int
+val r_i64 : reader -> int
+val r_bool : reader -> bool
+val r_string : reader -> string
+val r_opt_i32 : reader -> int option
+
+val expect_end : reader -> unit
+(** Raises [Failure] if bytes remain — catches schema drift. *)

@@ -1,0 +1,30 @@
+(** TPCC database population and standard random helpers.
+
+    Population is deterministic given the seed, so every replica of a
+    partition (and every run of an experiment) loads the same
+    database. *)
+
+open Heron_core
+
+val catalog : scale:Scale.t -> seed:int -> App.obj_spec list
+(** The initial database for all warehouses: replicated Warehouse and
+    Item rows, and per-warehouse District / Customer / Stock rows plus
+    [init_orders_per_district] delivered orders with 5 lines each.
+    Stock and Customer go into the registered (serialized) store;
+    everything else is local (Section IV-A). *)
+
+val nurand : Random.State.t -> a:int -> x:int -> y:int -> int
+(** TPC-C's non-uniform random distribution NURand(A, x, y) with the
+    run constant C fixed to 123. *)
+
+val rand_range : Random.State.t -> int -> int -> int
+(** Uniform integer in [lo, hi], inclusive. *)
+
+(** {1 Row constructors} (exposed for tests and the reference
+    implementation) *)
+
+val make_warehouse : int -> Schema.warehouse
+val make_district : w:int -> d:int -> next_o_id:int -> Schema.district
+val make_customer : w:int -> d:int -> c:int -> last_order:int -> Schema.customer
+val make_item : int -> Schema.item
+val make_stock : w:int -> i:int -> Schema.stock

@@ -1,0 +1,32 @@
+(** Mapping between TPCC table keys and Heron object ids.
+
+    Every row is one Heron object (Section IV-A). Keys pack into the
+    62-bit oid as [tag(4) | w(12) | d(8) | a(30) | b(8)]. *)
+
+open Heron_core
+
+type key =
+  | Warehouse of int
+  | District of int * int  (** w, d *)
+  | Customer of int * int * int  (** w, d, c *)
+  | History of int * int * int  (** w, d, unique id *)
+  | Order of int * int * int  (** w, d, o *)
+  | New_order of int * int * int
+  | Order_line of int * int * int * int  (** w, d, o, line number *)
+  | Item of int
+  | Stock of int * int  (** w, i *)
+
+val encode : key -> Oid.t
+(** Raises [Invalid_argument] when a field exceeds its bit budget. *)
+
+val decode : Oid.t -> key
+(** Raises [Invalid_argument] on an oid not produced by {!encode}. *)
+
+val home_warehouse : Oid.t -> int option
+(** The warehouse a row belongs to; [None] for replicated tables
+    (Warehouse and Item, which every partition stores). *)
+
+val is_registered : Oid.t -> bool
+(** Whether the row lives in the RDMA-registered (serialized) store:
+    true exactly for Stock and Customer rows, the two tables remote
+    replicas read during execution (Section IV-A). *)

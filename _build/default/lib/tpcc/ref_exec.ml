@@ -1,0 +1,47 @@
+open Heron_core
+open Heron_multicast
+
+type t = {
+  state : (Oid.t, bytes) Hashtbl.t;
+  scale : Scale.t;
+  mutable next_uid : int;
+}
+
+let create ~scale ~seed =
+  let state = Hashtbl.create 4096 in
+  List.iter
+    (fun spec -> Hashtbl.replace state spec.App.spec_oid spec.App.spec_init)
+    (Gen.catalog ~scale ~seed);
+  { state; scale; next_uid = 1 }
+
+let apply t req =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  (* Reads see the pre-transaction state (Heron's reading phase /
+     writing phase split), so writes are buffered and applied after. *)
+  let writes = ref [] in
+  let ctx =
+    {
+      App.ctx_partition = Tx.home_warehouse req - 1;
+      ctx_tmp = Tstamp.make ~clock:uid ~uid;
+      ctx_read =
+        (fun oid ->
+          match Hashtbl.find_opt t.state oid with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Ref_exec: object %d does not exist" (Oid.to_int oid)));
+      ctx_read_opt = (fun oid -> Hashtbl.find_opt t.state oid);
+      ctx_is_local = (fun _ -> true);
+      ctx_write = (fun oid v -> writes := (oid, v) :: !writes);
+      ctx_charge = ignore;
+    }
+  in
+  let resp = (Tx.app ~scale:t.scale ~seed:0).App.execute ctx req in
+  List.iter (fun (oid, v) -> Hashtbl.replace t.state oid v) (List.rev !writes);
+  resp
+
+let value t oid = Hashtbl.find_opt t.state oid
+
+let oids t =
+  List.sort compare (Hashtbl.fold (fun oid _ acc -> oid :: acc) t.state [])

@@ -1,0 +1,26 @@
+(** Sequential reference executor for differential testing.
+
+    Applies TPCC transactions to a single in-memory copy of the
+    database (no partitions, no replication, no timing) using the same
+    business logic as {!Tx.app}. Running the same request sequence
+    through Heron and through this executor must produce the same
+    responses and the same final table state — the oracle used by the
+    TPCC test-suite. *)
+
+open Heron_core
+
+type t
+
+val create : scale:Scale.t -> seed:int -> t
+(** Load the same initial database as {!Gen.catalog}. *)
+
+val apply : t -> Tx.req -> Tx.resp
+(** Execute one transaction against the reference state. Requests are
+    numbered internally so that generated ids (history rows) match a
+    single-client Heron run over the same sequence. *)
+
+val value : t -> Oid.t -> bytes option
+(** Current value of an object, [None] if it does not exist. *)
+
+val oids : t -> Oid.t list
+(** All object ids present, sorted. *)

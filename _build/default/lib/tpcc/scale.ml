@@ -1,0 +1,40 @@
+type t = {
+  warehouses : int;
+  districts : int;
+  customers_per_district : int;
+  items : int;
+  init_orders_per_district : int;
+}
+
+let paper ~warehouses =
+  {
+    warehouses;
+    districts = 10;
+    customers_per_district = 3_000;
+    items = 100_000;
+    init_orders_per_district = 3_000;
+  }
+
+let bench ~warehouses =
+  {
+    warehouses;
+    districts = 10;
+    customers_per_district = 60;
+    items = 2_000;
+    init_orders_per_district = 30;
+  }
+
+let tiny ~warehouses =
+  {
+    warehouses;
+    districts = 2;
+    customers_per_district = 6;
+    items = 40;
+    init_orders_per_district = 4;
+  }
+
+let validate t =
+  if
+    t.warehouses <= 0 || t.districts <= 0 || t.customers_per_district <= 0
+    || t.items <= 0 || t.init_orders_per_district < 0
+  then invalid_arg "Scale.validate: non-positive dimension"

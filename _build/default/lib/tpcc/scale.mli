@@ -1,0 +1,33 @@
+(** TPCC scaling parameters.
+
+    The TPC-C specification fixes 10 districts per warehouse, 3,000
+    customers per district and 100,000 items; the paper's prototype uses
+    those sizes (Section IV-A). Full-size tables are unnecessarily heavy
+    for a simulation that must run hundreds of experiment points, so the
+    harness defaults to a proportionally scaled-down database
+    ({!bench}); the workload generators draw from whatever sizes the
+    scale specifies, so transaction logic and cost ratios are
+    unchanged. *)
+
+type t = {
+  warehouses : int;  (** one per partition *)
+  districts : int;
+  customers_per_district : int;
+  items : int;  (** also the number of stock rows per warehouse *)
+  init_orders_per_district : int;  (** pre-loaded delivered orders *)
+}
+
+val paper : warehouses:int -> t
+(** Full TPC-C sizes: 10 districts, 3,000 customers, 100,000 items,
+    3,000 initial orders. *)
+
+val bench : warehouses:int -> t
+(** Scaled for simulation: 10 districts, 60 customers, 2,000 items,
+    30 initial orders. *)
+
+val tiny : warehouses:int -> t
+(** Minimal sizes for unit tests: 2 districts, 6 customers, 40 items,
+    4 initial orders. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive dimensions. *)

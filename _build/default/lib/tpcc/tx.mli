@@ -1,0 +1,63 @@
+(** The five TPCC transactions on Heron (paper Section IV-A).
+
+    Each Heron partition stores one warehouse. NewOrder and Payment can
+    span warehouses (remote supply items / remote customer) and then
+    execute at every involved partition, each applying only its local
+    writes ("partial execution"); the home partition computes the full
+    business response, the other partitions answer {!R_partial}.
+
+    Customer selection is by id (the by-last-name variant is a lookup
+    convenience, not a concurrency behaviour, and is omitted — see
+    DESIGN.md). Delivery is executed in-transaction (one order per
+    district), not deferred. *)
+
+open Heron_core
+
+type order_line_input = { li_i : int; li_supply_w : int; li_qty : int }
+[@@deriving show, eq]
+
+type req =
+  | New_order of {
+      w : int;
+      d : int;
+      c : int;
+      lines : order_line_input list;
+      entry_d : int;
+    }
+  | Payment of {
+      w : int;
+      d : int;
+      c_w : int;  (** customer's warehouse; [<> w] makes it remote *)
+      c_d : int;
+      c : int;
+      amount : int;  (** cents *)
+      date : int;
+    }
+  | Order_status of { w : int; d : int; c : int }
+  | Delivery of { w : int; carrier : int; date : int }
+  | Stock_level of { w : int; d : int; threshold : int }
+[@@deriving show, eq]
+
+type resp =
+  | R_new_order of { o_id : int; total : int }
+  | R_payment of { balance : int }
+  | R_order_status of { o_id : int; ol_cnt : int; balance : int }
+  | R_delivery of { delivered : int }
+  | R_stock_level of { low_stock : int }
+  | R_partial  (** answer of a non-home partition (partial execution) *)
+[@@deriving show, eq]
+
+val home_warehouse : req -> int
+(** The transaction's home warehouse. *)
+
+val is_multi_warehouse : req -> bool
+(** Whether the request touches more than one warehouse. *)
+
+val merge_responses : (int * resp) list -> resp
+(** The business response among the per-partition responses (the
+    non-{!R_partial} one; all partitions of a single-warehouse request
+    return the same full response). *)
+
+val app : scale:Scale.t -> seed:int -> (req, resp) App.t
+(** The TPCC application for Heron: catalog from {!Gen.catalog},
+    partition of warehouse [w] is [w - 1]. *)

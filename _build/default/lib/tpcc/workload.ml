@@ -1,0 +1,164 @@
+type profile = {
+  pct_new_order : int;
+  pct_payment : int;
+  pct_order_status : int;
+  pct_delivery : int;
+  pct_stock_level : int;
+  remote_item_pct : int;
+  remote_customer_pct : int;
+}
+
+let standard =
+  {
+    pct_new_order = 45;
+    pct_payment = 43;
+    pct_order_status = 4;
+    pct_delivery = 4;
+    pct_stock_level = 4;
+    remote_item_pct = 1;
+    remote_customer_pct = 15;
+  }
+
+let local_only = { standard with remote_item_pct = 0; remote_customer_pct = 0 }
+
+let other_warehouse ~scale ~rng ~home_w =
+  let n = scale.Scale.warehouses in
+  if n <= 1 then home_w
+  else begin
+    let w = Gen.rand_range rng 1 (n - 1) in
+    if w >= home_w then w + 1 else w
+  end
+
+let gen_lines profile ~scale ~rng ~home_w ~count =
+  List.init count (fun _ ->
+      let li_i = Gen.nurand rng ~a:8191 ~x:1 ~y:scale.Scale.items in
+      let remote =
+        scale.Scale.warehouses > 1
+        && Gen.rand_range rng 1 100 <= profile.remote_item_pct
+      in
+      let li_supply_w =
+        if remote then other_warehouse ~scale ~rng ~home_w else home_w
+      in
+      { Tx.li_i; li_supply_w; li_qty = Gen.rand_range rng 1 10 })
+
+let gen_new_order profile ~scale ~rng ~home_w =
+  let d = Gen.rand_range rng 1 scale.Scale.districts in
+  let c = Gen.nurand rng ~a:1023 ~x:1 ~y:scale.Scale.customers_per_district in
+  let count = Gen.rand_range rng 5 15 in
+  Tx.New_order
+    {
+      w = home_w;
+      d;
+      c;
+      lines = gen_lines profile ~scale ~rng ~home_w ~count;
+      entry_d = Gen.rand_range rng 1 1_000_000;
+    }
+
+let gen_payment profile ~scale ~rng ~home_w =
+  let d = Gen.rand_range rng 1 scale.Scale.districts in
+  let remote =
+    scale.Scale.warehouses > 1
+    && Gen.rand_range rng 1 100 <= profile.remote_customer_pct
+  in
+  let c_w = if remote then other_warehouse ~scale ~rng ~home_w else home_w in
+  let c_d = Gen.rand_range rng 1 scale.Scale.districts in
+  let c = Gen.nurand rng ~a:1023 ~x:1 ~y:scale.Scale.customers_per_district in
+  Tx.Payment
+    {
+      w = home_w;
+      d;
+      c_w;
+      c_d;
+      c;
+      amount = Gen.rand_range rng 100 500_000;
+      date = Gen.rand_range rng 1 1_000_000;
+    }
+
+let gen_order_status ~scale ~rng ~home_w =
+  Tx.Order_status
+    {
+      w = home_w;
+      d = Gen.rand_range rng 1 scale.Scale.districts;
+      c = Gen.nurand rng ~a:1023 ~x:1 ~y:scale.Scale.customers_per_district;
+    }
+
+let gen_delivery ~rng ~home_w =
+  Tx.Delivery
+    {
+      w = home_w;
+      carrier = Gen.rand_range rng 1 10;
+      date = Gen.rand_range rng 1 1_000_000;
+    }
+
+let gen_stock_level ~scale ~rng ~home_w =
+  Tx.Stock_level
+    {
+      w = home_w;
+      d = Gen.rand_range rng 1 scale.Scale.districts;
+      threshold = Gen.rand_range rng 10 20;
+    }
+
+let gen_of_kind kind profile ~scale ~rng ~home_w =
+  match kind with
+  | `New_order -> gen_new_order profile ~scale ~rng ~home_w
+  | `Payment -> gen_payment profile ~scale ~rng ~home_w
+  | `Order_status -> gen_order_status ~scale ~rng ~home_w
+  | `Delivery -> gen_delivery ~rng ~home_w
+  | `Stock_level -> gen_stock_level ~scale ~rng ~home_w
+
+let gen profile ~scale ~rng ~home_w =
+  let p = profile in
+  if
+    p.pct_new_order + p.pct_payment + p.pct_order_status + p.pct_delivery
+    + p.pct_stock_level
+    <> 100
+  then invalid_arg "Workload.gen: mix must sum to 100";
+  let roll = Gen.rand_range rng 1 100 in
+  let kind =
+    if roll <= p.pct_new_order then `New_order
+    else if roll <= p.pct_new_order + p.pct_payment then `Payment
+    else if roll <= p.pct_new_order + p.pct_payment + p.pct_order_status then
+      `Order_status
+    else if
+      roll <= p.pct_new_order + p.pct_payment + p.pct_order_status + p.pct_delivery
+    then `Delivery
+    else `Stock_level
+  in
+  gen_of_kind kind profile ~scale ~rng ~home_w
+
+let gen_new_order_pinned ~scale ~rng ~warehouses =
+  match warehouses with
+  | [] -> invalid_arg "Workload.gen_new_order_pinned: no warehouses"
+  | home_w :: _ ->
+      let d = Gen.rand_range rng 1 scale.Scale.districts in
+      let c = Gen.nurand rng ~a:1023 ~x:1 ~y:scale.Scale.customers_per_district in
+      let base = max 8 (List.length warehouses) in
+      (* One line per pinned warehouse, the rest from home. *)
+      let pinned =
+        List.map
+          (fun w ->
+            {
+              Tx.li_i = Gen.nurand rng ~a:8191 ~x:1 ~y:scale.Scale.items;
+              li_supply_w = w;
+              li_qty = Gen.rand_range rng 1 10;
+            })
+          warehouses
+      in
+      let extra =
+        List.init
+          (base - List.length warehouses)
+          (fun _ ->
+            {
+              Tx.li_i = Gen.nurand rng ~a:8191 ~x:1 ~y:scale.Scale.items;
+              li_supply_w = home_w;
+              li_qty = Gen.rand_range rng 1 10;
+            })
+      in
+      Tx.New_order
+        {
+          w = home_w;
+          d;
+          c;
+          lines = pinned @ extra;
+          entry_d = Gen.rand_range rng 1 1_000_000;
+        }

@@ -1,0 +1,47 @@
+(** TPCC workload generation: the standard transaction mix and the
+    modified mixes used by the paper's experiments. *)
+
+type profile = {
+  pct_new_order : int;
+  pct_payment : int;
+  pct_order_status : int;
+  pct_delivery : int;
+  pct_stock_level : int;  (** the five mix percentages; must sum to 100 *)
+  remote_item_pct : int;
+      (** chance (percent) that a NewOrder line is supplied by another
+          warehouse (TPC-C: 1) *)
+  remote_customer_pct : int;
+      (** chance that a Payment targets a customer of another warehouse
+          (TPC-C: 15) *)
+}
+
+val standard : profile
+(** The paper's mix: NewOrder 45, Payment 43, Delivery 4, OrderStatus 4,
+    StockLevel 4, with standard remote probabilities. *)
+
+val local_only : profile
+(** Same mix with all remote probabilities zeroed: every transaction
+    stays in its home warehouse ("Local Tpcc", Figure 4). *)
+
+val gen : profile -> scale:Scale.t -> rng:Random.State.t -> home_w:int -> Tx.req
+(** One random transaction for a client attached to warehouse
+    [home_w]. *)
+
+val gen_new_order : profile -> scale:Scale.t -> rng:Random.State.t -> home_w:int -> Tx.req
+(** A random NewOrder (Figure 6's single-transaction-type runs). *)
+
+val gen_new_order_pinned :
+  scale:Scale.t -> rng:Random.State.t -> warehouses:int list -> Tx.req
+(** A NewOrder that touches exactly the given warehouses (the first is
+    home), at least one stock row in each — the fixed-partition-count
+    workload of Figure 6. *)
+
+val gen_of_kind :
+  [ `New_order | `Payment | `Order_status | `Delivery | `Stock_level ] ->
+  profile ->
+  scale:Scale.t ->
+  rng:Random.State.t ->
+  home_w:int ->
+  Tx.req
+(** One transaction of a chosen type (Figure 7's per-type latency
+    runs). *)

@@ -1,0 +1,1 @@
+lib/ycsb/ycsb_app.ml: App Bytes Char Heron_core Int64 List Oid Random Versioned_store Zipf

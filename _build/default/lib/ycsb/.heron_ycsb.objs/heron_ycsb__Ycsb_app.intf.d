@@ -1,0 +1,1 @@
+lib/ycsb/ycsb_app.mli: App Heron_core Random Zipf

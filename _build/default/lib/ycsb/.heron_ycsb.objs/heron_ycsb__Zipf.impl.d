@@ -1,0 +1,1 @@
+lib/ycsb/zipf.ml: Random

@@ -1,0 +1,1 @@
+lib/ycsb/zipf.mli: Random

@@ -1,0 +1,117 @@
+open Heron_core
+
+type req =
+  | Y_read of int
+  | Y_update of { key : int; seed : int }
+  | Y_rmw of { key : int; delta : int }
+  | Y_scan of { start : int; count : int }
+
+type resp = Y_value of { counter : int; size : int } | Y_ok | Y_scanned of int
+
+let partition_of_key ~partitions k = k mod partitions
+let oid_of_key k = Oid.of_int k
+
+(* Record layout: [counter : int64][payload]. *)
+let encode ~value_bytes ~counter ~seed =
+  let b = Bytes.make (8 + value_bytes) (Char.chr (33 + (seed mod 90))) in
+  Bytes.set_int64_le b 0 (Int64.of_int counter);
+  b
+
+let counter_of raw = Int64.to_int (Bytes.get_int64_le raw 0)
+
+let keys_of_scan ~records ~start ~count =
+  List.init count (fun i -> (start + i) mod records)
+
+let read_set ~records = function
+  | Y_read k -> [ oid_of_key k ]
+  | Y_update _ -> []
+  | Y_rmw { key; _ } -> [ oid_of_key key ]
+  | Y_scan { start; count } -> List.map oid_of_key (keys_of_scan ~records ~start ~count)
+
+let write_sketch = function
+  | Y_read _ | Y_scan _ -> []
+  | Y_update { key; _ } | Y_rmw { key; _ } -> [ oid_of_key key ]
+
+let app ~records ~value_bytes ~partitions =
+  if records <= 0 || value_bytes < 0 then invalid_arg "Ycsb_app.app: bad sizes";
+  let read_set = read_set ~records in
+  {
+    App.app_name = "ycsb";
+    placement_of =
+      (fun oid -> App.Partition (partition_of_key ~partitions (Oid.to_int oid)));
+    klass_of = (fun _ -> Versioned_store.Registered);
+    read_set;
+    read_plan = (fun ~part:_ req -> read_set req);
+    write_sketch;
+    req_size =
+      (fun req ->
+        match req with
+        | Y_read _ | Y_rmw _ -> 24
+        | Y_update _ -> 24 + value_bytes
+        | Y_scan { count; _ } -> 24 + (8 * count));
+    resp_size =
+      (function
+      | Y_value _ -> 16 + value_bytes
+      | Y_ok -> 8
+      | Y_scanned _ -> 16);
+    execute =
+      (fun ctx req ->
+        match req with
+        | Y_read k ->
+            let raw = ctx.App.ctx_read (oid_of_key k) in
+            Y_value { counter = counter_of raw; size = Bytes.length raw }
+        | Y_update { key; seed } ->
+            ctx.App.ctx_write (oid_of_key key) (encode ~value_bytes ~counter:seed ~seed);
+            Y_ok
+        | Y_rmw { key; delta } ->
+            let raw = ctx.App.ctx_read (oid_of_key key) in
+            let counter = counter_of raw + delta in
+            let updated = Bytes.copy raw in
+            Bytes.set_int64_le updated 0 (Int64.of_int counter);
+            ctx.App.ctx_write (oid_of_key key) updated;
+            Y_value { counter; size = Bytes.length raw }
+        | Y_scan { start; count } ->
+            let n =
+              List.fold_left
+                (fun acc k ->
+                  ignore (ctx.App.ctx_read (oid_of_key k));
+                  acc + 1)
+                0
+                (keys_of_scan ~records ~start ~count)
+            in
+            Y_scanned n);
+    serial_hint = (fun _ -> false);
+    catalog =
+      (fun () ->
+        List.init records (fun k ->
+            {
+              App.spec_oid = oid_of_key k;
+              spec_placement = App.Partition (partition_of_key ~partitions k);
+              spec_klass = Versioned_store.Registered;
+              spec_cap = 8 + value_bytes;
+              spec_init = encode ~value_bytes ~counter:0 ~seed:k;
+            }));
+  }
+
+type profile = { read_pct : int; update_pct : int; rmw_pct : int; scan_pct : int }
+
+let workload_a = { read_pct = 50; update_pct = 50; rmw_pct = 0; scan_pct = 0 }
+let workload_b = { read_pct = 95; update_pct = 5; rmw_pct = 0; scan_pct = 0 }
+let workload_c = { read_pct = 100; update_pct = 0; rmw_pct = 0; scan_pct = 0 }
+let workload_e = { read_pct = 75; update_pct = 10; rmw_pct = 10; scan_pct = 5 }
+
+let gen profile ~records ~key_dist rng =
+  if profile.read_pct + profile.update_pct + profile.rmw_pct + profile.scan_pct <> 100
+  then invalid_arg "Ycsb_app.gen: mix must sum to 100";
+  let key () =
+    match key_dist with
+    | `Uniform -> Random.State.int rng records
+    | `Zipfian z -> Zipf.sample z rng
+  in
+  let roll = 1 + Random.State.int rng 100 in
+  if roll <= profile.read_pct then Y_read (key ())
+  else if roll <= profile.read_pct + profile.update_pct then
+    Y_update { key = key (); seed = Random.State.int rng 1_000_000 }
+  else if roll <= profile.read_pct + profile.update_pct + profile.rmw_pct then
+    Y_rmw { key = key (); delta = 1 }
+  else Y_scan { start = key (); count = 8 }

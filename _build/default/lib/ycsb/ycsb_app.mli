@@ -1,0 +1,53 @@
+(** A YCSB-style key-value microbenchmark application.
+
+    The evaluation style of the RDMA replication systems Heron is
+    related to (Mu, DARE, APUS all report read/update microbenchmark
+    latencies): fixed-size records spread over partitions, read /
+    update / read-modify-write / scan operations, uniform or zipfian
+    key popularity. Records are {!Heron_core.Versioned_store.Registered}
+    so scans crossing partitions exercise one-sided remote reads. *)
+
+open Heron_core
+
+type req =
+  | Y_read of int
+  | Y_update of { key : int; seed : int }
+      (** writes a deterministic value derived from [seed] *)
+  | Y_rmw of { key : int; delta : int }
+      (** read-modify-write on the record's embedded counter *)
+  | Y_scan of { start : int; count : int }
+      (** reads [count] consecutive keys (wrapping), possibly spanning
+          partitions *)
+
+type resp =
+  | Y_value of { counter : int; size : int }
+  | Y_ok
+  | Y_scanned of int  (** number of records read *)
+
+val app :
+  records:int -> value_bytes:int -> partitions:int -> (req, resp) App.t
+(** [records] keys, striped over partitions round-robin, each holding a
+    [value_bytes]-byte payload plus an int counter. *)
+
+val partition_of_key : partitions:int -> int -> int
+
+type profile = { read_pct : int; update_pct : int; rmw_pct : int; scan_pct : int }
+(** Operation mix in percent; must sum to 100. *)
+
+val workload_a : profile  (** 50% read / 50% update *)
+
+val workload_b : profile  (** 95% read / 5% update *)
+
+val workload_c : profile  (** 100% read *)
+
+val workload_e : profile
+(** 75% read / 10% update / 10% read-modify-write / 5% scan — the scan
+    mix whose cross-partition scans exercise remote reads *)
+
+val gen :
+  profile ->
+  records:int ->
+  key_dist:[ `Uniform | `Zipfian of Zipf.t ] ->
+  Random.State.t ->
+  req
+(** One operation; scans touch 8 consecutive keys. *)

@@ -1,0 +1,41 @@
+type t = {
+  size : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let create ?(theta = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta <= 0. || theta >= 1. then invalid_arg "Zipf.create: theta must be in (0, 1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  {
+    size = n;
+    theta;
+    zetan;
+    alpha = 1. /. (1. -. theta);
+    eta = (1. -. ((2. /. float_of_int n) ** (1. -. theta))) /. (1. -. (zeta2 /. zetan));
+  }
+
+let sample t rng =
+  let u = Random.State.float rng 1. in
+  let uz = u *. t.zetan in
+  if uz < 1. then 0
+  else if uz < 1. +. (0.5 ** t.theta) then 1
+  else
+    let k =
+      int_of_float
+        (float_of_int t.size *. (((t.eta *. u) -. t.eta +. 1.) ** t.alpha))
+    in
+    max 0 (min (t.size - 1) k)
+
+let n t = t.size

@@ -1,0 +1,17 @@
+(** Zipfian key sampler (YCSB's request distribution).
+
+    Samples integers in [0, n) with P(k) proportional to
+    1 / (k+1)^theta, using the classic rejection-free inversion
+    approximation from Gray et al. ("Quickly generating billion-record
+    synthetic databases"), the same construction YCSB uses. *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [theta] defaults to YCSB's 0.99. Raises [Invalid_argument] for
+    non-positive [n] or [theta] outside (0, 1). *)
+
+val sample : t -> Random.State.t -> int
+(** A key in [0, n), small keys most popular. *)
+
+val n : t -> int

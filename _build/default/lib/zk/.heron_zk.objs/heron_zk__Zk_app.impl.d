@@ -1,0 +1,1 @@
+lib/zk/zk_app.ml: App Buffer Bytes Char Format Heron_core Int32 List Oid Option String Versioned_store

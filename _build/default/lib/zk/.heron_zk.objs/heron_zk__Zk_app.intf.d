@@ -1,0 +1,1 @@
+lib/zk/zk_app.mli: App Format Heron_core

@@ -1,0 +1,314 @@
+open Heron_core
+
+type path = string list
+
+type req =
+  | Create of { path : path; data : string }
+  | Read of path
+  | Write of { path : path; data : string }
+  | Cas of { path : path; expect : int; data : string }
+  | Delete of path
+  | Children of path
+  | Touch of path list
+  | Multi_read of path list
+
+type err = No_node | Node_exists | Bad_version | Not_empty
+
+type resp =
+  | Z_ok
+  | Z_data of { data : string; version : int }
+  | Z_children of string list
+  | Z_snapshot of (path * (string * int) option) list
+  | Z_err of err
+
+let pp_path fmt p = Format.fprintf fmt "/%s" (String.concat "/" p)
+
+let pp_resp fmt = function
+  | Z_ok -> Format.fprintf fmt "ok"
+  | Z_data { data; version } -> Format.fprintf fmt "%S (v%d)" data version
+  | Z_children cs -> Format.fprintf fmt "children [%s]" (String.concat "; " cs)
+  | Z_snapshot entries ->
+      Format.fprintf fmt "snapshot {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f "; ")
+           (fun f (p, e) ->
+             match e with
+             | Some (d, v) -> Format.fprintf f "%a=%S v%d" pp_path p d v
+             | None -> Format.fprintf f "%a=absent" pp_path p))
+        entries
+  | Z_err No_node -> Format.fprintf fmt "error: no node"
+  | Z_err Node_exists -> Format.fprintf fmt "error: node exists"
+  | Z_err Bad_version -> Format.fprintf fmt "error: bad version"
+  | Z_err Not_empty -> Format.fprintf fmt "error: not empty"
+
+(* {1 Object ids}
+
+   A znode's oid embeds its partition in the top byte (placement must
+   be recoverable from the oid alone) over a 54-bit FNV-1a hash of the
+   path. Collisions are theoretically possible but vanishingly unlikely
+   at coordination-service namespace sizes. *)
+
+let fnv1a s =
+  (* FNV-1a folded into OCaml's 63-bit ints. *)
+  let h = ref 0x3222325cbf29ce48 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land ((1 lsl 54) - 1)
+
+let validate_path = function
+  | [] -> invalid_arg "Zk_app: paths must be non-empty"
+  | p -> List.iter (fun seg -> if seg = "" || String.contains seg '/' then
+                       invalid_arg "Zk_app: bad path segment") p
+
+let partition_of_path ~partitions p =
+  validate_path p;
+  fnv1a (List.hd p) mod partitions
+
+let oid_of_path ~partitions p =
+  let part = partition_of_path ~partitions p in
+  Oid.of_int ((part lsl 54) lor fnv1a (String.concat "/" p))
+
+let partition_of_oid oid = Oid.to_int oid lsr 54
+
+(* {1 Znode encoding} *)
+
+type znode = { zn_data : string; zn_version : int; zn_children : string list }
+
+let encode_znode z =
+  let b = Buffer.create 64 in
+  Buffer.add_int32_le b (Int32.of_int z.zn_version);
+  Buffer.add_uint16_le b (String.length z.zn_data);
+  Buffer.add_string b z.zn_data;
+  Buffer.add_uint16_le b (List.length z.zn_children);
+  List.iter
+    (fun c ->
+      Buffer.add_uint16_le b (String.length c);
+      Buffer.add_string b c)
+    z.zn_children;
+  Buffer.to_bytes b
+
+let decode_znode raw =
+  let pos = ref 0 in
+  let u16 () =
+    let v = Bytes.get_uint16_le raw !pos in
+    pos := !pos + 2;
+    v
+  in
+  let str () =
+    let len = u16 () in
+    let s = Bytes.sub_string raw !pos len in
+    pos := !pos + len;
+    s
+  in
+  let zn_version = Int32.to_int (Bytes.get_int32_le raw !pos) in
+  pos := !pos + 4;
+  let zn_data = str () in
+  let n = u16 () in
+  let zn_children = List.init n (fun _ -> str ()) in
+  { zn_data; zn_version; zn_children }
+
+(* {1 Request metadata} *)
+
+let paths_of = function
+  | Create { path; _ } -> (
+      (* parent link maintained in the same subtree *)
+      match List.rev path with
+      | _ :: (_ :: _ as rparent) -> [ path; List.rev rparent ]
+      | _ -> [ path ])
+  | Read p | Delete p | Children p -> [ p ]
+  | Write { path; _ } | Cas { path; _ } -> [ path ]
+  | Touch ps | Multi_read ps -> ps
+
+let req_size req =
+  24
+  + List.fold_left
+      (fun acc p -> acc + 8 + List.fold_left (fun a s -> a + String.length s) 0 p)
+      0 (paths_of req)
+  + (match req with
+    | Create { data; _ } | Write { data; _ } | Cas { data; _ } -> String.length data
+    | Read _ | Delete _ | Children _ | Touch _ | Multi_read _ -> 0)
+
+let resp_size = function
+  | Z_ok | Z_err _ -> 8
+  | Z_data { data; _ } -> 16 + String.length data
+  | Z_children cs -> 8 + List.fold_left (fun a c -> a + 2 + String.length c) 0 cs
+  | Z_snapshot entries ->
+      8
+      + List.fold_left
+          (fun a (p, e) ->
+            a + 8
+            + List.fold_left (fun a s -> a + String.length s) 0 p
+            + match e with Some (d, _) -> String.length d + 8 | None -> 0)
+          0 entries
+
+let merge resps =
+  match resps with
+  | [] -> invalid_arg "Zk_app.merge: no responses"
+  | [ (_, r) ] -> r
+  | _ -> (
+      (* Multi-partition: snapshots concatenate; other responses are
+         replicated identically. *)
+      match List.find_opt (fun (_, r) -> match r with Z_snapshot _ -> true | _ -> false) resps with
+      | None -> snd (List.hd resps)
+      | Some _ ->
+          let entries =
+            List.concat_map
+              (fun (_, r) -> match r with Z_snapshot es -> es | _ -> [])
+              resps
+          in
+          (* Canonical order: partitions answer in arbitrary order, so
+             sort by path. *)
+          Z_snapshot (List.sort compare entries))
+
+(* {1 Execution} *)
+
+let execute ~partitions (ctx : App.ctx) req =
+  let oid p = oid_of_path ~partitions p in
+  let read_node p =
+    Option.map decode_znode (ctx.App.ctx_read_opt (oid p))
+  in
+  let write_node p z = ctx.App.ctx_write (oid p) (encode_znode z) in
+  let is_local p = ctx.App.ctx_is_local (oid p) in
+  match req with
+  | Create { path; data } -> (
+      validate_path path;
+      match read_node path with
+      | Some _ -> Z_err Node_exists
+      | None -> (
+          match List.rev path with
+          | [] -> assert false
+          | [ _ ] ->
+              (* top-level znode under the virtual root *)
+              write_node path { zn_data = data; zn_version = 0; zn_children = [] };
+              Z_ok
+          | leaf :: rparent -> (
+              let parent = List.rev rparent in
+              match read_node parent with
+              | None -> Z_err No_node
+              | Some pz ->
+                  write_node parent
+                    { pz with zn_children = pz.zn_children @ [ leaf ] };
+                  write_node path { zn_data = data; zn_version = 0; zn_children = [] };
+                  Z_ok)))
+  | Read p -> (
+      validate_path p;
+      match read_node p with
+      | Some z -> Z_data { data = z.zn_data; version = z.zn_version }
+      | None -> Z_err No_node)
+  | Write { path; data } -> (
+      validate_path path;
+      match read_node path with
+      | None -> Z_err No_node
+      | Some z ->
+          write_node path { z with zn_data = data; zn_version = z.zn_version + 1 };
+          Z_ok)
+  | Cas { path; expect; data } -> (
+      validate_path path;
+      match read_node path with
+      | None -> Z_err No_node
+      | Some z ->
+          if z.zn_version <> expect then Z_err Bad_version
+          else begin
+            write_node path { z with zn_data = data; zn_version = z.zn_version + 1 };
+            Z_ok
+          end)
+  | Delete p -> (
+      validate_path p;
+      match read_node p with
+      | None -> Z_err No_node
+      | Some z ->
+          if z.zn_children <> [] then Z_err Not_empty
+          else begin
+            (* Tombstone: version -1 marks deletion (reads treat it as
+               absent); the parent's child link is removed. *)
+            write_node p { zn_data = ""; zn_version = -1; zn_children = [] };
+            (match List.rev p with
+            | _ :: (_ :: _ as rparent) -> (
+                let parent = List.rev rparent in
+                let leaf = List.nth p (List.length p - 1) in
+                match read_node parent with
+                | Some pz ->
+                    write_node parent
+                      { pz with zn_children = List.filter (( <> ) leaf) pz.zn_children }
+                | None -> ())
+            | _ -> ());
+            Z_ok
+          end)
+  | Children p -> (
+      validate_path p;
+      match read_node p with
+      | Some z -> Z_children z.zn_children
+      | None -> Z_err No_node)
+  | Touch ps ->
+      List.iter
+        (fun p ->
+          validate_path p;
+          if is_local p then
+            match read_node p with
+            | Some z -> write_node p { z with zn_version = z.zn_version + 1 }
+            | None -> ())
+        ps;
+      Z_ok
+  | Multi_read ps ->
+      let entries =
+        List.filter_map
+          (fun p ->
+            validate_path p;
+            if is_local p then
+              Some
+                ( p,
+                  match read_node p with
+                  | Some z -> Some (z.zn_data, z.zn_version)
+                  | None -> None )
+            else None)
+          ps
+      in
+      Z_snapshot entries
+
+(* Reads treat tombstoned and never-created nodes alike. *)
+let read_opt_filter raw =
+  match raw with
+  | Some bytes when (decode_znode bytes).zn_version >= 0 -> Some bytes
+  | Some _ | None -> None
+
+let app ~partitions ~roots =
+  if partitions <= 0 || partitions > 256 then
+    invalid_arg "Zk_app.app: 1-256 partitions";
+  let oid p = oid_of_path ~partitions p in
+  {
+    App.app_name = "zk";
+    placement_of = (fun o -> App.Partition (partition_of_oid o));
+    klass_of = (fun _ -> Versioned_store.Local);
+    read_set = (fun req -> List.map oid (paths_of req));
+    read_plan =
+      (fun ~part req ->
+        List.filter_map
+          (fun p -> if partition_of_path ~partitions p = part then Some (oid p) else None)
+          (paths_of req));
+    write_sketch = (fun req -> List.map oid (paths_of req));
+    req_size;
+    resp_size;
+    execute =
+      (fun ctx req ->
+        (* Wrap ctx_read_opt so deleted znodes read as absent. *)
+        let ctx =
+          { ctx with App.ctx_read_opt = (fun o -> read_opt_filter (ctx.App.ctx_read_opt o)) }
+        in
+        execute ~partitions ctx req);
+    serial_hint = (fun _ -> false);
+    catalog =
+      (fun () ->
+        List.map
+          (fun (name, data) ->
+            {
+              App.spec_oid = oid [ name ];
+              spec_placement = App.Partition (partition_of_path ~partitions [ name ]);
+              spec_klass = Versioned_store.Local;
+              spec_cap = 0;
+              spec_init = encode_znode { zn_data = data; zn_version = 0; zn_children = [] };
+            })
+          roots);
+  }

@@ -1,0 +1,64 @@
+(** A partitioned coordination service (ZooKeeper-style) on Heron.
+
+    The paper's introduction motivates partitioned SMR with exactly this
+    workload: S-SMR scaled ZooKeeper by sharding its namespace. This
+    application does the same on Heron: a tree of versioned znodes,
+    partitioned by top-level subtree, so every subtree (a znode and all
+    its descendants, including the parent links maintained on create and
+    delete) lives in one partition and single-subtree operations are
+    classic single-partition SMR.
+
+    Cross-subtree operations showcase Heron's coordination:
+    {!Multi_read} returns a {e consistent snapshot} of paths spread over
+    several partitions (each partition reads its own paths; Phases 2 and
+    4 make the per-partition reads line up on the same cut), and
+    {!Touch} atomically bumps versions across partitions. Responses of
+    multi-partition requests are partial per partition; {!merge} combines
+    them. *)
+
+open Heron_core
+
+type path = string list
+(** ["app"; "config"; "timeout"] is /app/config/timeout. Must be
+    non-empty; the root is implicit. *)
+
+type req =
+  | Create of { path : path; data : string }
+      (** fails with [Node_exists] / [No_node] (missing parent) *)
+  | Read of path
+  | Write of { path : path; data : string }  (** bumps the version *)
+  | Cas of { path : path; expect : int; data : string }
+      (** write only if the version matches ([Bad_version] otherwise) *)
+  | Delete of path  (** fails if the node has children *)
+  | Children of path
+  | Touch of path list
+      (** bump versions of existing nodes, possibly across partitions *)
+  | Multi_read of path list
+      (** consistent snapshot of paths, possibly across partitions *)
+
+type err = No_node | Node_exists | Bad_version | Not_empty
+
+type resp =
+  | Z_ok
+  | Z_data of { data : string; version : int }
+  | Z_children of string list
+  | Z_snapshot of (path * (string * int) option) list
+      (** per-path data and version; [None] for missing nodes. A
+          multi-partition snapshot response only carries the paths local
+          to the responding partition. *)
+  | Z_err of err
+
+val pp_resp : Format.formatter -> resp -> unit
+
+val merge : (int * resp) list -> resp
+(** Combine the per-partition responses of one request: snapshot
+    entries are concatenated and sorted by path (the canonical order),
+    other responses are identical across partitions and returned
+    as-is. *)
+
+val app : partitions:int -> roots:(string * string) list -> (req, resp) App.t
+(** The Heron application. [roots] pre-creates top-level znodes
+    [(name, data)]; everything else is created at run time. Top-level
+    name [n] lives in partition [hash n mod partitions]. *)
+
+val partition_of_path : partitions:int -> path -> int

@@ -1,0 +1,1 @@
+test/test_dynastar.ml: Alcotest Bytes Dynastar Engine Heron_core Heron_dynastar Heron_sim Heron_tpcc List Msgnet Oid Oid_codec Option Printf Random Ref_exec Scale Time_ns Tx Workload

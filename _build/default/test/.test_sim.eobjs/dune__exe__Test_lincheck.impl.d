@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Config Engine Fabric Gen Heron_core Heron_kv Heron_lincheck Heron_rdma Heron_sim Int Int64 Kv_app Lincheck List Printf QCheck QCheck_alcotest Random System Time_ns

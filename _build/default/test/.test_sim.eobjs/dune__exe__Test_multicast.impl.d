@@ -1,0 +1,1 @@
+test/test_multicast.ml: Alcotest Array Engine Fabric Fun Hashtbl Heron_multicast Heron_rdma Heron_sim List Printf Profile QCheck QCheck_alcotest Ramcast Stdlib String Time_ns Tstamp

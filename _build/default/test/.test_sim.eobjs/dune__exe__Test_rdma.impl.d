@@ -1,0 +1,1 @@
+test/test_rdma.ml: Alcotest Bytes Char Engine Fabric Heron_rdma Heron_sim Int64 Memory Option Profile Qp Signal Time_ns

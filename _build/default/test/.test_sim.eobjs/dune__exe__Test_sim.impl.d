@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Format Fun Heron_sim Ivar List Mailbox Prio_queue QCheck QCheck_alcotest Random Signal String Time_ns Trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Heron_stats List QCheck QCheck_alcotest Sample_set String Table

@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Config Engine Fabric Heron_core Heron_lincheck Heron_rdma Heron_sim Heron_ycsb List Printf Random System Time_ns Ycsb_app Zipf

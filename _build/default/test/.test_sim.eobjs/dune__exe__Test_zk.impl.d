@@ -1,0 +1,1 @@
+test/test_zk.ml: Alcotest Config Engine Fabric Heron_core Heron_lincheck Heron_rdma Heron_sim Heron_zk List Printf Random System Time_ns Zk_app

@@ -1,0 +1,842 @@
+(* Tests for heron_core: the dual-versioned store, coordination
+   memories, the update log, and end-to-end consistency of the full
+   system on the KV/bank application — including the Figure 3
+   scenarios the paper's Phases 2 and 4 exist to prevent, and
+   lagger/state-transfer behaviour. *)
+
+open Heron_sim
+open Heron_rdma
+open Heron_multicast
+open Heron_core
+open Heron_kv
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+let tmp c = Tstamp.make ~clock:c ~uid:c
+
+(* {1 Versioned_store} *)
+
+let make_store () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng ~profile:Profile.default in
+  let node = Fabric.add_node fab ~name:"s" in
+  (eng, Versioned_store.create node ~region_size:4096)
+
+let b s = Bytes.of_string s
+let bs by = Bytes.to_string by
+
+let test_store_register_get () =
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  let v, t = Versioned_store.get st 1 in
+  Alcotest.(check string) "initial value" "v0" (bs v);
+  check_bool "initial tmp is zero" true (Tstamp.equal t Tstamp.zero);
+  check_bool "mem" true (Versioned_store.mem st 1);
+  check_bool "not mem" false (Versioned_store.mem st 2)
+
+let test_store_dual_versioning () =
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  Versioned_store.set st 1 (b "v1") ~tmp:(tmp 1);
+  Versioned_store.set st 1 (b "v2") ~tmp:(tmp 2);
+  (* Newest wins for get; both recent versions remain readable. *)
+  Alcotest.(check string) "newest" "v2" (bs (fst (Versioned_store.get st 1)));
+  (match Versioned_store.get_before st 1 ~bound:(tmp 2) with
+  | Some (v, t) ->
+      Alcotest.(check string) "older version survives" "v1" (bs v);
+      check_bool "its tag" true (Tstamp.equal t (tmp 1))
+  | None -> Alcotest.fail "expected version before tmp 2");
+  (* v0 was overwritten (it was the older version). *)
+  (match Versioned_store.get_before st 1 ~bound:(tmp 1) with
+  | None -> ()
+  | Some (v, _) -> Alcotest.failf "v0 should be gone, got %s" (bs v));
+  (* A reader bounded below both versions sees the lagger condition. *)
+  check_bool "lagger condition" true
+    (Versioned_store.get_before st 1 ~bound:(tmp 1) = None)
+
+let test_store_set_same_tmp_idempotent () =
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  Versioned_store.set st 1 (b "a") ~tmp:(tmp 5);
+  Versioned_store.set st 1 (b "b") ~tmp:(tmp 5);
+  Alcotest.(check string) "overwrote same version" "b"
+    (bs (fst (Versioned_store.get st 1)));
+  (* The other slot still holds the initial version. *)
+  match Versioned_store.get_before st 1 ~bound:(tmp 5) with
+  | Some (_, t) -> check_bool "v0 intact" true (Tstamp.equal t Tstamp.zero)
+  | None -> Alcotest.fail "initial version lost"
+
+let test_store_local_class () =
+  let _, st = make_store () in
+  Versioned_store.register st 7 ~klass:Versioned_store.Local ~cap:0 ~init:(b "x");
+  Versioned_store.set st 7 (b "y") ~tmp:(tmp 3);
+  Alcotest.(check string) "local set/get" "y" (bs (fst (Versioned_store.get st 7)));
+  check_bool "no cell addr for local" true
+    (try
+       ignore (Versioned_store.cell_addr st 7);
+       false
+     with Not_found -> true);
+  (* Dynamic insertion through set. *)
+  Versioned_store.set st 99 (b "new") ~tmp:(tmp 4);
+  Alcotest.(check string) "inserted" "new" (bs (fst (Versioned_store.get st 99)));
+  check_bool "inserted as local" true (Versioned_store.klass_of st 99 = Versioned_store.Local)
+
+let test_store_cell_roundtrip () =
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  Versioned_store.set st 1 (b "vv1") ~tmp:(tmp 1);
+  let raw = Versioned_store.encode_cell_of st 1 in
+  check_int "cell length" (Versioned_store.cell_len st 1) (Bytes.length raw);
+  let (va, ta), (vb, tb) = Versioned_store.decode_cell raw in
+  let newest = if Tstamp.(tb <= ta) then (va, ta) else (vb, tb) in
+  Alcotest.(check string) "decode newest" "vv1" (bs (fst newest));
+  check_bool "decode tag" true (Tstamp.equal (snd newest) (tmp 1))
+
+let test_store_write_raw_cell () =
+  let _, st1 = make_store () in
+  let _, st2 = make_store () in
+  List.iter
+    (fun st ->
+      Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16
+        ~init:(b "v0"))
+    [ st1; st2 ];
+  Versioned_store.set st1 1 (b "donor") ~tmp:(tmp 9);
+  Versioned_store.write_raw_cell st2 1 (Versioned_store.encode_cell_of st1 1);
+  Alcotest.(check string) "cell copied" "donor" (bs (fst (Versioned_store.get st2 1)));
+  check_bool "tag copied" true (Tstamp.equal (snd (Versioned_store.get st2 1)) (tmp 9))
+
+let test_store_capacity_checks () =
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:4 ~init:(b "ab");
+  check_bool "oversized set rejected" true
+    (try
+       Versioned_store.set st 1 (b "abcdef") ~tmp:(tmp 1);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "oversized init rejected" true
+    (try
+       Versioned_store.register st 2 ~klass:Versioned_store.Registered ~cap:2
+         ~init:(b "xyz");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "duplicate registration rejected" true
+    (try
+       Versioned_store.register st 1 ~klass:Versioned_store.Local ~cap:0 ~init:(b "");
+       false
+     with Invalid_argument _ -> true)
+
+let test_store_get_at_most () =
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  Versioned_store.set st 1 (b "v3") ~tmp:(tmp 3);
+  Versioned_store.set st 1 (b "v5") ~tmp:(tmp 5);
+  (match Versioned_store.get_at_most st 1 ~bound:(tmp 5) with
+  | Some (v, _) -> Alcotest.(check string) "inclusive bound" "v5" (bs v)
+  | None -> Alcotest.fail "expected v5");
+  (match Versioned_store.get_at_most st 1 ~bound:(tmp 4) with
+  | Some (v, _) -> Alcotest.(check string) "between versions" "v3" (bs v)
+  | None -> Alcotest.fail "expected v3");
+  check_bool "below both" true (Versioned_store.get_at_most st 1 ~bound:(tmp 2) = None)
+
+let store_version_prop =
+  (* After any sequence of sets at increasing timestamps, get returns
+     the last set, and get_before any bound returns the newest version
+     strictly below it among the last two sets. *)
+  QCheck.Test.make ~name:"store holds the two newest versions" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (int_bound 50))
+    (fun values ->
+      let _, st = make_store () in
+      Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:8
+        ~init:(b "i");
+      List.iteri
+        (fun i v ->
+          Versioned_store.set st 1 (Bytes.of_string (string_of_int v)) ~tmp:(tmp (i + 1)))
+        values;
+      let n = List.length values in
+      let last = List.nth values (n - 1) in
+      let ok_newest = bs (fst (Versioned_store.get st 1)) = string_of_int last in
+      let ok_prev =
+        if n < 2 then true
+        else
+          match Versioned_store.get_before st 1 ~bound:(tmp n) with
+          | Some (v, _) -> bs v = string_of_int (List.nth values (n - 2))
+          | None -> false
+      in
+      ok_newest && ok_prev)
+
+(* {1 Update_log} *)
+
+let test_log_range () =
+  let log = Update_log.create ~capacity:100 in
+  Update_log.append log (tmp 1) 10;
+  Update_log.append log (tmp 2) 11;
+  Update_log.append log (tmp 2) 12;
+  Update_log.append log (tmp 3) 10;
+  Alcotest.(check (list int)) "range [2,3]" [ 11; 12; 10 ]
+    (Update_log.oids_in_range log ~from:(tmp 2) ~upto:(tmp 3));
+  Alcotest.(check (list int)) "range [3,3]" [ 10 ]
+    (Update_log.oids_in_range log ~from:(tmp 3) ~upto:(tmp 3));
+  Alcotest.(check (list int)) "dedup" [ 10; 11; 12 ]
+    (Update_log.oids_in_range log ~from:(tmp 1) ~upto:(tmp 3))
+
+let test_log_truncation () =
+  let log = Update_log.create ~capacity:3 in
+  for i = 1 to 5 do
+    Update_log.append log (tmp i) i
+  done;
+  check_int "bounded" 3 (Update_log.length log);
+  check_bool "covers recent" true (Update_log.covers log ~from:(tmp 3));
+  check_bool "does not cover dropped" false (Update_log.covers log ~from:(tmp 2));
+  check_bool "range behind truncation rejected" true
+    (try
+       ignore (Update_log.oids_in_range log ~from:(tmp 1) ~upto:(tmp 5));
+       false
+     with Invalid_argument _ -> true)
+
+let test_log_out_of_order () =
+  (* Parallel execution appends slightly out of order; range queries
+     and truncation soundness must survive it. *)
+  let log = Update_log.create ~capacity:3 in
+  Update_log.append log (tmp 5) 1;
+  Update_log.append log (tmp 4) 2;
+  Alcotest.(check (list int)) "both retained" [ 1; 2 ]
+    (Update_log.oids_in_range log ~from:(tmp 4) ~upto:(tmp 5));
+  Update_log.append log (tmp 6) 3;
+  Update_log.append log (tmp 7) 4;
+  (* Entry (tmp 5) was dropped: coverage from tmp 5 must be denied. *)
+  check_bool "coverage sound after out-of-order drop" false
+    (Update_log.covers log ~from:(tmp 5))
+
+(* {1 Coord_mem / Statesync_mem} *)
+
+let test_coord_mem () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng ~profile:Profile.default in
+  let node = Fabric.add_node fab ~name:"n" in
+  let cm = Coord_mem.create node ~partitions:2 ~replicas:3 in
+  Coord_mem.write_local cm ~part:1 ~idx:2 (tmp 5) ~stage:1;
+  let t, s = Coord_mem.read_slot cm ~part:1 ~idx:2 in
+  check_bool "slot tmp" true (Tstamp.equal t (tmp 5));
+  check_int "slot stage" 1 s;
+  check_bool "reached same stage" true
+    (Coord_mem.reached cm ~part:1 ~idx:2 ~tmp:(tmp 5) ~stage:1);
+  check_bool "not reached higher stage" false
+    (Coord_mem.reached cm ~part:1 ~idx:2 ~tmp:(tmp 5) ~stage:2);
+  check_bool "reached when moved past" true
+    (Coord_mem.reached cm ~part:1 ~idx:2 ~tmp:(tmp 4) ~stage:2);
+  check_bool "not reached for future" false
+    (Coord_mem.reached cm ~part:1 ~idx:2 ~tmp:(tmp 6) ~stage:1);
+  check_int "count" 1
+    (Coord_mem.count_reached cm ~part:1 ~replicas:3 ~tmp:(tmp 5) ~stage:1);
+  (* The wire encoding matches what write_local stores. *)
+  let enc = Coord_mem.encode_slot (tmp 7) ~stage:2 in
+  check_int "slot bytes" Coord_mem.slot_bytes (Bytes.length enc);
+  check_i64 "encoded tmp" (Tstamp.to_int64 (tmp 7)) (Bytes.get_int64_le enc 0)
+
+let test_statesync_mem () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng ~profile:Profile.default in
+  let node = Fabric.add_node fab ~name:"n" in
+  let sm = Statesync_mem.create node ~replicas:3 in
+  Statesync_mem.write_local sm ~idx:1 (tmp 9) ~status:1;
+  let t, s = Statesync_mem.read_slot sm ~idx:1 in
+  check_bool "tmp" true (Tstamp.equal t (tmp 9));
+  check_int "status" 1 s;
+  let t0, s0 = Statesync_mem.read_slot sm ~idx:0 in
+  check_bool "other slots idle" true (Tstamp.equal t0 Tstamp.zero && s0 = 0)
+
+(* {1 End-to-end KV system} *)
+
+type kv_world = {
+  eng : Engine.t;
+  sys : (Kv_app.req, Kv_app.resp) System.t;
+}
+
+let make_kv ?(seed = 1) ?(keys = 16) ?(partitions = 2) ?(replicas = 3) ?(init = 0L)
+    ?(tweak = fun c -> c) () =
+  let eng = Engine.create ~seed () in
+  let cfg = tweak (Config.default ~partitions ~replicas) in
+  let sys = System.create eng ~cfg ~app:(Kv_app.app ~keys ~partitions ~init) in
+  System.start sys;
+  { eng; sys }
+
+let on_client w name f =
+  let node = System.new_client_node w.sys ~name in
+  Fabric.spawn_on node (fun () -> f node)
+
+let value_resp = function
+  | Kv_app.Value v -> v
+  | r -> Alcotest.failf "expected Value, got %a" Kv_app.pp_resp r
+
+(* All replicas of each partition hold the same registered state. *)
+let assert_replicas_converged w =
+  let reps = System.replicas w.sys in
+  Array.iteri
+    (fun p row ->
+      let reference = Replica.store row.(0) in
+      Array.iteri
+        (fun i r ->
+          if i > 0 then
+            List.iter
+              (fun oid ->
+                let v0, t0 = Versioned_store.get reference oid in
+                let vi, ti = Versioned_store.get (Replica.store r) oid in
+                if not (Bytes.equal v0 vi && Tstamp.equal t0 ti) then
+                  Alcotest.failf "partition %d replica %d diverged on oid %d" p i
+                    (Oid.to_int oid))
+              (Versioned_store.registered_oids reference))
+        row)
+    reps
+
+let test_kv_single_partition () =
+  let w = make_kv ~partitions:1 () in
+  let got = ref [] in
+  on_client w "c0" (fun node ->
+      let put = System.submit w.sys ~from:node (Kv_app.Put (3, 42L)) in
+      got := ("put", snd (List.hd put)) :: !got;
+      let get = System.submit w.sys ~from:node (Kv_app.Get 3) in
+      got := ("get", snd (List.hd get)) :: !got;
+      let add = System.submit w.sys ~from:node (Kv_app.Add (3, 8L)) in
+      got := ("add", snd (List.hd add)) :: !got);
+  Engine.run_until w.eng (Time_ns.ms 10);
+  check_int "three responses" 3 (List.length !got);
+  check_i64 "get sees put" 42L (value_resp (List.assoc "get" !got));
+  check_i64 "add returns new value" 50L (value_resp (List.assoc "add" !got));
+  assert_replicas_converged w
+
+let test_kv_multi_partition_transfer () =
+  let w = make_kv ~partitions:2 ~init:100L () in
+  let done_ = ref false in
+  on_client w "c0" (fun node ->
+      (* keys 0 and 1 live in different partitions *)
+      ignore (System.submit w.sys ~from:node (Kv_app.Transfer { src = 0; dst = 1; amount = 30L }));
+      let r = System.submit w.sys ~from:node (Kv_app.Read_all [ 0; 1 ]) in
+      (* Both partitions execute and must return identical snapshots. *)
+      check_int "replies from both partitions" 2 (List.length r);
+      List.iter
+        (fun (_, resp) ->
+          match resp with
+          | Kv_app.Values [ (0, a); (1, b) ] ->
+              check_i64 "src debited" 70L a;
+              check_i64 "dst credited" 130L b
+          | other -> Alcotest.failf "unexpected %a" Kv_app.pp_resp other)
+        r;
+      done_ := true);
+  Engine.run_until w.eng (Time_ns.ms 10);
+  check_bool "client finished" true !done_;
+  assert_replicas_converged w
+
+(* The Figure 3 invariant: keys incremented together read equal. *)
+let run_fig3_workload ~seed ~ops =
+  let w = make_kv ~seed ~keys:4 ~partitions:2 ~init:0L () in
+  let violations = ref 0 in
+  let reads = ref 0 in
+  (* Two writers hammer Incr_all on {0,1} (partitions 0 and 1); two
+     readers check Read_all snapshots. *)
+  for c = 0 to 1 do
+    on_client w (Printf.sprintf "w%d" c) (fun node ->
+        for _ = 1 to ops do
+          ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+        done)
+  done;
+  for c = 0 to 1 do
+    on_client w (Printf.sprintf "r%d" c) (fun node ->
+        for _ = 1 to ops do
+          let resp = System.submit w.sys ~from:node (Kv_app.Read_all [ 0; 1 ]) in
+          List.iter
+            (fun (_, r) ->
+              match r with
+              | Kv_app.Values [ (0, a); (1, b) ] ->
+                  incr reads;
+                  if not (Int64.equal a b) then incr violations
+              | _ -> incr violations)
+            resp
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 2);
+  (w, !violations, !reads)
+
+let test_kv_fig3_invariant () =
+  let w, violations, reads = run_fig3_workload ~seed:3 ~ops:30 in
+  check_bool "snapshots observed" true (reads > 0);
+  check_int "no torn snapshots" 0 violations;
+  assert_replicas_converged w;
+  (* Both partitions ended with the same count: 2 writers x 30 ops. *)
+  let st = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+  check_i64 "final count" 60L (Bytes.get_int64_le (fst (Versioned_store.get st 0)) 0)
+
+let fig3_invariant_prop =
+  QCheck.Test.make ~name:"fig3 snapshot invariant across seeds" ~count:8
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let _, violations, reads = run_fig3_workload ~seed ~ops:10 in
+      reads > 0 && violations = 0)
+
+let test_kv_conservation () =
+  (* Random transfers conserve the total across 3 partitions. *)
+  let w = make_kv ~seed:11 ~keys:9 ~partitions:3 ~init:1000L () in
+  let rng = Random.State.make [| 5 |] in
+  for c = 0 to 3 do
+    on_client w (Printf.sprintf "c%d" c) (fun node ->
+        for _ = 1 to 25 do
+          let src = Random.State.int rng 9 and dst = Random.State.int rng 9 in
+          if src <> dst then
+            ignore
+              (System.submit w.sys ~from:node
+                 (Kv_app.Transfer { src; dst; amount = Int64.of_int (Random.State.int rng 50) }))
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 2);
+  assert_replicas_converged w;
+  let total = ref 0L in
+  for k = 0 to 8 do
+    let p = Kv_app.partition_of_key ~partitions:3 k in
+    let st = Replica.store (System.replica w.sys ~part:p ~idx:0) in
+    total := Int64.add !total (Bytes.get_int64_le (fst (Versioned_store.get st (Kv_app.oid_of_key k))) 0)
+  done;
+  check_i64 "money conserved" 9000L !total
+
+let test_kv_determinism () =
+  let final_state seed =
+    let w, _, _ = run_fig3_workload ~seed ~ops:10 in
+    let st = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+    List.map
+      (fun oid -> (oid, bs (fst (Versioned_store.get st oid))))
+      (Versioned_store.registered_oids st)
+  in
+  check_bool "same seed same state" true (final_state 21 = final_state 21)
+
+let test_kv_lagger_state_transfer () =
+  (* Make replica 2 of partition 0 much slower than its peers, under
+     majority-only coordination: it falls behind, its remote reads find
+     only too-new versions, and it must recover via state transfer. *)
+  let w =
+    make_kv ~seed:7 ~keys:4 ~partitions:2 ~init:0L
+      ~tweak:(fun c ->
+        { c with Config.wait_phase2 = Config.Majority; wait_phase4 = Config.Majority })
+      ()
+  in
+  let slow = System.replica w.sys ~part:0 ~idx:2 in
+  Replica.inject_exec_delay slow (Time_ns.us 400);
+  for c = 0 to 2 do
+    on_client w (Printf.sprintf "c%d" c) (fun node ->
+        for _ = 1 to 40 do
+          ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 2);
+  let st = Replica.stats slow in
+  check_bool "slow replica lagged" true (st.Replica.st_laggers > 0);
+  check_bool "slow replica skipped deliveries" true (st.Replica.st_skipped > 0);
+  let donors =
+    List.filter
+      (fun i -> (Replica.stats (System.replica w.sys ~part:0 ~idx:i)).Replica.st_transfers_served > 0)
+      [ 0; 1 ]
+  in
+  check_bool "some peer served a transfer" true (donors <> []);
+  (* Despite lagging, the partition converged. *)
+  Replica.inject_exec_delay slow 0;
+  Engine.run_until w.eng (Time_ns.s 3);
+  let reference = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+  let slow_store = Replica.store slow in
+  List.iter
+    (fun oid ->
+      let v0, _ = Versioned_store.get reference oid in
+      let v2, _ = Versioned_store.get slow_store oid in
+      if not (Bytes.equal v0 v2) then
+        Alcotest.failf "lagger diverged on oid %d" (Oid.to_int oid))
+    (Versioned_store.registered_oids reference)
+
+let test_kv_forced_state_transfer () =
+  (* Directly exercise Algorithm 3: run some updates, then ask a
+     replica to synchronise from a timestamp it already has — the
+     donor answers with a (possibly empty) delta and status returns
+     to 0. *)
+  let w = make_kv ~partitions:1 ~keys:2 () in
+  let finished = ref false in
+  on_client w "c0" (fun node ->
+      for i = 1 to 5 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Put (0, Int64.of_int i)))
+      done;
+      let r2 = System.replica w.sys ~part:0 ~idx:2 in
+      let target = Replica.last_req (System.replica w.sys ~part:0 ~idx:0) in
+      Replica.force_state_transfer r2 ~failed_tmp:target;
+      check_bool "last_req advanced" true Tstamp.(target <= Replica.last_req r2);
+      finished := true);
+  Engine.run_until w.eng (Time_ns.s 1);
+  check_bool "transfer completed" true !finished
+
+let test_kv_replica_crash_tolerated () =
+  (* With one replica of each partition dead, requests still complete
+     (majority coordination + multicast quorums). *)
+  let w = make_kv ~seed:13 ~keys:4 ~partitions:2 ~init:5L () in
+  Fabric.crash (Replica.node (System.replica w.sys ~part:0 ~idx:2));
+  Fabric.crash (Replica.node (System.replica w.sys ~part:1 ~idx:1));
+  let ok = ref 0 in
+  on_client w "c0" (fun node ->
+      for _ = 1 to 10 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+        incr ok
+      done;
+      let r = System.submit w.sys ~from:node (Kv_app.Read_all [ 0; 1 ]) in
+      List.iter
+        (fun (_, resp) ->
+          match resp with
+          | Kv_app.Values [ (0, a); (1, b) ] ->
+              check_i64 "a" 15L a;
+              check_i64 "b" 15L b
+          | other -> Alcotest.failf "unexpected %a" Kv_app.pp_resp other)
+        r);
+  Engine.run_until w.eng (Time_ns.s 2);
+  check_int "all requests completed" 10 !ok
+
+let test_kv_read_outside_read_set_rejected () =
+  (* An app bug (read not declared) is caught, not silently wrong. *)
+  let app = Kv_app.app ~keys:2 ~partitions:1 ~init:0L in
+  let broken =
+    {
+      app with
+      App.read_set = (fun _ -> []);
+      execute = (fun ctx _ -> Kv_app.Value (Bytes.get_int64_le (ctx.App.ctx_read (Oid.of_int 0)) 0));
+    }
+  in
+  let eng = Engine.create () in
+  let cfg = Config.default ~partitions:1 ~replicas:1 in
+  let sys = System.create eng ~cfg ~app:broken in
+  System.start sys;
+  let node = System.new_client_node sys ~name:"c" in
+  Fabric.spawn_on node (fun () -> ignore (System.submit sys ~from:node (Kv_app.Get 0)));
+  check_bool "invalid read rejected" true
+    (try
+       Engine.run_until eng (Time_ns.ms 10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_kv_trace_spans () =
+  let w = make_kv ~partitions:2 () in
+  let tr = Trace.create () in
+  Replica.set_tracer (System.replica w.sys ~part:0 ~idx:0) tr;
+  on_client w "c0" (fun node ->
+      ignore (System.submit w.sys ~from:node (Kv_app.Put (0, 1L)));
+      ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ])));
+  Engine.run_until w.eng (Time_ns.ms 20);
+  let names = List.map (fun s -> s.Trace.sp_name) (Trace.spans tr) in
+  Alcotest.(check (list string))
+    "request timelines recorded"
+    [ "ordering"; "execute"; "ordering"; "phase2"; "execute"; "phase4" ]
+    names;
+  check_bool "timeline renders" true (String.length (Trace.render_timeline tr) > 0)
+
+let test_kv_stats_recorded () =
+  let w = make_kv ~partitions:2 () in
+  on_client w "c0" (fun node ->
+      ignore (System.submit w.sys ~from:node (Kv_app.Put (0, 1L)));
+      ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ])));
+  Engine.run_until w.eng (Time_ns.ms 20);
+  let st = Replica.stats (System.replica w.sys ~part:0 ~idx:0) in
+  check_int "executed" 2 st.Replica.st_executed;
+  check_int "one multi-partition" 1 st.Replica.st_multi;
+  check_int "coord samples" 1 (Heron_stats.Sample_set.count st.Replica.st_coord);
+  check_bool "ordering latency positive" true
+    (Heron_stats.Sample_set.min_value st.Replica.st_ordering > 0)
+
+let test_kv_crash_restart_rejoin () =
+  (* The paper's worst case (Section V-E): a replica crashes, loses its
+     memory, restarts, transfers the complete state from a peer, and
+     resumes executing. *)
+  let w = make_kv ~seed:23 ~keys:6 ~partitions:2 ~init:10L () in
+  let victim_node = Replica.node (System.replica w.sys ~part:0 ~idx:2) in
+  let phase = ref `Before in
+  let after_ops = ref 0 in
+  on_client w "driver" (fun node ->
+      for _ = 1 to 15 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+      done;
+      Fabric.crash victim_node;
+      phase := `Crashed;
+      for _ = 1 to 15 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+      done;
+      System.restart_replica w.sys ~part:0 ~idx:2;
+      phase := `Restarted;
+      Engine.sleep (Time_ns.ms 5);
+      for _ = 1 to 15 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+        incr after_ops
+      done);
+  Engine.run_until w.eng (Time_ns.s 5);
+  check_bool "made it through all phases" true (!phase = `Restarted);
+  check_int "post-restart requests completed" 15 !after_ops;
+  (* The restarted replica converged with the majority... *)
+  let fresh = System.replica w.sys ~part:0 ~idx:2 in
+  let reference = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+  List.iter
+    (fun oid ->
+      let v0, _ = Versioned_store.get reference oid in
+      let v2, _ = Versioned_store.get (Replica.store fresh) oid in
+      if not (Bytes.equal v0 v2) then
+        Alcotest.failf "restarted replica diverged on oid %d" (Oid.to_int oid))
+    (Versioned_store.registered_oids reference);
+  (* ... and actually executed requests after rejoining. *)
+  check_bool "fresh replica executed post-restart traffic" true
+    ((Replica.stats fresh).Replica.st_executed > 0);
+  check_i64 "state reflects all 45 increments" 55L
+    (Bytes.get_int64_le (fst (Versioned_store.get (Replica.store fresh) (Kv_app.oid_of_key 0))) 0)
+
+let test_kv_leader_crash_tolerated () =
+  (* Crash the replica that is also its partition's multicast leader:
+     leadership moves to a follower, deliveries resume, and requests
+     keep completing. *)
+  let w = make_kv ~seed:41 ~keys:4 ~partitions:2 ~init:0L () in
+  let ok = ref 0 in
+  on_client w "c0" (fun node ->
+      for _ = 1 to 5 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+      done;
+      Fabric.crash (Replica.node (System.replica w.sys ~part:0 ~idx:0));
+      (* Give failure detection a moment, then keep going. *)
+      Engine.sleep (Time_ns.ms 2);
+      for _ = 1 to 10 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+        incr ok
+      done);
+  Engine.run_until w.eng (Time_ns.s 5);
+  check_int "requests completed after leader crash" 10 !ok;
+  check_int "leadership moved" 1
+    (Heron_multicast.Ramcast.leader_idx (System.multicast w.sys) ~gid:0);
+  (* Surviving replicas agree. *)
+  let s1 = Replica.store (System.replica w.sys ~part:0 ~idx:1) in
+  let s2 = Replica.store (System.replica w.sys ~part:0 ~idx:2) in
+  List.iter
+    (fun oid ->
+      if not (Bytes.equal (fst (Versioned_store.get s1 oid)) (fst (Versioned_store.get s2 oid)))
+      then Alcotest.failf "survivors diverged on %d" (Oid.to_int oid))
+    (Versioned_store.registered_oids s1);
+  (* The ex-leader can rejoin as a follower and catch up. *)
+  System.restart_replica w.sys ~part:0 ~idx:0;
+  on_client w "c1" (fun node ->
+      for _ = 1 to 5 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+      done);
+  Engine.run_until w.eng (Time_ns.s 10);
+  let fresh = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+  List.iter
+    (fun oid ->
+      if not (Bytes.equal (fst (Versioned_store.get fresh oid)) (fst (Versioned_store.get s1 oid)))
+      then Alcotest.failf "rejoined ex-leader diverged on %d" (Oid.to_int oid))
+    (Versioned_store.registered_oids s1)
+
+let chaos_crash_restart_prop =
+  (* Random crash/restart schedules against continuous traffic: the
+     system keeps serving, and live replicas converge. One follower per
+     partition may be down at any time (f = 1). *)
+  QCheck.Test.make ~name:"chaos: random follower crash/restart schedules" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let w = make_kv ~seed ~keys:4 ~partitions:2 ~init:0L () in
+      let completed = ref 0 in
+      for c = 0 to 2 do
+        on_client w (Printf.sprintf "c%d" c) (fun node ->
+            for _ = 1 to 40 do
+              ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+              incr completed
+            done)
+      done;
+      (* Chaos fiber: repeatedly crash and later restart follower 2 of
+         alternating partitions. *)
+      let chaos = Fabric.add_node (System.fabric w.sys) ~name:"chaos" in
+      let rng = Random.State.make [| seed; 0xC0A05 |] in
+      Fabric.spawn_on chaos (fun () ->
+          for round = 0 to 3 do
+            Engine.sleep (Time_ns.us (200 + Random.State.int rng 800));
+            let part = round mod 2 in
+            let victim = System.replica w.sys ~part ~idx:2 in
+            Fabric.crash (Replica.node victim);
+            Engine.sleep (Time_ns.us (300 + Random.State.int rng 900));
+            System.restart_replica w.sys ~part ~idx:2
+          done);
+      Engine.run_until w.eng (Time_ns.s 20);
+      if !completed <> 120 then failwith "traffic stalled under chaos";
+      (* All live replicas of each partition agree. *)
+      Array.iteri
+        (fun p row ->
+          let live = Array.to_list row
+            |> List.filter (fun r -> Fabric.is_alive (Replica.node r)) in
+          match live with
+          | [] -> failwith "no live replicas"
+          | first :: rest ->
+              let ref_store = Replica.store first in
+              List.iter
+                (fun r ->
+                  List.iter
+                    (fun oid ->
+                      if not (Bytes.equal
+                                (fst (Versioned_store.get ref_store oid))
+                                (fst (Versioned_store.get (Replica.store r) oid)))
+                      then failwith (Printf.sprintf "partition %d diverged" p))
+                    (Versioned_store.registered_oids ref_store))
+                rest)
+        (System.replicas w.sys);
+      true)
+
+(* {1 Parallel execution (Section III-D.1 extension)} *)
+
+let test_parallel_correctness () =
+  (* workers = 4: disjoint-key updates run concurrently, transfers act
+     as multi-partition barriers; conservation and convergence must
+     hold exactly as in sequential mode. *)
+  let w =
+    make_kv ~seed:17 ~keys:8 ~partitions:2 ~init:100L
+      ~tweak:(fun c -> { c with Config.workers = 4 })
+      ()
+  in
+  let rng = Random.State.make [| 3 |] in
+  for c = 0 to 3 do
+    on_client w (Printf.sprintf "c%d" c) (fun node ->
+        for _ = 1 to 30 do
+          match Random.State.int rng 3 with
+          | 0 ->
+              let k = Random.State.int rng 8 in
+              ignore (System.submit w.sys ~from:node (Kv_app.Add (k, 1L)))
+          | 1 ->
+              let src = Random.State.int rng 8 in
+              let dst = (src + 3) mod 8 in
+              ignore
+                (System.submit w.sys ~from:node
+                   (Kv_app.Transfer { src; dst; amount = 5L }))
+          | _ -> ignore (System.submit w.sys ~from:node (Kv_app.Read_all [ 0; 1; 2 ]))
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 3);
+  assert_replicas_converged w;
+  (* Adds create money; transfers conserve: recompute expected total
+     from the adds executed. *)
+  let total = ref 0L in
+  for k = 0 to 7 do
+    let p = Kv_app.partition_of_key ~partitions:2 k in
+    let st = Replica.store (System.replica w.sys ~part:p ~idx:0) in
+    total :=
+      Int64.add !total (Bytes.get_int64_le (fst (Versioned_store.get st (Kv_app.oid_of_key k))) 0)
+  done;
+  (* 8 keys x 100 initial; adds add 1 each; transfers move 5. The exact
+     number of adds is workload-dependent, but the total must be
+     800 + (#adds): recompute by draining stats. *)
+  let executed =
+    Array.fold_left
+      (fun acc row -> acc + (Replica.stats row.(0)).Replica.st_executed)
+      0 (System.replicas w.sys)
+  in
+  check_bool "requests executed" true (executed > 0);
+  check_bool "total is initial plus adds" true
+    (Int64.to_int !total >= 800 && Int64.to_int !total <= 800 + 120)
+
+let test_parallel_speedup () =
+  (* Disjoint-key writes from many clients: 4 workers should clearly
+     outrun 1 (execution dominates single-partition latency). *)
+  let run workers =
+    let w =
+      make_kv ~seed:5 ~keys:16 ~partitions:1 ~init:0L
+        ~tweak:(fun c ->
+          {
+            c with
+            Config.workers;
+            costs = { c.Config.costs with Config.exec_base_ns = 30_000 };
+          })
+        ()
+    in
+    let completed = ref 0 in
+    for c = 0 to 7 do
+      on_client w (Printf.sprintf "c%d" c) (fun node ->
+          let rec loop () =
+            ignore (System.submit w.sys ~from:node (Kv_app.Put (c * 2, 1L)));
+            incr completed;
+            loop ()
+          in
+          loop ())
+    done;
+    Engine.run_until w.eng (Time_ns.ms 50);
+    !completed
+  in
+  let seq = run 1 and par = run 4 in
+  check_bool
+    (Printf.sprintf "parallel beats sequential (%d vs %d)" par seq)
+    true
+    (float_of_int par > 1.5 *. float_of_int seq)
+
+let test_parallel_conflicts_serialize () =
+  (* All clients hammer the same key: order must be preserved even with
+     many workers — the final value equals the number of increments. *)
+  let w =
+    make_kv ~seed:9 ~keys:2 ~partitions:1 ~init:0L
+      ~tweak:(fun c -> { c with Config.workers = 8 })
+      ()
+  in
+  let per_client = 25 in
+  for c = 0 to 3 do
+    on_client w (Printf.sprintf "c%d" c) (fun node ->
+        for _ = 1 to per_client do
+          ignore (System.submit w.sys ~from:node (Kv_app.Add (0, 1L)))
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 3);
+  let st = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+  check_i64 "all increments applied in order" (Int64.of_int (4 * per_client))
+    (Bytes.get_int64_le (fst (Versioned_store.get st (Kv_app.oid_of_key 0))) 0);
+  assert_replicas_converged w
+
+let tc name f = Alcotest.test_case name `Quick f
+let qc t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "core.store",
+      [
+        tc "register and get" test_store_register_get;
+        tc "dual versioning" test_store_dual_versioning;
+        tc "idempotent same-tmp set" test_store_set_same_tmp_idempotent;
+        tc "local class" test_store_local_class;
+        tc "cell roundtrip" test_store_cell_roundtrip;
+        tc "raw cell copy" test_store_write_raw_cell;
+        tc "capacity checks" test_store_capacity_checks;
+        tc "get_at_most" test_store_get_at_most;
+        qc store_version_prop;
+      ] );
+    ( "core.update_log",
+      [
+        tc "range queries" test_log_range;
+        tc "truncation" test_log_truncation;
+        tc "out-of-order appends" test_log_out_of_order;
+      ] );
+    ( "core.memories",
+      [ tc "coord_mem" test_coord_mem; tc "statesync_mem" test_statesync_mem ] );
+    ( "core.kv",
+      [
+        tc "single partition" test_kv_single_partition;
+        tc "multi-partition transfer" test_kv_multi_partition_transfer;
+        tc "fig3 snapshot invariant" test_kv_fig3_invariant;
+        tc "conservation under load" test_kv_conservation;
+        tc "determinism" test_kv_determinism;
+        tc "stats recorded" test_kv_stats_recorded;
+        tc "trace spans" test_kv_trace_spans;
+        tc "read outside read set rejected" test_kv_read_outside_read_set_rejected;
+        qc fig3_invariant_prop;
+      ] );
+    ( "core.failures",
+      [
+        tc "lagger recovers via state transfer" test_kv_lagger_state_transfer;
+        tc "forced state transfer" test_kv_forced_state_transfer;
+        tc "replica crash tolerated" test_kv_replica_crash_tolerated;
+        tc "crash, restart, full rejoin" test_kv_crash_restart_rejoin;
+        tc "multicast leader crash + ex-leader rejoin" test_kv_leader_crash_tolerated;
+        qc chaos_crash_restart_prop;
+      ] );
+    ( "core.parallel",
+      [
+        tc "correctness with workers" test_parallel_correctness;
+        tc "speedup on disjoint keys" test_parallel_speedup;
+        tc "conflicting requests serialize" test_parallel_conflicts_serialize;
+      ] );
+  ]
+
+let () = Alcotest.run "heron_core" suite

@@ -1,0 +1,214 @@
+(* Tests for the DynaStar baseline: message network timing, protocol
+   correctness (differential against the sequential reference), and the
+   cost relationship with Heron that Figure 5 depends on. *)
+
+open Heron_sim
+open Heron_core
+open Heron_tpcc
+open Heron_dynastar
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Msgnet} *)
+
+let test_msgnet_timing () =
+  let eng = Engine.create () in
+  let cfg = { Msgnet.one_way_ns = 10_000; per_byte_ns_x100 = 100; msg_cpu_ns = 2_000 } in
+  let net = Msgnet.create eng cfg in
+  let a = Msgnet.endpoint net ~name:"a" in
+  let b = Msgnet.endpoint net ~name:"b" in
+  let sent_at = ref 0 and got_at = ref 0 in
+  Engine.spawn eng (fun () ->
+      Msgnet.send net ~from:a b ~bytes:1_000 "hello";
+      sent_at := Engine.self_now ());
+  Engine.spawn eng (fun () ->
+      let msg = Msgnet.recv net b in
+      Alcotest.(check string) "payload" "hello" msg;
+      got_at := Engine.self_now ());
+  Engine.run eng;
+  check_int "sender pays cpu" 2_000 !sent_at;
+  (* cpu(send) + one-way + bytes + cpu(recv) *)
+  check_int "delivery time" (2_000 + 10_000 + 1_000 + 2_000) !got_at
+
+let test_msgnet_fifo () =
+  let eng = Engine.create () in
+  let net = Msgnet.create eng Msgnet.default_config in
+  let a = Msgnet.endpoint net ~name:"a" in
+  let b = Msgnet.endpoint net ~name:"b" in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      Msgnet.send net ~from:a b ~bytes:8 "one";
+      Msgnet.send net ~from:a b ~bytes:8 "two");
+  Engine.spawn eng (fun () ->
+      let x = Msgnet.recv net b in
+      let y = Msgnet.recv net b in
+      got := [ x; y ]);
+  Engine.run eng;
+  Alcotest.(check (list string)) "fifo" [ "one"; "two" ] !got
+
+(* {1 DynaStar on TPCC} *)
+
+let make_ds ?(seed = 1) ~warehouses () =
+  let scale = Scale.tiny ~warehouses in
+  let eng = Engine.create ~seed () in
+  let app = Tx.app ~scale ~seed:1 in
+  let ds = Dynastar.create eng ~partitions:warehouses ~replicas:3 ~app () in
+  Dynastar.start ds;
+  (eng, ds, scale)
+
+let test_ds_differential () =
+  (* Same single-client sequence through DynaStar and the sequential
+     reference: identical responses, identical final state. *)
+  let warehouses = 2 in
+  let eng, ds, scale = make_ds ~warehouses () in
+  let reference = Ref_exec.create ~scale ~seed:1 in
+  let rng = Random.State.make [| 42 |] in
+  let reqs =
+    List.init 40 (fun i ->
+        Workload.gen Workload.standard ~scale ~rng ~home_w:((i mod warehouses) + 1))
+  in
+  let got = ref [] in
+  let client = Dynastar.new_client ds ~name:"c0" in
+  Engine.spawn eng (fun () ->
+      List.iter (fun req -> got := Dynastar.submit ds client req :: !got) reqs);
+  Engine.run_until eng (Time_ns.s 60);
+  let got = List.rev !got in
+  check_int "all answered" (List.length reqs) (List.length got);
+  List.iteri
+    (fun i (h, r) ->
+      let expect = Ref_exec.apply reference r in
+      if not (Tx.equal_resp h expect) then
+        Alcotest.failf "response %d differs: dynastar=%s ref=%s" i (Tx.show_resp h)
+          (Tx.show_resp expect))
+    (List.combine got reqs);
+  (* Final state equals the reference at the owning partition. *)
+  List.iter
+    (fun oid ->
+      let expected = Option.get (Ref_exec.value reference oid) in
+      match Oid_codec.home_warehouse oid with
+      | None -> ()
+      | Some w -> (
+          match Dynastar.store_value ds ~part:(w - 1) ~idx:0 oid with
+          | Some got ->
+              if not (Bytes.equal got expected) then
+                Alcotest.failf "oid %d differs" (Oid.to_int oid)
+          | None -> Alcotest.failf "oid %d missing" (Oid.to_int oid)))
+    (Ref_exec.oids reference)
+
+let test_ds_replicas_converge () =
+  let warehouses = 2 in
+  let eng, ds, scale = make_ds ~seed:4 ~warehouses () in
+  let rng = Random.State.make [| 9 |] in
+  for c = 0 to 2 do
+    let client = Dynastar.new_client ds ~name:(Printf.sprintf "c%d" c) in
+    Engine.spawn eng (fun () ->
+        for _ = 1 to 15 do
+          ignore
+            (Dynastar.submit ds client
+               (Workload.gen Workload.standard ~scale ~rng ~home_w:((c mod warehouses) + 1)))
+        done)
+  done;
+  Engine.run_until eng (Time_ns.s 120);
+  for part = 0 to warehouses - 1 do
+    check_int "replica 1 executed as many"
+      (Dynastar.executed_count ds ~part ~idx:0)
+      (Dynastar.executed_count ds ~part ~idx:1);
+    (* Spot-check convergence on every district row. *)
+    for d = 1 to scale.Scale.districts do
+      let oid = Oid_codec.encode (Oid_codec.District (part + 1, d)) in
+      let v0 = Option.get (Dynastar.store_value ds ~part ~idx:0 oid) in
+      List.iter
+        (fun idx ->
+          let vi = Option.get (Dynastar.store_value ds ~part ~idx oid) in
+          if not (Bytes.equal v0 vi) then Alcotest.failf "district %d diverged" d)
+        [ 1; 2 ]
+    done
+  done
+
+let test_ds_latency_regime () =
+  (* A single-partition request takes on the order of a millisecond —
+     the message-passing regime the paper contrasts with Heron's
+     microseconds. *)
+  let eng, ds, scale = make_ds ~warehouses:1 () in
+  ignore scale;
+  let lat = ref 0 in
+  let client = Dynastar.new_client ds ~name:"c0" in
+  Engine.spawn eng (fun () ->
+      let t0 = Engine.self_now () in
+      ignore
+        (Dynastar.submit ds client
+           (Tx.New_order
+              {
+                w = 1;
+                d = 1;
+                c = 1;
+                lines = [ { Tx.li_i = 1; li_supply_w = 1; li_qty = 1 } ];
+                entry_d = 0;
+              }));
+      lat := Engine.self_now () - t0);
+  Engine.run_until eng (Time_ns.s 2);
+  check_bool "answered" true (!lat > 0);
+  check_bool "sub-10ms" true (!lat < Time_ns.ms 10);
+  check_bool "well above 100us (message passing)" true (!lat > Time_ns.us 300)
+
+let test_ds_multi_partition_penalty () =
+  (* Multi-partition requests pay data-migration rounds: noticeably
+     slower than single-partition ones (DynaStar's 10x effect). *)
+  let eng, ds, scale = make_ds ~warehouses:2 () in
+  ignore scale;
+  let single = ref 0 and multi = ref 0 in
+  let client = Dynastar.new_client ds ~name:"c0" in
+  Engine.spawn eng (fun () ->
+      let time f =
+        let t0 = Engine.self_now () in
+        ignore (f ());
+        Engine.self_now () - t0
+      in
+      single :=
+        time (fun () ->
+            Dynastar.submit ds client
+              (Tx.New_order
+                 {
+                   w = 1;
+                   d = 1;
+                   c = 1;
+                   lines = [ { Tx.li_i = 1; li_supply_w = 1; li_qty = 1 } ];
+                   entry_d = 0;
+                 }));
+      multi :=
+        time (fun () ->
+            Dynastar.submit ds client
+              (Tx.New_order
+                 {
+                   w = 1;
+                   d = 1;
+                   c = 1;
+                   lines =
+                     [
+                       { Tx.li_i = 1; li_supply_w = 1; li_qty = 1 };
+                       { Tx.li_i = 2; li_supply_w = 2; li_qty = 1 };
+                     ];
+                   entry_d = 0;
+                 })));
+  Engine.run_until eng (Time_ns.s 2);
+  check_bool "multi-partition costs more" true (!multi > !single + Time_ns.us 100)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ("dynastar.msgnet", [ tc "timing" test_msgnet_timing; tc "fifo" test_msgnet_fifo ]);
+    ( "dynastar.protocol",
+      [
+        tc "differential vs reference" test_ds_differential;
+        tc "replicas converge" test_ds_replicas_converge;
+      ] );
+    ( "dynastar.costs",
+      [
+        tc "millisecond regime" test_ds_latency_regime;
+        tc "multi-partition penalty" test_ds_multi_partition_penalty;
+      ] );
+  ]
+
+let () = Alcotest.run "heron_dynastar" suite

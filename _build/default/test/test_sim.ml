@@ -1,0 +1,377 @@
+(* Tests for heron_sim: the discrete-event engine and its fiber
+   synchronisation primitives. *)
+
+open Heron_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Prio_queue} *)
+
+let test_pq_order () =
+  let h = Prio_queue.create ~cmp:compare in
+  List.iter (Prio_queue.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Prio_queue.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_pq_empty () =
+  let h = Prio_queue.create ~cmp:compare in
+  check_bool "is_empty" true (Prio_queue.is_empty h);
+  check_bool "pop" true (Prio_queue.pop h = None);
+  check_bool "peek" true (Prio_queue.peek h = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Prio_queue.pop_exn: empty heap")
+    (fun () -> ignore (Prio_queue.pop_exn h))
+
+let test_pq_peek_does_not_remove () =
+  let h = Prio_queue.create ~cmp:compare in
+  Prio_queue.push h 2;
+  Prio_queue.push h 1;
+  check_bool "peek min" true (Prio_queue.peek h = Some 1);
+  check_int "length" 2 (Prio_queue.length h)
+
+let pq_sorted_prop =
+  QCheck.Test.make ~name:"prio_queue drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Prio_queue.create ~cmp:compare in
+      List.iter (Prio_queue.push h) xs;
+      let rec drain acc =
+        match Prio_queue.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* {1 Time_ns} *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time_ns.us 1);
+  check_int "ms" 1_000_000 (Time_ns.ms 1);
+  check_int "s" 1_000_000_000 (Time_ns.s 1);
+  check_int "of_us_f" 1_500 (Time_ns.of_us_f 1.5);
+  Alcotest.(check (float 1e-9)) "to_us_f" 2.5 (Time_ns.to_us_f 2_500);
+  Alcotest.(check string) "pp us" "2.50us" (Format.asprintf "%a" Time_ns.pp 2_500);
+  Alcotest.(check string) "pp ns" "999ns" (Format.asprintf "%a" Time_ns.pp 999)
+
+(* {1 Engine} *)
+
+let test_engine_sleep_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng (fun () ->
+      Engine.sleep (Time_ns.us 3);
+      log := (Engine.self_now (), "c") :: !log);
+  Engine.spawn eng (fun () ->
+      Engine.sleep (Time_ns.us 1);
+      log := (Engine.self_now (), "a") :: !log);
+  Engine.spawn eng (fun () ->
+      Engine.sleep (Time_ns.us 2);
+      log := (Engine.self_now (), "b") :: !log);
+  Engine.run eng;
+  Alcotest.(check (list (pair int string)))
+    "events fire in time order"
+    [ (1_000, "a"); (2_000, "b"); (3_000, "c") ]
+    (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  (* Events scheduled for the same instant run in scheduling order. *)
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule eng (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_run_until () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 10 do
+        Engine.sleep (Time_ns.ms 1);
+        incr hits
+      done);
+  Engine.run_until eng (Time_ns.ms 5);
+  check_int "5 iterations by 5ms" 5 !hits;
+  check_int "clock at horizon" (Time_ns.ms 5) (Engine.now eng);
+  Engine.run eng;
+  check_int "all iterations after run" 10 !hits
+
+let test_engine_cancellation () =
+  let eng = Engine.create () in
+  let tok = Engine.new_token eng in
+  let steps = ref 0 in
+  let cleanup = ref false in
+  Engine.spawn ~token:tok eng (fun () ->
+      Fun.protect
+        ~finally:(fun () -> cleanup := true)
+        (fun () ->
+          for _ = 1 to 100 do
+            Engine.sleep (Time_ns.us 10);
+            incr steps
+          done));
+  Engine.spawn eng (fun () ->
+      Engine.sleep (Time_ns.us 35);
+      Engine.cancel tok);
+  Engine.run eng;
+  check_int "stopped after cancel" 3 !steps;
+  check_bool "finaliser ran on cancellation" true !cleanup;
+  check_int "no live fibers" 0 (Engine.live_fibers eng)
+
+let test_engine_cancel_before_start () =
+  let eng = Engine.create () in
+  let tok = Engine.new_token eng in
+  Engine.cancel tok;
+  let ran = ref false in
+  Engine.spawn ~token:tok eng (fun () -> ran := true);
+  Engine.run eng;
+  check_bool "cancelled fiber never starts" false !ran;
+  check_int "no live fibers" 0 (Engine.live_fibers eng)
+
+let test_engine_determinism () =
+  let trace seed =
+    let eng = Engine.create ~seed () in
+    let log = ref [] in
+    for i = 1 to 20 do
+      Engine.spawn eng (fun () ->
+          let d = Random.State.int (Engine.rng eng) 1000 in
+          Engine.sleep d;
+          log := (i, Engine.self_now ()) :: !log)
+    done;
+    Engine.run eng;
+    !log
+  in
+  check_bool "same seed, same trace" true (trace 7 = trace 7);
+  check_bool "different seed, different trace" true (trace 7 <> trace 8)
+
+let test_engine_exception_propagates () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> failwith "boom");
+  Alcotest.check_raises "escapes run" (Failure "boom") (fun () -> Engine.run eng)
+
+(* {1 Ivar} *)
+
+let test_ivar_fill_then_read () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  Ivar.fill iv 41;
+  Engine.spawn eng (fun () -> got := Ivar.read iv);
+  Engine.run eng;
+  check_int "read full ivar" 41 !got
+
+let test_ivar_blocks_until_filled () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got_at = ref (-1) in
+  Engine.spawn eng (fun () ->
+      ignore (Ivar.read iv);
+      got_at := Engine.self_now ());
+  Engine.spawn eng (fun () ->
+      Engine.sleep (Time_ns.us 7);
+      Ivar.fill iv ());
+  Engine.run eng;
+  check_int "reader woken at fill time" (Time_ns.us 7) !got_at
+
+let test_ivar_multiple_readers () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () -> sum := !sum + Ivar.read iv)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 5;
+      Ivar.fill iv 10);
+  Engine.run eng;
+  check_int "all readers woken" 30 !sum
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  check_bool "try_fill on full" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill on full" (Invalid_argument "Ivar.fill: already full")
+    (fun () -> Ivar.fill iv 3);
+  check_bool "value unchanged" true (Ivar.peek iv = Some 1)
+
+(* {1 Mailbox} *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Engine.spawn eng (fun () ->
+      Mailbox.send mb "x";
+      Engine.sleep 2;
+      Mailbox.send mb "y";
+      Mailbox.send mb "z");
+  Engine.run eng;
+  Alcotest.(check (list string)) "fifo order" [ "x"; "y"; "z" ] (List.rev !got)
+
+let test_mailbox_competing_receivers () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn eng (fun () ->
+        let v = Mailbox.recv mb in
+        got := (i, v) :: !got)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 1;
+      Mailbox.send mb "first";
+      Mailbox.send mb "second");
+  Engine.run eng;
+  check_int "both received one" 2 (List.length !got);
+  check_bool "no message lost" true
+    (List.sort compare (List.map snd !got) = [ "first"; "second" ])
+
+let test_mailbox_try_recv () =
+  let mb = Mailbox.create () in
+  check_bool "empty" true (Mailbox.try_recv mb = None);
+  Mailbox.send mb 5;
+  check_int "length" 1 (Mailbox.length mb);
+  check_bool "nonempty" true (Mailbox.try_recv mb = Some 5);
+  check_bool "drained" true (Mailbox.is_empty mb)
+
+(* {1 Signal} *)
+
+let test_signal_broadcast_wakes_all () =
+  let eng = Engine.create () in
+  let s = Signal.create () in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Signal.wait s;
+        incr woken)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10;
+      check_int "four waiters parked" 4 (Signal.waiters s);
+      Signal.broadcast s);
+  Engine.run eng;
+  check_int "all woken" 4 !woken
+
+let test_signal_wait_until () =
+  let eng = Engine.create () in
+  let s = Signal.create () in
+  let counter = ref 0 in
+  let done_at = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Signal.wait_until s (fun () -> !counter >= 3);
+      done_at := Engine.self_now ());
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        Engine.sleep (Time_ns.us 1);
+        incr counter;
+        Signal.broadcast s
+      done);
+  Engine.run eng;
+  check_int "woken at third broadcast" (Time_ns.us 3) !done_at
+
+let test_signal_wait_until_already_true () =
+  let eng = Engine.create () in
+  let s = Signal.create () in
+  let ran = ref false in
+  Engine.spawn eng (fun () ->
+      Signal.wait_until s (fun () -> true);
+      ran := true);
+  Engine.run eng;
+  check_bool "no broadcast needed" true !ran
+
+(* {1 Trace} *)
+
+let test_trace_basics () =
+  let tr = Trace.create ~capacity:3 () in
+  Trace.record tr ~name:"a" ~start:0 10;
+  Trace.record tr ~name:"b" ~attrs:[ ("k", "v") ] ~start:10 25;
+  Alcotest.(check (list string)) "names in order" [ "a"; "b" ]
+    (List.map (fun s -> s.Trace.sp_name) (Trace.spans tr));
+  check_int "no drops yet" 0 (Trace.dropped tr);
+  Trace.record tr ~name:"c" ~start:25 30;
+  Trace.record tr ~name:"d" ~start:30 35;
+  Alcotest.(check (list string)) "ring keeps newest" [ "b"; "c"; "d" ]
+    (List.map (fun s -> s.Trace.sp_name) (Trace.spans tr));
+  check_int "one dropped" 1 (Trace.dropped tr);
+  Trace.clear tr;
+  check_bool "cleared" true (Trace.spans tr = [])
+
+let test_trace_validation () =
+  let tr = Trace.create () in
+  Alcotest.check_raises "backwards span"
+    (Invalid_argument "Trace.add: span ends before it starts") (fun () ->
+      Trace.record tr ~name:"x" ~start:10 5)
+
+let test_trace_render () =
+  let tr = Trace.create () in
+  Trace.record tr ~name:"ordering" ~start:0 (Time_ns.us 18);
+  Trace.record tr ~name:"execute" ~start:(Time_ns.us 18) (Time_ns.us 34);
+  let out = Trace.render_timeline ~width:40 tr in
+  let contains needle =
+    let nh = String.length out and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub out i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "has first span" true (contains "ordering");
+  check_bool "has second span" true (contains "execute");
+  check_bool "has bars" true (contains "#");
+  Alcotest.(check string) "empty trace renders empty" ""
+    (Trace.render_timeline (Trace.create ()))
+
+let tc name f = Alcotest.test_case name `Quick f
+let qc t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "sim.prio_queue",
+      [
+        tc "drains sorted" test_pq_order;
+        tc "empty heap" test_pq_empty;
+        tc "peek does not remove" test_pq_peek_does_not_remove;
+        qc pq_sorted_prop;
+      ] );
+    ("sim.time", [ tc "unit conversions" test_time_units ]);
+    ( "sim.engine",
+      [
+        tc "sleep order" test_engine_sleep_order;
+        tc "same-time fifo" test_engine_same_time_fifo;
+        tc "run_until horizon" test_engine_run_until;
+        tc "cancellation" test_engine_cancellation;
+        tc "cancel before start" test_engine_cancel_before_start;
+        tc "determinism" test_engine_determinism;
+        tc "exception propagates" test_engine_exception_propagates;
+      ] );
+    ( "sim.ivar",
+      [
+        tc "fill then read" test_ivar_fill_then_read;
+        tc "blocks until filled" test_ivar_blocks_until_filled;
+        tc "multiple readers" test_ivar_multiple_readers;
+        tc "double fill rejected" test_ivar_double_fill;
+      ] );
+    ( "sim.mailbox",
+      [
+        tc "fifo" test_mailbox_fifo;
+        tc "competing receivers" test_mailbox_competing_receivers;
+        tc "try_recv" test_mailbox_try_recv;
+      ] );
+    ( "sim.trace",
+      [
+        tc "ring buffer" test_trace_basics;
+        tc "validation" test_trace_validation;
+        tc "timeline rendering" test_trace_render;
+      ] );
+    ( "sim.signal",
+      [
+        tc "broadcast wakes all" test_signal_broadcast_wakes_all;
+        tc "wait_until" test_signal_wait_until;
+        tc "wait_until already true" test_signal_wait_until_already_true;
+      ] );
+  ]
+
+let () = Alcotest.run "heron_sim" suite

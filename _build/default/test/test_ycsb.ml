@@ -1,0 +1,156 @@
+(* Tests for heron_ycsb: the zipfian sampler, operation semantics, and
+   counter linearizability under concurrent read-modify-writes. *)
+
+open Heron_sim
+open Heron_rdma
+open Heron_core
+open Heron_ycsb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Zipf} *)
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:100 () in
+  let rng = Random.State.make [| 1 |] in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z rng in
+    if k < 0 || k >= 100 then Alcotest.failf "out of range: %d" k
+  done;
+  check_int "n" 100 (Zipf.n z)
+
+let test_zipf_skew () =
+  (* The most popular key dominates a uniform draw by a wide margin. *)
+  let n = 1000 in
+  let z = Zipf.create ~n () in
+  let rng = Random.State.make [| 2 |] in
+  let hits = Array.make n 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let k = Zipf.sample z rng in
+    hits.(k) <- hits.(k) + 1
+  done;
+  let top = hits.(0) in
+  check_bool "head is hot" true (top > draws / 25);
+  let tail_half = Array.sub hits (n / 2) (n / 2) in
+  let tail_hits = Array.fold_left ( + ) 0 tail_half in
+  check_bool "tail is cold" true (tail_hits < draws / 4)
+
+let test_zipf_validation () =
+  check_bool "bad n" true
+    (try ignore (Zipf.create ~n:0 ()); false with Invalid_argument _ -> true);
+  check_bool "bad theta" true
+    (try ignore (Zipf.create ~theta:1.5 ~n:10 ()); false
+     with Invalid_argument _ -> true)
+
+(* {1 Application semantics} *)
+
+let make_ycsb ?(seed = 1) ~records ~value_bytes ~partitions () =
+  let eng = Engine.create ~seed () in
+  let cfg = Config.default ~partitions ~replicas:3 in
+  let sys = System.create eng ~cfg ~app:(Ycsb_app.app ~records ~value_bytes ~partitions) in
+  System.start sys;
+  (eng, sys)
+
+let test_ycsb_ops () =
+  let eng, sys = make_ycsb ~records:16 ~value_bytes:64 ~partitions:2 () in
+  let node = System.new_client_node sys ~name:"c" in
+  let finished = ref false in
+  Fabric.spawn_on node (fun () ->
+      let op req = snd (List.hd (System.submit sys ~from:node req)) in
+      (match op (Ycsb_app.Y_read 3) with
+      | Ycsb_app.Y_value { counter; size } ->
+          check_int "initial counter" 0 counter;
+          check_int "record size" (8 + 64) size
+      | _ -> Alcotest.fail "expected value");
+      (match op (Ycsb_app.Y_rmw { key = 3; delta = 5 }) with
+      | Ycsb_app.Y_value { counter; _ } -> check_int "rmw result" 5 counter
+      | _ -> Alcotest.fail "expected value");
+      (match op (Ycsb_app.Y_read 3) with
+      | Ycsb_app.Y_value { counter; _ } -> check_int "rmw persisted" 5 counter
+      | _ -> Alcotest.fail "expected value");
+      check_bool "update acks" true (op (Ycsb_app.Y_update { key = 3; seed = 9 }) = Ycsb_app.Y_ok);
+      (match op (Ycsb_app.Y_read 3) with
+      | Ycsb_app.Y_value { counter; _ } -> check_int "update overwrote counter" 9 counter
+      | _ -> Alcotest.fail "expected value");
+      (* A scan over 8 keys spans both partitions. *)
+      (match op (Ycsb_app.Y_scan { start = 14; count = 8 }) with
+      | Ycsb_app.Y_scanned n -> check_int "scan wraps" 8 n
+      | _ -> Alcotest.fail "expected scan");
+      finished := true);
+  Engine.run_until eng (Time_ns.s 1);
+  check_bool "completed" true !finished
+
+let test_ycsb_gen_mix () =
+  let rng = Random.State.make [| 7 |] in
+  let reads = ref 0 and total = 5_000 in
+  for _ = 1 to total do
+    match Ycsb_app.gen Ycsb_app.workload_b ~records:100 ~key_dist:`Uniform rng with
+    | Ycsb_app.Y_read _ -> incr reads
+    | _ -> ()
+  done;
+  let pct = 100 * !reads / total in
+  check_bool "B is ~95% reads" true (abs (pct - 95) <= 2)
+
+(* {1 Counter linearizability} *)
+
+let test_ycsb_rmw_linearizable () =
+  (* Concurrent rmw(+1) on one hot key: the final counter equals the
+     number of rmws, and the full history linearizes against a counter
+     model. *)
+  let records = 4 in
+  let eng, sys = make_ycsb ~seed:13 ~records ~value_bytes:32 ~partitions:2 () in
+  let events = ref [] in
+  let per_client = 15 in
+  for c = 0 to 2 do
+    let node = System.new_client_node sys ~name:(Printf.sprintf "c%d" c) in
+    Fabric.spawn_on node (fun () ->
+        for i = 1 to per_client do
+          let req =
+            if i mod 3 = 0 then Ycsb_app.Y_read 0
+            else Ycsb_app.Y_rmw { key = 0; delta = 1 }
+          in
+          let t0 = Engine.self_now () in
+          let resp = snd (List.hd (System.submit sys ~from:node req)) in
+          let t1 = Engine.self_now () in
+          events :=
+            { Heron_lincheck.Lincheck.ev_client = c; ev_op = req; ev_result = resp;
+              ev_invoke = t0; ev_return = t1 }
+            :: !events
+        done)
+  done;
+  Engine.run_until eng (Time_ns.s 5);
+  check_int "all answered" (3 * per_client) (List.length !events);
+  let spec : (Ycsb_app.req, Ycsb_app.resp, int) Heron_lincheck.Lincheck.spec =
+    {
+      Heron_lincheck.Lincheck.initial = 0;
+      apply =
+        (fun counter req ->
+          match req with
+          | Ycsb_app.Y_read 0 -> (counter, Ycsb_app.Y_value { counter; size = 40 })
+          | Ycsb_app.Y_rmw { key = 0; delta } ->
+              (counter + delta, Ycsb_app.Y_value { counter = counter + delta; size = 40 })
+          | _ -> (counter, Ycsb_app.Y_ok));
+      equal_result = ( = );
+    }
+  in
+  check_bool "rmw history linearizes" true
+    (Heron_lincheck.Lincheck.check spec (List.rev !events))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "ycsb.zipf",
+      [
+        tc "range" test_zipf_range;
+        tc "skew" test_zipf_skew;
+        tc "validation" test_zipf_validation;
+      ] );
+    ( "ycsb.app",
+      [ tc "operation semantics" test_ycsb_ops; tc "generator mix" test_ycsb_gen_mix ] );
+    ("ycsb.consistency", [ tc "rmw counter linearizes" test_ycsb_rmw_linearizable ]);
+  ]
+
+let () = Alcotest.run "heron_ycsb" suite

@@ -1,0 +1,283 @@
+(* Tests for the coordination-service application (heron_zk): znode
+   semantics, cross-partition snapshot consistency (the service-level
+   version of the Figure 3 invariant), and linearizability of real
+   histories against a pure tree model. *)
+
+open Heron_sim
+open Heron_rdma
+open Heron_core
+open Heron_zk
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Paths and oids} *)
+
+let test_paths () =
+  let p2 = Zk_app.partition_of_path ~partitions:4 in
+  check_int "stable" (p2 [ "app"; "x" ]) (p2 [ "app"; "y" ]);
+  check_bool "bad segment rejected" true
+    (try
+       ignore (Zk_app.partition_of_path ~partitions:2 [ "a/b" ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "empty path rejected" true
+    (try
+       ignore (Zk_app.partition_of_path ~partitions:2 []);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 System harness} *)
+
+type zk_world = { eng : Engine.t; sys : (Zk_app.req, Zk_app.resp) System.t }
+
+let make_zk ?(seed = 1) ?(partitions = 2) ?(roots = [ ("app", "root"); ("cfg", "root") ])
+    () =
+  let eng = Engine.create ~seed () in
+  let cfg = Config.default ~partitions ~replicas:3 in
+  let sys = System.create eng ~cfg ~app:(Zk_app.app ~partitions ~roots) in
+  System.start sys;
+  { eng; sys }
+
+let do_op w node req = Zk_app.merge (System.submit w.sys ~from:node req)
+
+let expect name expected got =
+  if got <> expected then
+    Alcotest.failf "%s: expected %a, got %a" name Zk_app.pp_resp expected Zk_app.pp_resp
+      got
+
+(* {1 Znode semantics} *)
+
+let test_zk_crud () =
+  let w = make_zk ~partitions:1 () in
+  let node = System.new_client_node w.sys ~name:"c" in
+  let finished = ref false in
+  Fabric.spawn_on node (fun () ->
+      let op = do_op w node in
+      expect "read root" (Zk_app.Z_data { data = "root"; version = 0 })
+        (op (Zk_app.Read [ "app" ]));
+      expect "missing node" (Zk_app.Z_err Zk_app.No_node) (op (Zk_app.Read [ "app"; "x" ]));
+      expect "create" Zk_app.Z_ok
+        (op (Zk_app.Create { path = [ "app"; "x" ]; data = "1" }));
+      expect "create duplicate" (Zk_app.Z_err Zk_app.Node_exists)
+        (op (Zk_app.Create { path = [ "app"; "x" ]; data = "2" }));
+      expect "create under missing parent" (Zk_app.Z_err Zk_app.No_node)
+        (op (Zk_app.Create { path = [ "app"; "nope"; "y" ]; data = "" }));
+      expect "read created" (Zk_app.Z_data { data = "1"; version = 0 })
+        (op (Zk_app.Read [ "app"; "x" ]));
+      expect "write" Zk_app.Z_ok (op (Zk_app.Write { path = [ "app"; "x" ]; data = "2" }));
+      expect "version bumped" (Zk_app.Z_data { data = "2"; version = 1 })
+        (op (Zk_app.Read [ "app"; "x" ]));
+      expect "cas wrong version" (Zk_app.Z_err Zk_app.Bad_version)
+        (op (Zk_app.Cas { path = [ "app"; "x" ]; expect = 0; data = "3" }));
+      expect "cas right version" Zk_app.Z_ok
+        (op (Zk_app.Cas { path = [ "app"; "x" ]; expect = 1; data = "3" }));
+      expect "children" (Zk_app.Z_children [ "x" ]) (op (Zk_app.Children [ "app" ]));
+      expect "delete nonempty parent" (Zk_app.Z_err Zk_app.Not_empty)
+        (op (Zk_app.Delete [ "app" ]));
+      expect "delete" Zk_app.Z_ok (op (Zk_app.Delete [ "app"; "x" ]));
+      expect "deleted reads absent" (Zk_app.Z_err Zk_app.No_node)
+        (op (Zk_app.Read [ "app"; "x" ]));
+      expect "children updated" (Zk_app.Z_children []) (op (Zk_app.Children [ "app" ]));
+      expect "recreate after delete" Zk_app.Z_ok
+        (op (Zk_app.Create { path = [ "app"; "x" ]; data = "fresh" }));
+      expect "recreated at version 0" (Zk_app.Z_data { data = "fresh"; version = 0 })
+        (op (Zk_app.Read [ "app"; "x" ]));
+      finished := true);
+  Engine.run_until w.eng (Time_ns.s 1);
+  check_bool "scenario completed" true !finished
+
+let test_zk_multi_partition_snapshot () =
+  (* The Figure 3 invariant at service level: Touch bumps versions of
+     znodes in different partitions atomically; Multi_read snapshots
+     must always see them equal. *)
+  let roots = [ ("a", "x"); ("b", "x"); ("c", "x"); ("d", "x") ] in
+  let partitions = 3 in
+  let w = make_zk ~partitions ~roots () in
+  (* Pick two roots in different partitions. *)
+  let p name = Zk_app.partition_of_path ~partitions [ name ] in
+  let r1, r2 =
+    match List.filter (fun (n, _) -> p n <> p "a") roots with
+    | (n, _) :: _ -> ("a", n)
+    | [] -> Alcotest.fail "all roots in one partition"
+  in
+  let violations = ref 0 and snapshots = ref 0 in
+  for c = 0 to 1 do
+    let node = System.new_client_node w.sys ~name:(Printf.sprintf "w%d" c) in
+    Fabric.spawn_on node (fun () ->
+        for _ = 1 to 25 do
+          ignore (do_op w node (Zk_app.Touch [ [ r1 ]; [ r2 ] ]))
+        done)
+  done;
+  for c = 0 to 1 do
+    let node = System.new_client_node w.sys ~name:(Printf.sprintf "r%d" c) in
+    Fabric.spawn_on node (fun () ->
+        for _ = 1 to 25 do
+          match do_op w node (Zk_app.Multi_read [ [ r1 ]; [ r2 ] ]) with
+          | Zk_app.Z_snapshot entries -> (
+              incr snapshots;
+              match List.map snd entries with
+              | [ Some (_, v1); Some (_, v2) ] -> if v1 <> v2 then incr violations
+              | _ -> incr violations)
+          | _ -> incr violations
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 2);
+  check_int "snapshots taken" 50 !snapshots;
+  check_int "no torn snapshots" 0 !violations
+
+(* {1 Linearizability against a pure tree model} *)
+
+type model = (Zk_app.path * (string * int * string list)) list
+(* assoc list path -> (data, version, children) *)
+
+let model_apply (state : model) req : model * Zk_app.resp =
+  let find p = List.assoc_opt p state in
+  let update p v = (p, v) :: List.remove_assoc p state in
+  match req with
+  | Zk_app.Create { path; data } -> (
+      match find path with
+      | Some _ -> (state, Zk_app.Z_err Zk_app.Node_exists)
+      | None -> (
+          match List.rev path with
+          | [ _ ] -> (update path (data, 0, []), Zk_app.Z_ok)
+          | leaf :: rparent -> (
+              let parent = List.rev rparent in
+              match find parent with
+              | None -> (state, Zk_app.Z_err Zk_app.No_node)
+              | Some (pd, pv, pc) ->
+                  let state = update parent (pd, pv, pc @ [ leaf ]) in
+                  ((path, (data, 0, [])) :: state, Zk_app.Z_ok))
+          | [] -> assert false))
+  | Zk_app.Read p -> (
+      match find p with
+      | Some (d, v, _) -> (state, Zk_app.Z_data { data = d; version = v })
+      | None -> (state, Zk_app.Z_err Zk_app.No_node))
+  | Zk_app.Write { path; data } -> (
+      match find path with
+      | Some (_, v, c) -> (update path (data, v + 1, c), Zk_app.Z_ok)
+      | None -> (state, Zk_app.Z_err Zk_app.No_node))
+  | Zk_app.Cas { path; expect; data } -> (
+      match find path with
+      | Some (_, v, c) when v = expect -> (update path (data, v + 1, c), Zk_app.Z_ok)
+      | Some _ -> (state, Zk_app.Z_err Zk_app.Bad_version)
+      | None -> (state, Zk_app.Z_err Zk_app.No_node))
+  | Zk_app.Delete p -> (
+      match find p with
+      | None -> (state, Zk_app.Z_err Zk_app.No_node)
+      | Some (_, _, _ :: _) -> (state, Zk_app.Z_err Zk_app.Not_empty)
+      | Some (_, _, []) ->
+          let state = List.remove_assoc p state in
+          let state =
+            match List.rev p with
+            | _ :: (_ :: _ as rparent) -> (
+                let parent = List.rev rparent in
+                let leaf = List.nth p (List.length p - 1) in
+                match List.assoc_opt parent state with
+                | Some (pd, pv, pc) ->
+                    (parent, (pd, pv, List.filter (( <> ) leaf) pc))
+                    :: List.remove_assoc parent state
+                | None -> state)
+            | _ -> state
+          in
+          (state, Zk_app.Z_ok))
+  | Zk_app.Children p -> (
+      match find p with
+      | Some (_, _, c) -> (state, Zk_app.Z_children c)
+      | None -> (state, Zk_app.Z_err Zk_app.No_node))
+  | Zk_app.Touch ps ->
+      let state =
+        List.fold_left
+          (fun st p ->
+            match List.assoc_opt p st with
+            | Some (d, v, c) -> (p, (d, v + 1, c)) :: List.remove_assoc p st
+            | None -> st)
+          state ps
+      in
+      (state, Zk_app.Z_ok)
+  | Zk_app.Multi_read ps ->
+      ( state,
+        Zk_app.Z_snapshot
+          (List.sort compare
+             (List.map
+                (fun p ->
+                  (p, match find p with Some (d, v, _) -> Some (d, v) | None -> None))
+                ps)) )
+
+(* Canonicalize: the model keeps the assoc list unordered; sort it so
+   memoization keys are stable. *)
+let model_norm (state : model) : model = List.sort compare state
+
+let zk_spec ~roots : (Zk_app.req, Zk_app.resp, model) Heron_lincheck.Lincheck.spec =
+  {
+    Heron_lincheck.Lincheck.initial =
+      model_norm (List.map (fun (n, d) -> ([ n ], (d, 0, []))) roots);
+    apply =
+      (fun state req ->
+        let state', resp = model_apply state req in
+        (model_norm state', resp));
+    equal_result = ( = );
+  }
+
+let test_zk_linearizable () =
+  let roots = [ ("a", "0"); ("b", "0") ] in
+  let w = make_zk ~seed:51 ~partitions:2 ~roots () in
+  let events = ref [] in
+  for c = 0 to 2 do
+    let node = System.new_client_node w.sys ~name:(Printf.sprintf "c%d" c) in
+    let rng = Random.State.make [| 51; c |] in
+    Fabric.spawn_on node (fun () ->
+        for _ = 1 to 12 do
+          let root = if Random.State.bool rng then "a" else "b" in
+          let req =
+            match Random.State.int rng 6 with
+            | 0 -> Zk_app.Create { path = [ root; Printf.sprintf "n%d" (Random.State.int rng 3) ]; data = "d" }
+            | 1 -> Zk_app.Read [ root ]
+            | 2 -> Zk_app.Write { path = [ root ]; data = Printf.sprintf "v%d" (Random.State.int rng 5) }
+            | 3 -> Zk_app.Children [ root ]
+            | 4 -> Zk_app.Touch [ [ "a" ]; [ "b" ] ]
+            | _ -> Zk_app.Multi_read [ [ "a" ]; [ "b" ] ]
+          in
+          let t0 = Engine.self_now () in
+          let resp = do_op w node req in
+          let t1 = Engine.self_now () in
+          events :=
+            { Heron_lincheck.Lincheck.ev_client = c; ev_op = req; ev_result = resp;
+              ev_invoke = t0; ev_return = t1 }
+            :: !events
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 5);
+  check_int "all ops answered" 36 (List.length !events);
+  match
+    Heron_lincheck.Lincheck.counterexample_free (zk_spec ~roots) (List.rev !events)
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_zk_merge () =
+  let snap part entries = (part, Zk_app.Z_snapshot entries) in
+  let merged =
+    Zk_app.merge
+      [ snap 0 [ ([ "b" ], None) ]; snap 1 [ ([ "a" ], Some ("x", 1)) ] ]
+  in
+  check_bool "snapshots merge in canonical order" true
+    (merged = Zk_app.Z_snapshot [ ([ "a" ], Some ("x", 1)); ([ "b" ], None) ]);
+  check_bool "identical responses pass through" true
+    (Zk_app.merge [ (0, Zk_app.Z_ok); (1, Zk_app.Z_ok) ] = Zk_app.Z_ok)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ("zk.paths", [ tc "partitioning and validation" test_paths ]);
+    ( "zk.semantics",
+      [ tc "crud and errors" test_zk_crud; tc "merge" test_zk_merge ] );
+    ( "zk.consistency",
+      [
+        tc "cross-partition snapshot invariant" test_zk_multi_partition_snapshot;
+        tc "histories linearize against the tree model" test_zk_linearizable;
+      ] );
+  ]
+
+let () = Alcotest.run "heron_zk" suite

@@ -147,8 +147,31 @@ let run_micro () =
       List.iter benchmark (micro_tests ());
       print_newline ())
 
+(* Extract [--metrics FILE] before experiment selection: the remaining
+   args drive the [wants] logic below. *)
+let split_metrics args =
+  let rec go acc = function
+    | "--metrics" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | "--metrics" :: [] ->
+        prerr_endline "bench: --metrics requires a FILE argument";
+        exit 2
+    | a :: rest -> go (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  go [] args
+
+let dump_metrics file =
+  let snap = Heron_obs.Metrics.(snapshot default) in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Heron_obs.Json.to_channel oc (Heron_obs.Metrics.to_json snap);
+      output_char oc '\n');
+  say "metrics written to %s (%d series)\n" file (List.length snap)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let metrics_file, args = split_metrics (List.tl (Array.to_list Sys.argv)) in
   let quick = List.mem "quick" args in
   let wants name = args = [] || args = [ "quick" ] || List.mem name args in
   let t0 = Unix.gettimeofday () in
@@ -161,4 +184,5 @@ let () =
   if wants "ablations" then run_ablations ~quick;
   if wants "micro_kv" then run_micro_kv ~quick;
   if wants "micro" then run_micro ();
+  Option.iter dump_metrics metrics_file;
   say "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

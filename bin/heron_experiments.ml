@@ -65,6 +65,23 @@ let quick_arg =
   let doc = "Shorter warmup/measurement windows and smaller sweeps." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Dump the accumulated metric registry (counters, gauges, latency \
+     histograms) as JSON to $(docv) after the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let dump_metrics file =
+  let snap = Heron_obs.Metrics.(snapshot default) in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Heron_obs.Json.to_channel oc (Heron_obs.Metrics.to_json snap);
+      output_char oc '\n');
+  Printf.printf "metrics written to %s (%d series)\n" file (List.length snap)
+
 let cmd =
   let doc = "regenerate the tables and figures of the Heron paper (DSN'23)" in
   let man =
@@ -76,13 +93,14 @@ let cmd =
          See EXPERIMENTS.md for the paper-vs-measured comparison.";
     ]
   in
-  let main name quick =
-    try run name quick
-    with Invalid_argument msg ->
-      prerr_endline msg;
-      Stdlib.exit 2
+  let main name quick metrics =
+    (try run name quick
+     with Invalid_argument msg ->
+       prerr_endline msg;
+       Stdlib.exit 2);
+    Option.iter dump_metrics metrics
   in
-  let term = Term.(const main $ name_arg $ quick_arg) in
+  let term = Term.(const main $ name_arg $ quick_arg $ metrics_arg) in
   Cmd.v (Cmd.info "heron_experiments" ~version:"1.0.0" ~doc ~man) term
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,11 @@
 (* Calibration probe: prints the key latency/throughput numbers the
-   cost model is tuned against. Not part of the benchmark suite. *)
+   cost model is tuned against. Not part of the benchmark suite.
+
+     dune exec bin/probe.exe                    -- calibration run
+     dune exec bin/probe.exe -- trace FILE      -- Perfetto trace of a
+                                                   small simulated run
+     dune exec bin/probe.exe -- jsonlint FILE   -- validate a JSON file
+                                                   (exit 0/1) *)
 
 open Heron_stats
 open Heron_tpcc
@@ -17,7 +23,7 @@ let show name (rs : Driver.run_stats) =
      else Sample_set.mean rs.Driver.rs_latency_multi /. 1e3)
     rs.Driver.rs_completed
 
-let () =
+let run_calibration () =
   let t_start = Unix.gettimeofday () in
   (* 1. Single-client NewOrder latency + breakdown, 1WH. *)
   let scale = Scale.bench ~warehouses:1 in
@@ -84,3 +90,73 @@ let () =
   in
   show "DynaStar 1WH 4c" rs_ds;
   pr "wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)
+
+(* [probe trace FILE]: run a small 2-partition x 3-replica KV workload
+   with a span ring attached to every replica and export the result as
+   Chrome trace_event JSON (open at https://ui.perfetto.dev). *)
+let run_trace file =
+  let open Heron_sim in
+  let open Heron_core in
+  let eng = Engine.create ~seed:7 () in
+  let cfg =
+    { (Config.default ~partitions:2 ~replicas:3) with
+      Config.metrics = Heron_obs.Metrics.create () }
+  in
+  let app = Heron_kv.Kv_app.app ~keys:8 ~partitions:2 ~init:0L in
+  let sys = System.create eng ~cfg ~app in
+  System.start sys;
+  let traces = ref [] in
+  Array.iteri
+    (fun part row ->
+      Array.iteri
+        (fun idx r ->
+          let tr = Trace.create () in
+          Replica.set_tracer r tr;
+          traces := (Printf.sprintf "replica p%d/r%d" part idx, tr) :: !traces)
+        row)
+    (System.replicas sys);
+  let traces = List.rev !traces in
+  let client = System.new_client_node sys ~name:"trace-client" in
+  Heron_rdma.Fabric.spawn_on client (fun () ->
+      let rng = Random.State.make [| 0x7ACE |] in
+      for i = 1 to 60 do
+        let req =
+          if i mod 3 = 0 then Heron_kv.Kv_app.Read_all [ 0; 1 ]
+          else Heron_kv.Kv_app.Put (Random.State.int rng 8, Int64.of_int i)
+        in
+        ignore (System.submit sys ~from:client req)
+      done);
+  Engine.run_until eng (Time_ns.ms 100);
+  Heron_obs.Trace_export.write_file file traces;
+  let spans =
+    List.fold_left (fun acc (_, tr) -> acc + List.length (Trace.spans tr)) 0 traces
+  in
+  pr "trace written to %s (%d replicas, %d spans)\n" file (List.length traces) spans
+
+let run_jsonlint file =
+  let ic =
+    try open_in_bin file
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Heron_obs.Json.parse s with
+  | Ok _ ->
+      pr "%s: valid JSON\n" file;
+      exit 0
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> run_calibration ()
+  | [ "trace"; file ] -> run_trace file
+  | [ "jsonlint"; file ] -> run_jsonlint file
+  | _ ->
+      Printf.eprintf
+        "usage: probe [trace FILE | jsonlint FILE]  (no args: calibration)\n";
+      exit 2

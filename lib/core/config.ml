@@ -25,6 +25,7 @@ type t = {
   workers : int;
   statesync_timeout_ns : int;
   addr_query_ns : int;
+  metrics : Heron_obs.Metrics.t;
 }
 
 let default_costs =
@@ -57,4 +58,5 @@ let default ~partitions ~replicas =
     workers = 1;
     statesync_timeout_ns = 5_000_000;
     addr_query_ns = 4_000;
+    metrics = Heron_obs.Metrics.default;
   }

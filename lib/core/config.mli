@@ -67,6 +67,14 @@ type t = {
   addr_query_ns : int;
       (** modelled cost of the one-time remote object address query
           (Algorithm 2 lines 8-13) *)
+  metrics : Heron_obs.Metrics.t;
+      (** registry the whole deployment records into: the fabric's RDMA
+          verb series, the multicast counters and the replicas'
+          coordination/state-transfer series all share it.
+          [default] wires in [Heron_obs.Metrics.default] so separate
+          deployments in one process aggregate; substitute a fresh
+          registry ([{ cfg with metrics = Metrics.create () }]) to
+          isolate a run. *)
 }
 
 val default_costs : costs

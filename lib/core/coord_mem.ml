@@ -5,13 +5,17 @@ type t = {
   cm_node : Fabric.node;
   region : Memory.region;
   replicas : int;  (* max replicas per partition, for slot indexing *)
+  mutable slot_reads : Heron_obs.Metrics.counter option;
 }
 
 let slot_bytes = 16
 
 let create node ~partitions ~replicas =
   let region = Fabric.alloc_region node ~size:(partitions * replicas * slot_bytes) in
-  { cm_node = node; region; replicas }
+  { cm_node = node; region; replicas; slot_reads = None }
+
+let attach_metrics t reg =
+  t.slot_reads <- Some (Heron_obs.Metrics.counter reg "coord.slot_reads")
 
 let off t ~part ~idx = ((part * t.replicas) + idx) * slot_bytes
 
@@ -19,6 +23,7 @@ let slot_addr t ~part ~idx =
   Memory.addr ~node:(Fabric.node_id t.cm_node) t.region ~off:(off t ~part ~idx)
 
 let read_slot t ~part ~idx =
+  (match t.slot_reads with Some c -> Heron_obs.Metrics.incr c | None -> ());
   let off = off t ~part ~idx in
   let tmp = Tstamp.of_int64 (Memory.get_i64 t.region ~off) in
   let stage = Int64.to_int (Memory.get_i64 t.region ~off:(off + 8)) in

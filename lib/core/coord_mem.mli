@@ -17,6 +17,10 @@ type t
 
 val create : Heron_rdma.Fabric.node -> partitions:int -> replicas:int -> t
 
+val attach_metrics : t -> Heron_obs.Metrics.t -> unit
+(** Count every {!read_slot} into the registry's [coord.slot_reads]
+    counter — a measure of coordination-polling pressure. *)
+
 val slot_bytes : int
 (** 16. *)
 

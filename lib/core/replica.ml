@@ -10,6 +10,33 @@ type ('req, 'resp) request = {
   rq_reply : part:int -> 'resp -> unit;
 }
 
+(* Registry handles (resolved once per replica at creation; replicas of
+   one deployment share the config's registry, so these accumulate
+   deployment-wide series). *)
+type obs = {
+  ob_phase2_wait : Heron_obs.Metrics.histogram;  (* coord.phase2_wait_ns *)
+  ob_phase4_wait : Heron_obs.Metrics.histogram;  (* coord.phase4_wait_ns *)
+  ob_laggers : Heron_obs.Metrics.counter;  (* coord.lagger_detections *)
+  ob_transfers : Heron_obs.Metrics.counter;  (* coord.state_transfers *)
+  ob_transfer_bytes : Heron_obs.Metrics.counter;  (* coord.state_transfer_bytes *)
+  ob_remote_miss : Heron_obs.Metrics.counter;  (* store.dual_version_miss *)
+  ob_executed : Heron_obs.Metrics.counter;  (* replica.executed *)
+  ob_skipped : Heron_obs.Metrics.counter;  (* replica.skipped_deliveries *)
+}
+
+let make_obs reg =
+  let open Heron_obs in
+  {
+    ob_phase2_wait = Metrics.histogram reg "coord.phase2_wait_ns";
+    ob_phase4_wait = Metrics.histogram reg "coord.phase4_wait_ns";
+    ob_laggers = Metrics.counter reg "coord.lagger_detections";
+    ob_transfers = Metrics.counter reg "coord.state_transfers";
+    ob_transfer_bytes = Metrics.counter reg "coord.state_transfer_bytes";
+    ob_remote_miss = Metrics.counter reg "store.dual_version_miss";
+    ob_executed = Metrics.counter reg "replica.executed";
+    ob_skipped = Metrics.counter reg "replica.skipped_deliveries";
+  }
+
 type stats = {
   st_ordering : Heron_stats.Sample_set.t;
   st_coord : Heron_stats.Sample_set.t;
@@ -58,6 +85,7 @@ type ('req, 'resp) t = {
   r_qps : (int, Qp.t) Hashtbl.t;  (* by destination node id *)
   r_addr_known : (Oid.t * int, unit) Hashtbl.t;  (* object_map cache *)
   r_stats : stats;
+  r_obs : obs;
   mutable r_pending_deser : int;  (* bytes to deserialize after a transfer *)
   mutable r_exec_delay : Time_ns.t;  (* failure injection: extra exec cost *)
   mutable r_tracer : Trace.t option;
@@ -69,14 +97,22 @@ exception Lagging
    request (Algorithm 2 line 23). *)
 
 let create ~cfg ~app ~part ~idx ~node ~store_region_size =
+  let reg = cfg.Config.metrics in
+  let store = Versioned_store.create node ~region_size:store_region_size in
+  let coord =
+    Coord_mem.create node ~partitions:cfg.Config.partitions
+      ~replicas:cfg.Config.replicas
+  in
+  Versioned_store.attach_metrics store reg;
+  Coord_mem.attach_metrics coord reg;
   {
     r_cfg = cfg;
     r_app = app;
     r_part = part;
     r_idx = idx;
     r_node = node;
-    r_store = Versioned_store.create node ~region_size:store_region_size;
-    r_coord = Coord_mem.create node ~partitions:cfg.Config.partitions ~replicas:cfg.Config.replicas;
+    r_store = store;
+    r_coord = coord;
     r_sync = Statesync_mem.create node ~replicas:cfg.Config.replicas;
     r_log = Update_log.create ~capacity:cfg.Config.log_capacity;
     r_inbox = Mailbox.create ();
@@ -86,6 +122,7 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_qps = Hashtbl.create 16;
     r_addr_known = Hashtbl.create 1024;
     r_stats = make_stats ();
+    r_obs = make_obs reg;
     r_pending_deser = 0;
     r_exec_delay = 0;
     r_tracer = None;
@@ -193,12 +230,13 @@ let all_reached r ~tmp ~dst ~stage () =
    partition, then apply the configured tail policy. Wait_all feeds the
    Table I instrumentation (delayed transactions and their delay). *)
 let coordinate r ~tmp ~dst ~stage ~(wait : Config.coord_wait) =
+  let t_begin = Engine.now r.r_eng in
   announce r ~tmp ~dst ~stage;
   wait_mem r (majority_reached r ~tmp ~dst ~stage);
   let check_cost =
     (costs r).Config.coord_check_slot_ns * n_replicas r * List.length dst
   in
-  match wait with
+  (match wait with
   | Config.Majority -> ()
   | Config.Grace grace ->
       (* One polling iteration separates the majority observation from
@@ -216,7 +254,11 @@ let coordinate r ~tmp ~dst ~stage ~(wait : Config.coord_wait) =
         let t0 = Engine.now r.r_eng in
         wait_mem r (all_reached r ~tmp ~dst ~stage);
         Heron_stats.Sample_set.add r.r_stats.st_delay (Engine.now r.r_eng - t0)
-      end
+      end);
+  let hist =
+    if stage = 1 then r.r_obs.ob_phase2_wait else r.r_obs.ob_phase4_wait
+  in
+  Heron_obs.Metrics.observe hist (Engine.now r.r_eng - t_begin)
 
 (* {1 State transfer (Algorithm 3)} *)
 
@@ -225,6 +267,7 @@ let coordinate r ~tmp ~dst ~stage ~(wait : Config.coord_wait) =
 let rec initiate_state_transfer r ~failed_tmp =
   let transfer_start = Engine.now r.r_eng in
   r.r_stats.st_laggers <- r.r_stats.st_laggers + 1;
+  Heron_obs.Metrics.incr r.r_obs.ob_laggers;
   for i = 0 to n_replicas r - 1 do
     let q = peer r ~part:r.r_part ~idx:i in
     if q == r then Statesync_mem.write_local r.r_sync ~idx:r.r_idx failed_tmp ~status:1
@@ -315,6 +358,8 @@ let do_transfer r ~lagger_idx ~failed_tmp =
        loc_values;
      lagger.r_pending_deser <- lagger.r_pending_deser + loc_bytes;
      r.r_stats.st_transfers_served <- r.r_stats.st_transfers_served + 1;
+     Heron_obs.Metrics.incr r.r_obs.ob_transfers;
+     Heron_obs.Metrics.add r.r_obs.ob_transfer_bytes (reg_bytes + loc_bytes);
      (* Report completion to the whole group (Algorithm 3 lines 16-17). *)
      for i = 0 to n_replicas r - 1 do
        let q = peer r ~part:r.r_part ~idx:i in
@@ -422,7 +467,9 @@ let remote_read r oid ~h ~tmp =
             | Some (v, _) ->
                 charge_deser r (Bytes.length v);
                 v
-            | None -> raise Lagging)
+            | None ->
+                Heron_obs.Metrics.incr r.r_obs.ob_remote_miss;
+                raise Lagging)
         | exception Qp.Rdma_exception _ -> attempt (i :: tried))
   in
   attempt []
@@ -581,6 +628,7 @@ let exec_single r req ~tmp ~on_applied =
       trace r ~name:"execute" ~tmp ~start:t0 (Engine.now r.r_eng);
       Heron_stats.Sample_set.add r.r_stats.st_exec (Engine.now r.r_eng - t0);
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
+      Heron_obs.Metrics.incr r.r_obs.ob_executed;
       send_reply r req resp
   | exception Lagging ->
       initiate_state_transfer r ~failed_tmp:tmp;
@@ -604,6 +652,7 @@ let exec_multi r req ~tmp ~dst ~on_applied =
       Heron_stats.Sample_set.add r.r_stats.st_coord (t1 - t0 + (t3 - t2));
       Heron_stats.Sample_set.add r.r_stats.st_exec (t2 - t1);
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
+      Heron_obs.Metrics.incr r.r_obs.ob_executed;
       r.r_stats.st_multi <- r.r_stats.st_multi + 1;
       send_reply r req resp
   | exception Lagging ->
@@ -619,7 +668,8 @@ let handle_delivery r (dv : ('req, 'resp) request Ramcast.delivery) =
   if Tstamp.(tmp <= r.r_last_req) then begin
     (* Covered by a state transfer (Algorithm 1 line 3). *)
     if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
-    r.r_stats.st_skipped <- r.r_stats.st_skipped + 1
+    r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
+    Heron_obs.Metrics.incr r.r_obs.ob_skipped
   end
   else begin
     r.r_last_req <- tmp;
@@ -705,7 +755,8 @@ let parallel_loop r =
     (if Tstamp.(tmp <= r.r_last_req) then begin
        Queue.push tmp order;
        mark_applied tmp ();
-       r.r_stats.st_skipped <- r.r_stats.st_skipped + 1
+       r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
+       Heron_obs.Metrics.incr r.r_obs.ob_skipped
      end
      else begin
        r.r_last_req <- tmp;

@@ -54,7 +54,7 @@ let load_partition_catalog ~specs ~part store =
     specs
 
 let create eng ~cfg ~app =
-  let fab = Fabric.create eng ~profile:cfg.Config.profile in
+  let fab = Fabric.create ~metrics:cfg.Config.metrics eng ~profile:cfg.Config.profile in
   let specs = app.App.catalog () in
   let sys_replicas =
     Array.init cfg.Config.partitions (fun part ->

@@ -16,6 +16,7 @@ type t = {
   region : Memory.region;
   objects : (Oid.t, entry) Hashtbl.t;
   mutable next_off : int;
+  mutable miss_counter : Heron_obs.Metrics.counter option;
 }
 
 let create node ~region_size =
@@ -24,7 +25,16 @@ let create node ~region_size =
     region = Fabric.alloc_region node ~size:region_size;
     objects = Hashtbl.create 1024;
     next_off = 0;
+    miss_counter = None;
   }
+
+let attach_metrics t reg =
+  t.miss_counter <- Some (Heron_obs.Metrics.counter reg "store.dual_version_miss")
+
+let count_miss t =
+  match t.miss_counter with
+  | Some c -> Heron_obs.Metrics.incr c
+  | None -> ()
 
 let node t = t.st_node
 let mem t oid = Hashtbl.mem t.objects oid
@@ -108,7 +118,12 @@ let pick_version ((va, ta), (vb, tb)) ~bound =
   | false, true -> Some (vb, tb)
   | false, false -> None
 
-let get_before t oid ~bound = pick_version (versions t oid) ~bound
+let get_before t oid ~bound =
+  match pick_version (versions t oid) ~bound with
+  | Some _ as r -> r
+  | None ->
+      count_miss t;
+      None
 
 let get_at_most t oid ~bound =
   let (va, ta), (vb, tb) = versions t oid in
@@ -117,6 +132,8 @@ let get_at_most t oid ~bound =
   | true, true -> if Tstamp.(tb <= ta) then Some (va, ta) else Some (vb, tb)
   | true, false -> Some (va, ta)
   | false, true -> Some (vb, tb)
+  (* No miss counted here: the donor snapshot legitimately skips
+     objects created beyond its bound. *)
   | false, false -> None
 
 (* {1 Writes} *)

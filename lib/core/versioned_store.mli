@@ -54,7 +54,12 @@ val get : t -> Oid.t -> bytes * Tstamp.t
 val get_before : t -> Oid.t -> bound:Tstamp.t -> (bytes * Tstamp.t) option
 (** Freshest version with timestamp strictly smaller than [bound];
     [None] when both versions are at or past [bound] — the caller is a
-    lagger (Algorithm 2 lines 22-24). *)
+    lagger (Algorithm 2 lines 22-24). [None] results count into the
+    [store.dual_version_miss] metric when one is attached. *)
+
+val attach_metrics : t -> Heron_obs.Metrics.t -> unit
+(** Count dual-version read misses (a [None] from {!get_before}) into
+    the registry's [store.dual_version_miss] counter. *)
 
 val get_at_most : t -> Oid.t -> bound:Tstamp.t -> (bytes * Tstamp.t) option
 (** Freshest version with timestamp at most [bound] (inclusive variant

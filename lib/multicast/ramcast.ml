@@ -58,6 +58,7 @@ type 'a member = {
   m_idx : int;
   m_node : Fabric.node;
   m_inbox : 'a ctrl Mailbox.t;
+  m_deliveries : Heron_obs.Metrics.counter;  (* mcast.deliveries, shared *)
   mutable m_deliver : 'a delivery -> unit;
   (* Leader state (maintained lazily; meaningful while this member acts
      as leader, reconstructed on takeover). *)
@@ -76,12 +77,19 @@ type 'a member = {
 
 type 'a group = { g_gid : int; g_members : 'a member array; mutable g_leader : int }
 
+type obs = {
+  ob_submits : Heron_obs.Metrics.counter;
+  ob_rounds : Heron_obs.Metrics.counter;  (* timestamp proposal rounds *)
+  ob_takeovers : Heron_obs.Metrics.counter;
+}
+
 type 'a t = {
   fab : Fabric.t;
   cfg : config;
   size_of : 'a -> int;
   groups : 'a group array;
   links : (int * int, Qp.t) Hashtbl.t;
+  obs : obs;
   mutable next_uid : int;
 }
 
@@ -134,6 +142,7 @@ let entry_bytes t (e : 'a delivery) = t.size_of e.d_payload + t.cfg.entry_hdr_by
 (* Deliver [e] at member [m] exactly once. *)
 let deliver_local (m : 'a member) (e : 'a delivery) =
   m.m_delivered <- m.m_delivered + 1;
+  Heron_obs.Metrics.incr m.m_deliveries;
   m.m_deliver e
 
 let log_push (m : 'a member) e =
@@ -271,6 +280,7 @@ let maybe_finalize t (m : 'a member) (p : 'a pending) =
    destination groups. [reuse] carries a proposal of a previous leader
    of this group (takeover path) that must be kept for consistency. *)
 let propose t (m : 'a member) (mi : 'a msg_info) ~reuse =
+  Heron_obs.Metrics.incr t.obs.ob_rounds;
   let ts =
     match reuse with
     | Some ts -> ts
@@ -383,6 +393,7 @@ let handle_ctrl t (m : 'a member) ctrl =
 (* Synchronise the replicated log from the live members (charging a
    transfer of the missing suffix) and adopt leadership. *)
 let takeover t (m : 'a member) =
+  Heron_obs.Metrics.incr t.obs.ob_takeovers;
   let g = t.groups.(m.m_gid) in
   (* Pull the longest log among live members. *)
   Array.iter
@@ -458,6 +469,8 @@ let monitor_leader t (m : 'a member) =
 
 let create ?(config = default_config) fab ~size_of ~groups =
   if Array.length groups = 0 then invalid_arg "Ramcast.create: no groups";
+  let reg = Fabric.metrics fab in
+  let deliveries = Heron_obs.Metrics.counter reg "mcast.deliveries" in
   let mk_group gid nodes =
     if Array.length nodes = 0 || Array.length nodes mod 2 = 0 then
       invalid_arg "Ramcast.create: groups must have odd, non-zero size";
@@ -467,6 +480,7 @@ let create ?(config = default_config) fab ~size_of ~groups =
         m_idx = idx;
         m_node = node;
         m_inbox = Mailbox.create ();
+        m_deliveries = deliveries;
         m_deliver = ignore;
         m_clock = 0;
         m_pending = Hashtbl.create 64;
@@ -489,6 +503,12 @@ let create ?(config = default_config) fab ~size_of ~groups =
     size_of;
     groups = Array.mapi mk_group groups;
     links = Hashtbl.create 64;
+    obs =
+      {
+        ob_submits = Heron_obs.Metrics.counter reg "mcast.submits";
+        ob_rounds = Heron_obs.Metrics.counter reg "mcast.timestamp_rounds";
+        ob_takeovers = Heron_obs.Metrics.counter reg "mcast.takeovers";
+      };
     next_uid = 1;
   }
 
@@ -542,6 +562,7 @@ let normalize_dst dst =
 
 let multicast t ~from ~dst payload =
   let dst = normalize_dst dst in
+  Heron_obs.Metrics.incr t.obs.ob_submits;
   let uid = t.next_uid in
   t.next_uid <- uid + 1;
   let mi =

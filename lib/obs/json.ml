@@ -1,0 +1,239 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* {1 Printing} *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else if Float.is_finite f then begin
+    (* Shortest decimal form that round-trips. *)
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s
+  end
+  else Buffer.add_string buf "null"
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  add buf j;
+  Buffer.contents buf
+
+let to_channel oc j = output_string oc (to_string j)
+
+(* {1 Parsing} *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> fail st "unexpected end of input"
+
+let skip_ws st =
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> st.pos <- st.pos + 1
+    | _ -> continue_ := false
+  done
+
+let expect st c =
+  let got = next st in
+  if got <> c then fail st (Printf.sprintf "expected %c, got %c" c got)
+
+let expect_lit st lit value =
+  String.iter (fun c -> expect st c) lit;
+  value
+
+(* UTF-8 encode one code point (for \u escapes). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 st =
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st "bad hex digit"
+  in
+  let a = hex (next st) in
+  let b = hex (next st) in
+  let c = hex (next st) in
+  let d = hex (next st) in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (match next st with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' -> add_utf8 buf (hex4 st)
+        | c -> fail st (Printf.sprintf "bad escape \\%c" c));
+        loop ()
+    | c when Char.code c < 0x20 -> fail st "unescaped control character"
+    | c ->
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        expect st '}';
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match next st with
+          | ',' -> fields ((k, v) :: acc)
+          | '}' -> Obj (List.rev ((k, v) :: acc))
+          | c -> fail st (Printf.sprintf "expected , or } in object, got %c" c)
+        in
+        fields []
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        expect st ']';
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value st in
+          skip_ws st;
+          match next st with
+          | ',' -> elems (v :: acc)
+          | ']' -> List (List.rev (v :: acc))
+          | c -> fail st (Printf.sprintf "expected , or ] in array, got %c" c)
+        in
+        elems []
+      end
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> expect_lit st "true" (Bool true)
+  | Some 'f' -> expect_lit st "false" (Bool false)
+  | Some 'n' -> expect_lit st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %c" c)
+
+let parse_exn s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let parse s = try Ok (parse_exn s) with Parse_error msg -> Error msg
+
+(* {1 Accessors} *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_list_exn = function
+  | List xs -> xs
+  | _ -> invalid_arg "Json.to_list_exn: not a list"

@@ -1,0 +1,38 @@
+(** Minimal JSON values, printing and parsing.
+
+    The exporters in this library emit machine-readable results
+    ([--metrics] dumps, Perfetto traces) and the test suite must be able
+    to check them without external dependencies, so both directions live
+    here. The printer always emits valid JSON (non-finite floats become
+    [null]); the parser accepts standard JSON including escape
+    sequences. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val parse : string -> (t, string) result
+
+(** {1 Accessors (for tests and tools)} *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for missing fields or non-objects. *)
+
+val to_list_exn : t -> t list
+(** The elements of a [List]; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,76 @@
+open Heron_sim
+
+(* trace_event timestamps are in microseconds; emit fractional values so
+   no nanosecond precision is lost. *)
+let us_of_ns ns = Json.Float (float_of_int ns /. 1_000.)
+
+let process_events ~pid name tr =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ( "args",
+          Json.Obj
+            [
+              ("name", Json.String name);
+              ("dropped_spans", Json.Int (Trace.dropped tr));
+            ] );
+      ]
+  in
+  (* One track per span kind, numbered by first appearance. *)
+  let tids = Hashtbl.create 8 in
+  let tid_meta = ref [] in
+  let tid_of span_name =
+    match Hashtbl.find_opt tids span_name with
+    | Some tid -> tid
+    | None ->
+        let tid = Hashtbl.length tids + 1 in
+        Hashtbl.replace tids span_name tid;
+        tid_meta :=
+          Json.Obj
+            [
+              ("name", Json.String "thread_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int tid);
+              ("args", Json.Obj [ ("name", Json.String span_name) ]);
+            ]
+          :: !tid_meta;
+        tid
+  in
+  let span_event (s : Trace.span) =
+    Json.Obj
+      [
+        ("name", Json.String s.Trace.sp_name);
+        ("ph", Json.String "X");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int (tid_of s.Trace.sp_name));
+        ("ts", us_of_ns s.Trace.sp_start);
+        ("dur", us_of_ns (s.Trace.sp_end - s.Trace.sp_start));
+        ( "args",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.Trace.sp_attrs) );
+      ]
+  in
+  let spans = List.map span_event (Trace.spans tr) in
+  (meta :: List.rev !tid_meta) @ spans
+
+let perfetto traces =
+  let events =
+    List.concat (List.mapi (fun i (name, tr) -> process_events ~pid:(i + 1) name tr) traces)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ns");
+    ]
+
+let perfetto_string traces = Json.to_string (perfetto traces)
+
+let write_file path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (perfetto traces);
+      output_char oc '\n')

@@ -1,0 +1,21 @@
+(** Chrome / Perfetto [trace_event] export of {!Heron_sim.Trace} spans.
+
+    Produces the JSON object format understood by [ui.perfetto.dev] and
+    [chrome://tracing]: one process per traced replica (named after it),
+    one named track (thread) per span kind — [ordering], [phase2],
+    [execute], [phase4], [state-transfer] each get their own row — and
+    one complete ("X") event per span, with the span attributes as event
+    [args]. Timestamps are virtual nanoseconds rendered in the format's
+    microsecond unit, so durations read directly in the UI. *)
+
+open Heron_sim
+
+val perfetto : (string * Trace.t) list -> Json.t
+(** [perfetto [(replica_name, trace); ...]] builds the trace document.
+    Processes are numbered in list order; dropped span counts are
+    reported in the process metadata args. *)
+
+val perfetto_string : (string * Trace.t) list -> string
+
+val write_file : string -> (string * Trace.t) list -> unit
+(** Write the document to a file (truncating). *)

@@ -16,15 +16,17 @@ and fabric = {
   prof : Profile.t;
   nodes : (int, node) Hashtbl.t;
   mutable next_node : int;
+  obs : Heron_obs.Metrics.t;
 }
 
 type t = fabric
 
-let create eng ~profile =
-  { eng; prof = profile; nodes = Hashtbl.create 16; next_node = 0 }
+let create ?(metrics = Heron_obs.Metrics.default) eng ~profile =
+  { eng; prof = profile; nodes = Hashtbl.create 16; next_node = 0; obs = metrics }
 
 let engine t = t.eng
 let profile t = t.prof
+let metrics t = t.obs
 
 let add_node t ~name =
   let id = t.next_node in

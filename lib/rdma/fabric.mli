@@ -13,10 +13,17 @@ type t
 type node
 (** A server or client machine. *)
 
-val create : Heron_sim.Engine.t -> profile:Profile.t -> t
+val create :
+  ?metrics:Heron_obs.Metrics.t -> Heron_sim.Engine.t -> profile:Profile.t -> t
+(** [metrics] is the registry the fabric's queue pairs (and anything
+    else reading {!metrics}) record into; defaults to
+    [Heron_obs.Metrics.default]. *)
 
 val engine : t -> Heron_sim.Engine.t
 val profile : t -> Profile.t
+
+val metrics : t -> Heron_obs.Metrics.t
+(** The fabric's metric registry. *)
 
 val add_node : t -> name:string -> node
 (** Register a fresh (alive) node. *)

@@ -1,16 +1,60 @@
 open Heron_sim
+open Heron_obs
+
+(* Per-QP-pair metric handles, resolved once at connect time so the
+   per-verb cost is a few integer bumps. *)
+type verb_obs = {
+  vo_count : Metrics.counter;
+  vo_bytes : Metrics.counter;
+  vo_lat : Metrics.histogram;
+}
+
+type obs = {
+  o_read : verb_obs;
+  o_write : verb_obs;
+  o_write_post : verb_obs;
+  o_cas : verb_obs;
+  o_transfer : verb_obs;
+  o_failures : Metrics.counter;  (* verbs that hit the failure timeout *)
+  o_dropped : Metrics.counter;  (* posted writes dropped on a dead peer *)
+}
 
 type t = {
   qp_src : Fabric.node;
   qp_dst : Fabric.node;
   mutable busy_until : Time_ns.t;
+  qp_obs : obs;
 }
 
 exception Rdma_exception of { target : int; verb : string }
 
-let connect ~src ~dst = { qp_src = src; qp_dst = dst; busy_until = 0 }
+let make_obs ~src ~dst =
+  let reg = Fabric.metrics (Fabric.fabric_of src) in
+  let pair = [ ("src", Fabric.node_name src); ("dst", Fabric.node_name dst) ] in
+  let verb v =
+    let labels = ("verb", v) :: pair in
+    {
+      vo_count = Metrics.counter reg ~labels "rdma.verb.count";
+      vo_bytes = Metrics.counter reg ~labels "rdma.verb.bytes";
+      vo_lat = Metrics.histogram reg ~labels "rdma.verb.latency_ns";
+    }
+  in
+  {
+    o_read = verb "read";
+    o_write = verb "write";
+    o_write_post = verb "write_post";
+    o_cas = verb "cas";
+    o_transfer = verb "transfer";
+    o_failures = Metrics.counter reg ~labels:pair "rdma.failure_timeouts";
+    o_dropped = Metrics.counter reg ~labels:pair "rdma.dropped_writes";
+  }
+
+let connect ~src ~dst =
+  { qp_src = src; qp_dst = dst; busy_until = 0; qp_obs = make_obs ~src ~dst }
+
 let src t = t.qp_src
 let dst t = t.qp_dst
+let dropped_writes t = Metrics.counter_value t.qp_obs.o_dropped
 
 let prof_and_eng t =
   let fab = Fabric.fabric_of t.qp_src in
@@ -18,13 +62,18 @@ let prof_and_eng t =
 
 (* Reserve this QP for one verb carrying [bytes_len] payload bytes and
    return the completion instant. RC ordering: a verb starts only after
-   the previous one on the same QP completed. *)
-let reserve t ~bytes_len =
+   the previous one on the same QP completed. Records count, bytes and
+   post-to-completion latency (queuing included) against [vo]. *)
+let reserve t vo ~bytes_len =
   let eng, prof = prof_and_eng t in
+  let posted = Engine.now eng in
   Engine.consume prof.Profile.post_ns;
   let start = max (Engine.now eng) t.busy_until in
   let completion = start + Profile.verb_latency prof ~bytes_len in
   t.busy_until <- completion;
+  Metrics.incr vo.vo_count;
+  Metrics.add vo.vo_bytes bytes_len;
+  Metrics.observe vo.vo_lat (completion - posted);
   completion
 
 let await_completion t completion ~verb =
@@ -32,11 +81,12 @@ let await_completion t completion ~verb =
   Engine.sleep (completion - Engine.now eng);
   if not (Fabric.is_alive t.qp_dst) then begin
     Engine.sleep prof.Profile.failure_timeout_ns;
+    Metrics.incr t.qp_obs.o_failures;
     raise (Rdma_exception { target = Fabric.node_id t.qp_dst; verb })
   end
 
 let read t addr ~len =
-  let completion = reserve t ~bytes_len:len in
+  let completion = reserve t t.qp_obs.o_read ~bytes_len:len in
   await_completion t completion ~verb:"read";
   Fabric.local_read t.qp_dst addr ~len
 
@@ -46,19 +96,20 @@ let land_write t addr payload =
 
 let write t addr payload =
   let payload = Bytes.copy payload in
-  let completion = reserve t ~bytes_len:(Bytes.length payload) in
+  let completion = reserve t t.qp_obs.o_write ~bytes_len:(Bytes.length payload) in
   await_completion t completion ~verb:"write";
   land_write t addr payload
 
 let write_post t addr payload =
   let payload = Bytes.copy payload in
   let eng, _ = prof_and_eng t in
-  let completion = reserve t ~bytes_len:(Bytes.length payload) in
+  let completion = reserve t t.qp_obs.o_write_post ~bytes_len:(Bytes.length payload) in
   Engine.schedule ~delay:(completion - Engine.now eng) eng (fun () ->
-      if Fabric.is_alive t.qp_dst then land_write t addr payload)
+      if Fabric.is_alive t.qp_dst then land_write t addr payload
+      else Metrics.incr t.qp_obs.o_dropped)
 
 let cas t addr ~expected ~desired =
-  let completion = reserve t ~bytes_len:8 in
+  let completion = reserve t t.qp_obs.o_cas ~bytes_len:8 in
   await_completion t completion ~verb:"cas";
   let r = Fabric.region t.qp_dst addr.Memory.mem_rid in
   let prev = Memory.get_i64 r ~off:addr.Memory.mem_off in
@@ -69,7 +120,7 @@ let cas t addr ~expected ~desired =
   prev
 
 let transfer t ~bytes_len =
-  let completion = reserve t ~bytes_len in
+  let completion = reserve t t.qp_obs.o_transfer ~bytes_len in
   await_completion t completion ~verb:"transfer"
 
 let read_i64 t addr =

@@ -10,7 +10,13 @@
     All verbs must be called from a fiber running on the source node;
     they block that fiber for the simulated duration of the operation.
     {!write_post} is the exception: it models a posted write whose
-    completion is never polled (fire-and-forget). *)
+    completion is never polled (fire-and-forget).
+
+    Every verb records count, payload bytes and post-to-completion
+    latency into the fabric's metric registry ({!Fabric.metrics}) as
+    [rdma.verb.count] / [rdma.verb.bytes] / [rdma.verb.latency_ns]
+    labelled by [verb], [src] and [dst] (one series per QP pair), plus
+    [rdma.failure_timeouts] and [rdma.dropped_writes] per pair. *)
 
 type t
 
@@ -37,8 +43,14 @@ val write : t -> Memory.addr -> bytes -> unit
 val write_post : t -> Memory.addr -> bytes -> unit
 (** Post a write and return after the local post cost only. The write
     lands (and raises the destination's memory signal) at its in-order
-    completion instant; it is silently dropped if the peer is dead —
-    exactly the behaviour of an unpolled posted write. *)
+    completion instant; if the peer is dead at that instant the write is
+    dropped — exactly the behaviour of an unpolled posted write — and
+    counted in the [rdma.dropped_writes] metric (see
+    {!dropped_writes}). *)
+
+val dropped_writes : t -> int
+(** Posted writes this QP dropped because the peer was dead at their
+    completion instant. *)
 
 val cas : t -> Memory.addr -> expected:int64 -> desired:int64 -> int64
 (** One-sided atomic compare-and-swap on an 8-byte word. Returns the

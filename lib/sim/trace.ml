@@ -67,4 +67,10 @@ let render_timeline ?(width = 60) t =
             s.sp_attrs;
           Buffer.add_char buf '\n')
         all;
+      let lost = dropped t in
+      if lost > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "(%d earlier span%s dropped, capacity %d)\n" lost
+             (if lost = 1 then "" else "s")
+             t.capacity);
       Buffer.contents buf

@@ -17,15 +17,18 @@ let title t = t.table_title
 let rows t = List.rev t.body
 
 let render t =
-  let all = t.headers :: rows t in
   let ncols = List.length t.headers in
-  let width c =
-    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
-  in
-  let widths = List.init ncols width in
+  (* One pass per row: O(rows * cols) overall. *)
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun c cell -> widths.(c) <- max widths.(c) (String.length cell))
+        row)
+    (t.headers :: rows t);
   let render_row row =
     let cells =
-      List.map2 (fun cell w -> Printf.sprintf "%-*s" w cell) row widths
+      List.mapi (fun c cell -> Printf.sprintf "%-*s" widths.(c) cell) row
     in
     String.concat "  " cells
   in
@@ -33,7 +36,7 @@ let render t =
   Buffer.add_string buf ("== " ^ t.table_title ^ " ==\n");
   Buffer.add_string buf (render_row t.headers);
   Buffer.add_char buf '\n';
-  let total = List.fold_left ( + ) (2 * (ncols - 1)) widths in
+  let total = Array.fold_left ( + ) (2 * (ncols - 1)) widths in
   Buffer.add_string buf (String.make total '-');
   Buffer.add_char buf '\n';
   List.iter

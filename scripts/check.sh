@@ -1,0 +1,33 @@
+#!/bin/sh
+# Repository health check: build, tests, and the observability edges
+# (metrics dump + Perfetto trace must be valid JSON).
+#
+#   ./scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench --metrics =="
+metrics=$(mktemp /tmp/heron_metrics.XXXXXX.json)
+trace=$(mktemp /tmp/heron_trace.XXXXXX.json)
+trap 'rm -f "$metrics" "$trace"' EXIT
+
+dune exec bench/main.exe -- fig8 quick --metrics "$metrics" > /dev/null
+dune exec bin/probe.exe -- jsonlint "$metrics"
+
+echo "== probe trace =="
+dune exec bin/probe.exe -- trace "$trace" > /dev/null
+dune exec bin/probe.exe -- jsonlint "$trace"
+
+echo "all checks passed"

@@ -5,7 +5,8 @@
      dune exec bench/main.exe            -- all experiments + micro
      dune exec bench/main.exe -- quick   -- shortened windows/sweeps
      dune exec bench/main.exe -- fig4    -- one experiment
-     (also: fig5 fig6 fig7 table1 fig8 ablations micro_kv micro)
+     (also: fig5 fig6 fig7 table1 fig8 ablations micro_kv micro;
+    `coord' is opt-in only and writes BENCH_coord.json)
 
    Absolute numbers come from the calibrated simulation (DESIGN.md);
    EXPERIMENTS.md records the paper-vs-measured comparison. *)
@@ -52,12 +53,93 @@ let run_ablations ~quick =
           Experiments.ablation_grace ~quick ();
           Experiments.ablation_parallel ~quick ();
           Experiments.ablation_batching ~quick ();
+          Experiments.ablation_coord_batching ~quick ();
         ])
 
 let run_micro_kv ~quick =
   timed "micro_kv" (fun () ->
       let a, b = Experiments.micro_kv ~quick () in
       print_tables [ a; b ])
+
+(* {1 Coordination smoke bench}
+
+   A fast, machine-readable summary of the coordination path for
+   scripts/check.sh: multi-partition client latency with doorbell
+   batching on and off, single-partition throughput, and the doorbell
+   charge counts, written to BENCH_coord.json in the current
+   directory. *)
+
+let run_coord ~quick =
+  timed "coord" (fun () ->
+      let open Heron_sim in
+      let open Heron_core in
+      let t0 = Unix.gettimeofday () in
+      let warmup = Time_ns.ms (if quick then 2 else 5) in
+      let measure = Time_ns.ms (if quick then 8 else 20) in
+      let run ~coord_batching ~clients ~gen_dst =
+        let reg = Heron_obs.Metrics.create () in
+        let eng = Engine.create ~seed:12 () in
+        let cfg =
+          let c = Config.default ~partitions:2 ~replicas:3 in
+          { c with Config.coord_batching; metrics = reg }
+        in
+        let sys = System.create eng ~cfg ~app:Heron_harness.Driver.null_app in
+        System.start sys;
+        let rs =
+          Heron_harness.Driver.run_system ~warmup ~measure ~sys ~clients
+            ~gen:(fun ~client rng ->
+              ignore client;
+              ( { Heron_harness.Driver.nr_dst = []; nr_bytes = 200 },
+                Some (gen_dst rng) ))
+            ()
+        in
+        (rs, reg)
+      in
+      (* Low load for the latency probe (coordination-dominated, not
+         queueing-dominated); saturation for throughput. *)
+      let multi_on, reg_on =
+        run ~coord_batching:true ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ])
+      in
+      let multi_off, reg_off =
+        run ~coord_batching:false ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ])
+      in
+      let single, _ =
+        run ~coord_batching:true ~clients:16 ~gen_dst:(fun rng ->
+            [ Random.State.int rng 2 ])
+      in
+      let p rs q =
+        float_of_int (Sample_set.percentile rs.Heron_harness.Driver.rs_latency q)
+        /. 1e3
+      in
+      let posts_on = Experiments.write_post_charges reg_on in
+      let posts_off = Experiments.write_post_charges reg_off in
+      let json =
+        Heron_obs.Json.Obj
+          [
+            ("bench", Heron_obs.Json.String "coord");
+            ("quick", Heron_obs.Json.Bool quick);
+            ("multi_p50_us", Heron_obs.Json.Float (p multi_on 50.));
+            ("multi_p99_us", Heron_obs.Json.Float (p multi_on 99.));
+            ("multi_p50_us_unbatched", Heron_obs.Json.Float (p multi_off 50.));
+            ("multi_p99_us_unbatched", Heron_obs.Json.Float (p multi_off 99.));
+            ( "single_partition_tput_tps",
+              Heron_obs.Json.Float single.Heron_harness.Driver.rs_throughput_tps );
+            ("write_post_charges_batched", Heron_obs.Json.Int posts_on);
+            ("write_post_charges_unbatched", Heron_obs.Json.Int posts_off);
+            ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
+          ]
+      in
+      let oc = open_out "BENCH_coord.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Heron_obs.Json.to_channel oc json;
+          output_char oc '\n');
+      say
+        "coord: multi p50 %.1f us / p99 %.1f us batched (%.1f / %.1f unbatched), \
+         single-partition %.0f tps, doorbells %d vs %d -> BENCH_coord.json\n"
+        (p multi_on 50.) (p multi_on 99.) (p multi_off 50.) (p multi_off 99.)
+        single.Heron_harness.Driver.rs_throughput_tps posts_on posts_off)
 
 (* {1 Micro-benchmarks (Bechamel)} *)
 
@@ -183,6 +265,7 @@ let () =
   if wants "fig8" then run_fig8 ~quick;
   if wants "ablations" then run_ablations ~quick;
   if wants "micro_kv" then run_micro_kv ~quick;
+  if List.mem "coord" args then run_coord ~quick;
   if wants "micro" then run_micro ();
   Option.iter dump_metrics metrics_file;
   say "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -15,7 +15,8 @@ let experiments =
     ("fig7", "Latency per TPCC transaction type");
     ("table1", "Delayed transactions when coordination waits for all replicas");
     ("fig8", "State transfer latency");
-    ("ablations", "Grace-delay and parallel-execution ablations (extensions)");
+    ( "ablations",
+      "Grace-delay, parallel-execution and batching ablations (extensions)" );
     ("micro_kv", "Key-value microbenchmarks: latency vs value size, YCSB mixes");
     ("all", "Run every experiment in paper order");
     ("list", "List available experiments");
@@ -46,6 +47,7 @@ let run name quick =
           Experiments.ablation_grace ~quick ();
           Experiments.ablation_parallel ~quick ();
           Experiments.ablation_batching ~quick ();
+          Experiments.ablation_coord_batching ~quick ();
         ]
   | "micro_kv" ->
       let a, b = Experiments.micro_kv ~quick () in

@@ -25,6 +25,7 @@ type t = {
   workers : int;
   statesync_timeout_ns : int;
   addr_query_ns : int;
+  coord_batching : bool;
   metrics : Heron_obs.Metrics.t;
 }
 
@@ -58,5 +59,6 @@ let default ~partitions ~replicas =
     workers = 1;
     statesync_timeout_ns = 5_000_000;
     addr_query_ns = 4_000;
+    coord_batching = true;
     metrics = Heron_obs.Metrics.default;
   }

@@ -67,6 +67,13 @@ type t = {
   addr_query_ns : int;
       (** modelled cost of the one-time remote object address query
           (Algorithm 2 lines 8-13) *)
+  coord_batching : bool;
+      (** post coordination and state-sync fan-outs as doorbell-batched
+          WQE lists ({!Heron_rdma.Qp.Doorbell}): one slot image encoded
+          per fan-out and one doorbell per coalesce group instead of one
+          [write_post] (and one [post_ns] charge) per destination
+          replica. On by default; turn off to reproduce the unbatched
+          cost model (the ablation in EXPERIMENTS.md compares both). *)
   metrics : Heron_obs.Metrics.t;
       (** registry the whole deployment records into: the fabric's RDMA
           verb series, the multicast counters and the replicas'

@@ -1,0 +1,109 @@
+type footprint = { fp_reads : Oid.t array; fp_writes : Oid.t array }
+
+let footprint ~reads ~writes =
+  let seen = Hashtbl.create 16 in
+  let fresh oid =
+    if Hashtbl.mem seen oid then false
+    else begin
+      Hashtbl.replace seen oid ();
+      true
+    end
+  in
+  (* Writes first: a read of an object the request also writes is
+     dropped — the write entry alone serializes it against everyone. *)
+  let writes = List.filter fresh writes in
+  let reads = List.filter fresh reads in
+  { fp_reads = Array.of_list reads; fp_writes = Array.of_list writes }
+
+let footprint_size fp = Array.length fp.fp_reads + Array.length fp.fp_writes
+
+type entry = { mutable readers : int; mutable writer : bool }
+
+type t = {
+  tbl : (Oid.t, entry) Hashtbl.t;
+  mutable ci_probes : int;
+  mutable m_probes : Heron_obs.Metrics.counter option;
+  mutable m_admits : Heron_obs.Metrics.counter option;
+  mutable m_retires : Heron_obs.Metrics.counter option;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 64;
+    ci_probes = 0;
+    m_probes = None;
+    m_admits = None;
+    m_retires = None;
+  }
+
+let attach_metrics t reg =
+  let open Heron_obs in
+  t.m_probes <- Some (Metrics.counter reg "sched.conflict_probes");
+  t.m_admits <- Some (Metrics.counter reg "sched.conflict_admits");
+  t.m_retires <- Some (Metrics.counter reg "sched.conflict_retires")
+
+let bump c = match c with Some c -> Heron_obs.Metrics.incr c | None -> ()
+
+let probe t oid =
+  t.ci_probes <- t.ci_probes + 1;
+  bump t.m_probes;
+  Hashtbl.find_opt t.tbl oid
+
+let can_admit t fp =
+  let ok = ref true in
+  Array.iter
+    (fun oid ->
+      if !ok then
+        match probe t oid with
+        | Some e when e.writer || e.readers > 0 -> ok := false
+        | Some _ | None -> ())
+    fp.fp_writes;
+  Array.iter
+    (fun oid ->
+      if !ok then
+        match probe t oid with
+        | Some e when e.writer -> ok := false
+        | Some _ | None -> ())
+    fp.fp_reads;
+  !ok
+
+let entry_of t oid =
+  match Hashtbl.find_opt t.tbl oid with
+  | Some e -> e
+  | None ->
+      let e = { readers = 0; writer = false } in
+      Hashtbl.replace t.tbl oid e;
+      e
+
+let admit t fp =
+  Array.iter (fun oid -> (entry_of t oid).writer <- true) fp.fp_writes;
+  Array.iter
+    (fun oid ->
+      let e = entry_of t oid in
+      e.readers <- e.readers + 1)
+    fp.fp_reads;
+  bump t.m_admits
+
+let drop_if_idle t oid e = if (not e.writer) && e.readers = 0 then Hashtbl.remove t.tbl oid
+
+let retire t fp =
+  Array.iter
+    (fun oid ->
+      match Hashtbl.find_opt t.tbl oid with
+      | Some e ->
+          e.writer <- false;
+          drop_if_idle t oid e
+      | None -> ())
+    fp.fp_writes;
+  Array.iter
+    (fun oid ->
+      match Hashtbl.find_opt t.tbl oid with
+      | Some e ->
+          e.readers <- e.readers - 1;
+          drop_if_idle t oid e
+      | None -> ())
+    fp.fp_reads;
+  bump t.m_retires
+
+let live_objects t = Hashtbl.length t.tbl
+let probes t = t.ci_probes

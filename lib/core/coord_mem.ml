@@ -44,9 +44,10 @@ let reached t ~part ~idx ~tmp ~stage =
   let slot_tmp, slot_stage = read_slot t ~part ~idx in
   (Tstamp.equal slot_tmp tmp && slot_stage >= stage) || Tstamp.(tmp < slot_tmp)
 
-let count_reached t ~part ~replicas ~tmp ~stage =
-  let n = ref 0 in
-  for idx = 0 to replicas - 1 do
-    if reached t ~part ~idx ~tmp ~stage then incr n
+let count_reached ?(stop_at = max_int) t ~part ~replicas ~tmp ~stage =
+  let n = ref 0 and idx = ref 0 in
+  while !n < stop_at && !idx < replicas do
+    if reached t ~part ~idx:!idx ~tmp ~stage then incr n;
+    incr idx
   done;
   !n

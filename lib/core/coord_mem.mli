@@ -44,5 +44,9 @@ val encode_slot : Tstamp.t -> stage:int -> bytes
     request is newer) — the wait condition of Algorithm 1 lines 10/16. *)
 val reached : t -> part:int -> idx:int -> tmp:Tstamp.t -> stage:int -> bool
 
-val count_reached : t -> part:int -> replicas:int -> tmp:Tstamp.t -> stage:int -> int
-(** Number of replicas of [part] whose slot satisfies {!reached}. *)
+val count_reached :
+  ?stop_at:int -> t -> part:int -> replicas:int -> tmp:Tstamp.t -> stage:int -> int
+(** Number of replicas of [part] whose slot satisfies {!reached}.
+    [stop_at] caps the scan: return as soon as that many reached slots
+    were seen (waiters checking a threshold need not read the remaining
+    slots every poll). *)

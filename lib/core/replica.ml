@@ -196,69 +196,134 @@ let wait_mem_deadline r pred ~deadline =
 (* {1 Coordination (Algorithm 1, Phases 2 and 4)} *)
 
 (* Write (tmp, stage) into our slot of every replica of every involved
-   partition; self-coordination is a local write. *)
+   partition; self-coordination is a local write. The slot image is
+   encoded once per fan-out ([write_post] and [Doorbell.ring] snapshot
+   payloads at post time, so sharing the buffer is safe). With
+   [coord_batching] all remote slots go out as one doorbell-batched WQE
+   list — one [post_ns] per coalesce group plus one [coord_post_ns]
+   WQE-preparation charge per fan-out — instead of one full post per
+   destination replica. *)
 let announce r ~tmp ~dst ~stage =
-  List.iter
-    (fun h ->
-      for i = 0 to n_replicas r - 1 do
-        let q = peer r ~part:h ~idx:i in
-        if q == r then Coord_mem.write_local r.r_coord ~part:r.r_part ~idx:r.r_idx tmp ~stage
-        else begin
-          Engine.consume (costs r).Config.coord_post_ns;
-          Qp.write_post (qp_to r q.r_node)
-            (Coord_mem.slot_addr q.r_coord ~part:r.r_part ~idx:r.r_idx)
-            (Coord_mem.encode_slot tmp ~stage)
-        end
-      done)
-    dst
-
-let majority_reached r ~tmp ~dst ~stage () =
-  List.for_all
-    (fun h ->
-      Coord_mem.count_reached r.r_coord ~part:h ~replicas:(n_replicas r) ~tmp ~stage
-      >= majority r)
-    dst
-
-let all_reached r ~tmp ~dst ~stage () =
-  List.for_all
-    (fun h ->
-      Coord_mem.count_reached r.r_coord ~part:h ~replicas:(n_replicas r) ~tmp ~stage
-      = n_replicas r)
-    dst
+  let payload = Coord_mem.encode_slot tmp ~stage in
+  if r.r_cfg.Config.coord_batching then begin
+    let batch = Qp.Doorbell.create () in
+    List.iter
+      (fun h ->
+        for i = 0 to n_replicas r - 1 do
+          let q = peer r ~part:h ~idx:i in
+          if q == r then
+            Coord_mem.write_local r.r_coord ~part:r.r_part ~idx:r.r_idx tmp ~stage
+          else
+            Qp.Doorbell.add batch (qp_to r q.r_node)
+              (Coord_mem.slot_addr q.r_coord ~part:r.r_part ~idx:r.r_idx)
+              payload
+        done)
+      dst;
+    if Qp.Doorbell.length batch > 0 then begin
+      Engine.consume (costs r).Config.coord_post_ns;
+      Qp.Doorbell.ring batch
+    end
+  end
+  else
+    List.iter
+      (fun h ->
+        for i = 0 to n_replicas r - 1 do
+          let q = peer r ~part:h ~idx:i in
+          if q == r then
+            Coord_mem.write_local r.r_coord ~part:r.r_part ~idx:r.r_idx tmp ~stage
+          else begin
+            Engine.consume (costs r).Config.coord_post_ns;
+            Qp.write_post (qp_to r q.r_node)
+              (Coord_mem.slot_addr q.r_coord ~part:r.r_part ~idx:r.r_idx)
+              payload
+          end
+        done)
+      dst
 
 (* One coordination phase: announce, wait for a majority per involved
    partition, then apply the configured tail policy. Wait_all feeds the
-   Table I instrumentation (delayed transactions and their delay). *)
+   Table I instrumentation (delayed transactions and their delay).
+
+   Reached counts are cached monotonically across wakeups: for a fixed
+   (tmp, stage) a slot's [reached] can only flip to true, so each
+   wakeup rescans just the slots not yet seen instead of all
+   partitions × replicas — and the polling charge after the majority
+   observation covers only those remaining slots. *)
 let coordinate r ~tmp ~dst ~stage ~(wait : Config.coord_wait) =
   let t_begin = Engine.now r.r_eng in
   announce r ~tmp ~dst ~stage;
-  wait_mem r (majority_reached r ~tmp ~dst ~stage);
-  let check_cost =
-    (costs r).Config.coord_check_slot_ns * n_replicas r * List.length dst
+  let n = n_replicas r in
+  let track = List.map (fun h -> (h, Array.make n false, ref 0)) dst in
+  let reached_upto target () =
+    List.for_all
+      (fun (h, seen, cnt) ->
+        let i = ref 0 in
+        while !cnt < target && !i < n do
+          if (not seen.(!i)) && Coord_mem.reached r.r_coord ~part:h ~idx:!i ~tmp ~stage
+          then begin
+            seen.(!i) <- true;
+            incr cnt
+          end;
+          incr i
+        done;
+        !cnt >= target)
+      track
   in
+  let check_cost () =
+    let unseen = List.fold_left (fun acc (_, _, cnt) -> acc + (n - !cnt)) 0 track in
+    (costs r).Config.coord_check_slot_ns * unseen
+  in
+  wait_mem r (reached_upto (majority r));
   (match wait with
   | Config.Majority -> ()
   | Config.Grace grace ->
       (* One polling iteration separates the majority observation from
          the all-replicas check. *)
-      Engine.consume check_cost;
-      if not (all_reached r ~tmp ~dst ~stage ()) then begin
+      Engine.consume (check_cost ());
+      if not (reached_upto n ()) then begin
         let deadline = Engine.now r.r_eng + grace in
-        wait_mem_deadline r (all_reached r ~tmp ~dst ~stage) ~deadline
+        wait_mem_deadline r (reached_upto n) ~deadline
       end
   | Config.Wait_all ->
-      Engine.consume check_cost;
-      if all_reached r ~tmp ~dst ~stage () then ()
+      Engine.consume (check_cost ());
+      if reached_upto n () then ()
       else begin
         r.r_stats.st_delayed <- r.r_stats.st_delayed + 1;
         let t0 = Engine.now r.r_eng in
-        wait_mem r (all_reached r ~tmp ~dst ~stage);
+        wait_mem r (reached_upto n);
         Heron_stats.Sample_set.add r.r_stats.st_delay (Engine.now r.r_eng - t0)
       end);
   let hist =
     if stage = 1 then r.r_obs.ob_phase2_wait else r.r_obs.ob_phase4_wait
   in
   Heron_obs.Metrics.observe hist (Engine.now r.r_eng - t_begin)
+
+(* Write one statesync slot image into every replica of the group (self
+   included), doorbell-batched under [coord_batching]; the image is
+   encoded once and shared by all WQEs. *)
+let sync_fanout r ~slot_idx tmp ~status =
+  let payload = Statesync_mem.encode_slot tmp ~status in
+  if r.r_cfg.Config.coord_batching then begin
+    let batch = Qp.Doorbell.create () in
+    for i = 0 to n_replicas r - 1 do
+      let q = peer r ~part:r.r_part ~idx:i in
+      if q == r then Statesync_mem.write_local r.r_sync ~idx:slot_idx tmp ~status
+      else
+        Qp.Doorbell.add batch (qp_to r q.r_node)
+          (Statesync_mem.slot_addr q.r_sync ~idx:slot_idx)
+          payload
+    done;
+    Qp.Doorbell.ring batch
+  end
+  else
+    for i = 0 to n_replicas r - 1 do
+      let q = peer r ~part:r.r_part ~idx:i in
+      if q == r then Statesync_mem.write_local r.r_sync ~idx:slot_idx tmp ~status
+      else
+        Qp.write_post (qp_to r q.r_node)
+          (Statesync_mem.slot_addr q.r_sync ~idx:slot_idx)
+          payload
+    done
 
 (* {1 State transfer (Algorithm 3)} *)
 
@@ -268,14 +333,7 @@ let rec initiate_state_transfer r ~failed_tmp =
   let transfer_start = Engine.now r.r_eng in
   r.r_stats.st_laggers <- r.r_stats.st_laggers + 1;
   Heron_obs.Metrics.incr r.r_obs.ob_laggers;
-  for i = 0 to n_replicas r - 1 do
-    let q = peer r ~part:r.r_part ~idx:i in
-    if q == r then Statesync_mem.write_local r.r_sync ~idx:r.r_idx failed_tmp ~status:1
-    else
-      Qp.write_post (qp_to r q.r_node)
-        (Statesync_mem.slot_addr q.r_sync ~idx:r.r_idx)
-        (Statesync_mem.encode_slot failed_tmp ~status:1)
-  done;
+  sync_fanout r ~slot_idx:r.r_idx failed_tmp ~status:1;
   wait_mem r (fun () -> snd (Statesync_mem.read_slot r.r_sync ~idx:r.r_idx) = 0);
   (* Non-serialized data shipped by the donor must be deserialized
      before resuming (Figure 8's second scenario). *)
@@ -285,7 +343,13 @@ let rec initiate_state_transfer r ~failed_tmp =
   end;
   let rid, _ = Statesync_mem.read_slot r.r_sync ~idx:r.r_idx in
   if Tstamp.(r.r_last_req < rid) then r.r_last_req <- rid;
-  if Tstamp.(r.r_last_applied < rid) then r.r_last_applied <- rid;
+  if Tstamp.(r.r_last_applied < rid) then begin
+    r.r_last_applied <- rid;
+    (* Adopted state reached [rid] without our log recording the
+       corresponding updates: the log has a hole up to [rid] and must
+       not serve delta transfers reaching behind it. *)
+    Update_log.note_gap r.r_log ~upto:rid
+  end;
   (* The donor had not reached the failed request yet: its state cannot
      cover it, so ask again (it keeps executing meanwhile). *)
   trace r ~name:"state-transfer" ~tmp:failed_tmp ~start:transfer_start
@@ -361,14 +425,7 @@ let do_transfer r ~lagger_idx ~failed_tmp =
      Heron_obs.Metrics.incr r.r_obs.ob_transfers;
      Heron_obs.Metrics.add r.r_obs.ob_transfer_bytes (reg_bytes + loc_bytes);
      (* Report completion to the whole group (Algorithm 3 lines 16-17). *)
-     for i = 0 to n_replicas r - 1 do
-       let q = peer r ~part:r.r_part ~idx:i in
-       if q == r then Statesync_mem.write_local r.r_sync ~idx:lagger_idx upto ~status:0
-       else
-         Qp.write_post (qp_to r q.r_node)
-           (Statesync_mem.slot_addr q.r_sync ~idx:lagger_idx)
-           (Statesync_mem.encode_slot upto ~status:0)
-     done
+     sync_fanout r ~slot_idx:lagger_idx upto ~status:0
    with Qp.Rdma_exception _ -> (* lagger died mid-transfer *) ())
 
 (* Watch our state-transfer memory for requests from laggers and run
@@ -430,49 +487,59 @@ let ensure_addr_known r oid ~h =
 (* Remote read with dual-version selection: pick a replica of [h] that
    coordinated in Phase 2, read its cell, take the freshest version
    older than the request. Failed replicas are skipped on
-   RDMA exceptions; finding no old-enough version means we lag. *)
+   RDMA exceptions; finding no old-enough version means we lag.
+   Candidate selection scans two preallocated arrays — no per-attempt
+   list allocation — and [tried] is reset explicitly when the whole
+   candidate set has failed. *)
 let remote_read r oid ~h ~tmp =
   ensure_addr_known r oid ~h;
   let rng = Engine.rng r.r_eng in
-  let rec attempt tried =
-    let candidates = ref [] in
-    for i = 0 to n_replicas r - 1 do
-      if
-        (not (List.mem i tried))
-        && Coord_mem.reached r.r_coord ~part:h ~idx:i ~tmp ~stage:1
-      then candidates := i :: !candidates
+  let n = n_replicas r in
+  let tried = Array.make n false in
+  let candidates = Array.make n 0 in
+  let rec attempt ~tried_any =
+    let n_cand = ref 0 in
+    for i = 0 to n - 1 do
+      if (not tried.(i)) && Coord_mem.reached r.r_coord ~part:h ~idx:i ~tmp ~stage:1
+      then begin
+        candidates.(!n_cand) <- i;
+        incr n_cand
+      end
     done;
-    match !candidates with
-    | [] ->
-        if tried = [] then begin
-          (* Phase 2 guaranteed a majority; wait for their slots. *)
-          wait_mem r (fun () ->
-              Coord_mem.count_reached r.r_coord ~part:h ~replicas:(n_replicas r)
-                ~tmp ~stage:1
-              > 0);
-          attempt []
-        end
-        else attempt []  (* all candidates failed: retry the full set *)
-    | cs -> (
-        let i = List.nth cs (Random.State.int rng (List.length cs)) in
-        let q = peer r ~part:h ~idx:i in
-        match
-          Qp.read (qp_to r q.r_node)
-            (Versioned_store.cell_addr q.r_store oid)
-            ~len:(Versioned_store.cell_len q.r_store oid)
-        with
-        | raw -> (
-            let versions = Versioned_store.decode_cell raw in
-            match Versioned_store.pick_version versions ~bound:tmp with
-            | Some (v, _) ->
-                charge_deser r (Bytes.length v);
-                v
-            | None ->
-                Heron_obs.Metrics.incr r.r_obs.ob_remote_miss;
-                raise Lagging)
-        | exception Qp.Rdma_exception _ -> attempt (i :: tried))
+    if !n_cand = 0 then begin
+      if tried_any then
+        (* All candidates failed: reset and retry the full set. *)
+        Array.fill tried 0 n false
+      else
+        (* Phase 2 guaranteed a majority; wait for the first slot. *)
+        wait_mem r (fun () ->
+            Coord_mem.count_reached ~stop_at:1 r.r_coord ~part:h ~replicas:n ~tmp
+              ~stage:1
+            > 0);
+      attempt ~tried_any:false
+    end
+    else
+      let i = candidates.(Random.State.int rng !n_cand) in
+      let q = peer r ~part:h ~idx:i in
+      match
+        Qp.read (qp_to r q.r_node)
+          (Versioned_store.cell_addr q.r_store oid)
+          ~len:(Versioned_store.cell_len q.r_store oid)
+      with
+      | raw -> (
+          let versions = Versioned_store.decode_cell raw in
+          match Versioned_store.pick_version versions ~bound:tmp with
+          | Some (v, _) ->
+              charge_deser r (Bytes.length v);
+              v
+          | None ->
+              Heron_obs.Metrics.incr r.r_obs.ob_remote_miss;
+              raise Lagging)
+      | exception Qp.Rdma_exception _ ->
+          tried.(i) <- true;
+          attempt ~tried_any:true
   in
-  attempt []
+  attempt ~tried_any:false
 
 (* Reading phase: prefetch every object of this partition's read
    plan. *)
@@ -696,36 +763,27 @@ let handle_delivery r (dv : ('req, 'resp) request Ramcast.delivery) =
    collide (TPCC's district row plays that role for order-id
    allocation). *)
 
-type footprint = {
-  fp_reads : (Oid.t, unit) Hashtbl.t;
-  fp_writes : (Oid.t, unit) Hashtbl.t;
-}
-
 let footprint_of r req =
-  let reads = Hashtbl.create 16 and writes = Hashtbl.create 8 in
-  List.iter
-    (fun oid -> Hashtbl.replace reads oid ())
-    (r.r_app.App.read_plan ~part:r.r_part req.rq_payload);
-  List.iter
-    (fun oid ->
-      match r.r_app.App.placement_of oid with
-      | App.Partition h when h = r.r_part -> Hashtbl.replace writes oid ()
-      | App.Partition _ | App.Replicated -> ())
-    (r.r_app.App.write_sketch req.rq_payload);
-  { fp_reads = reads; fp_writes = writes }
-
-let footprints_conflict a b =
-  let overlaps set tbl =
-    Hashtbl.fold (fun oid () acc -> acc || Hashtbl.mem tbl oid) set false
+  let writes =
+    List.filter
+      (fun oid ->
+        match r.r_app.App.placement_of oid with
+        | App.Partition h -> h = r.r_part
+        | App.Replicated -> false)
+      (r.r_app.App.write_sketch req.rq_payload)
   in
-  overlaps a.fp_writes b.fp_writes
-  || overlaps a.fp_writes b.fp_reads
-  || overlaps b.fp_writes a.fp_reads
+  Conflict_index.footprint
+    ~reads:(r.r_app.App.read_plan ~part:r.r_part req.rq_payload)
+    ~writes
 
 let parallel_loop r =
   let workers = r.r_cfg.Config.workers in
-  let inflight : (int, footprint) Hashtbl.t = Hashtbl.create 8 in
-  let next_token = ref 0 in
+  let cidx = Conflict_index.create () in
+  Conflict_index.attach_metrics cidx r.r_cfg.Config.metrics;
+  let blocked_ctr =
+    Heron_obs.Metrics.counter r.r_cfg.Config.metrics "sched.conflict_blocked"
+  in
+  let inflight = ref 0 in
   let done_sig = Signal.create () in
   (* Completion queue: r_last_applied only advances over a prefix of the
      delivery order, even though workers finish out of order — the
@@ -765,23 +823,29 @@ let parallel_loop r =
        match dv.Ramcast.d_dst with
        | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
            let fp = footprint_of r req in
+           (* Admission: capacity first (O(1)), then the conflict index
+              — O(own footprint) regardless of how many requests are in
+              flight. A blocked request re-checks once per completion
+              (the only event that can unblock it), never spinning over
+              the in-flight set. *)
+           let blocked = ref false in
            Signal.wait_until done_sig (fun () ->
-               Hashtbl.length inflight < workers
-               && Hashtbl.fold
-                    (fun _ other ok -> ok && not (footprints_conflict fp other))
-                    inflight true);
-           let token = !next_token in
-           incr next_token;
-           Hashtbl.replace inflight token fp;
+               let ok = !inflight < workers && Conflict_index.can_admit cidx fp in
+               if not ok then blocked := true;
+               ok);
+           if !blocked then Heron_obs.Metrics.incr blocked_ctr;
+           Conflict_index.admit cidx fp;
+           incr inflight;
            Queue.push tmp order;
            Fabric.spawn_on r.r_node (fun () ->
                exec_single r req ~tmp ~on_applied:(mark_applied tmp);
-               Hashtbl.remove inflight token;
+               Conflict_index.retire cidx fp;
+               decr inflight;
                Signal.broadcast done_sig)
        | dst ->
            (* Barrier: multi-partition and serial-hinted requests run
               alone. *)
-           Signal.wait_until done_sig (fun () -> Hashtbl.length inflight = 0);
+           Signal.wait_until done_sig (fun () -> !inflight = 0);
            Queue.push tmp order;
            (match dst with
            | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)

@@ -114,12 +114,20 @@ let restart_replica t ~part ~idx =
   Replica.set_directory fresh t.sys_replicas;
   Ramcast.restart_member t.sys_mcast ~gid:part ~idx ~deliver:(fun dv ->
       Mailbox.send (Replica.inbox fresh) dv);
+  (* The multicast layer does not redeliver entries dispatched before
+     the rejoin, so the recovery transfer must cover the group's
+     dispatch horizon: [initiate_state_transfer] retries until a donor
+     has applied past it. Entries dispatched after the horizon queue in
+     the fresh inbox and are replayed (or skipped as covered) once the
+     replica starts. A transfer from any earlier point — e.g. the
+     donor's applied prefix at snapshot time — can silently miss
+     requests the donor applies just after the snapshot, leaving this
+     replica permanently short. *)
+  let horizon = Ramcast.dispatch_horizon t.sys_mcast ~gid:part in
+  let earliest = Tstamp.make ~clock:1 ~uid:1 in
+  let failed_tmp = if Tstamp.(horizon < earliest) then earliest else horizon in
   Fabric.spawn_on node (fun () ->
-      (* Complete state transfer before executing anything: the fresh
-         store only holds initial values. Asking from the earliest
-         timestamp forces a full transfer whenever the donor's log does
-         not reach back to the beginning. *)
-      Replica.force_state_transfer fresh ~failed_tmp:(Tstamp.make ~clock:1 ~uid:1);
+      Replica.force_state_transfer fresh ~failed_tmp;
       Replica.start fresh)
 
 let new_client_node t ~name =

@@ -21,6 +21,7 @@ let append t tmp oid =
     if Tstamp.(t.trunc < dropped.en_tmp) then t.trunc <- dropped.en_tmp
   done
 
+let note_gap t ~upto = if Tstamp.(t.trunc < upto) then t.trunc <- upto
 let length t = Queue.length t.entries
 let covers t ~from = Tstamp.(t.trunc < from)
 

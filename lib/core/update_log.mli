@@ -21,6 +21,13 @@ val append : t -> Tstamp.t -> Oid.t -> unit
     execution of non-conflicting requests); {!covers} stays sound
     because truncation tracks the largest dropped timestamp. *)
 
+val note_gap : t -> upto:Tstamp.t -> unit
+(** Record that updates with timestamp <= [upto] may be missing from
+    the log — e.g. after adopting a state transfer whose shipped prefix
+    this replica never executed (and so never logged). Treated exactly
+    like truncation: {!covers} then refuses ranges reaching behind
+    [upto], forcing donors back to a full-store transfer. *)
+
 val length : t -> int
 
 val covers : t -> from:Tstamp.t -> bool

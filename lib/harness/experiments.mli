@@ -51,6 +51,19 @@ val ablation_batching : ?quick:bool -> unit -> Table.t
     batches; our calibrated default does not) — throughput/latency of
     null requests with batching on and off at increasing load. *)
 
+val write_post_charges : Heron_obs.Metrics.t -> int
+(** Total [rdma.verb.count{verb="write_post"}] doorbell charges across
+    every QP recorded in the registry (one per doorbell ring when
+    coordination batching is on, one per write otherwise). *)
+
+val ablation_coord_batching : ?quick:bool -> unit -> Table.t
+(** Extension: doorbell-batched coordination writes (Qp.Doorbell via
+    [Config.coord_batching]) on an all-multi-partition null workload —
+    throughput, p50/p99 latency and total [rdma.verb.count
+    {verb="write_post"}] doorbell charges, with batching on and off at
+    1 and 4 workers. EXPERIMENTS.md records the measured fan-out
+    reduction. *)
+
 val micro_kv : ?quick:bool -> unit -> Table.t * Table.t
 (** Extension: key-value microbenchmarks in the style of the
     full-replication RDMA systems Heron's related work compares against

@@ -127,6 +127,12 @@ let members t ~gid =
 
 let leader_idx t ~gid = t.groups.(gid).g_leader
 let delivered_count t ~gid ~idx = t.groups.(gid).g_members.(idx).m_delivered
+
+let dispatch_horizon t ~gid =
+  let g = t.groups.(gid) in
+  let lead = g.g_members.(g.g_leader) in
+  if lead.m_log_len = 0 then Tstamp.zero
+  else lead.m_log.(lead.m_log_len - 1).d_tmp
 let quorum t ~gid = (Array.length t.groups.(gid).g_members / 2) + 1
 
 let current_leader t gid =

@@ -92,6 +92,13 @@ val leader_idx : 'a t -> gid:int -> int
 val delivered_count : 'a t -> gid:int -> idx:int -> int
 (** Messages delivered so far by one member (tests/monitoring). *)
 
+val dispatch_horizon : 'a t -> gid:int -> Tstamp.t
+(** Timestamp of the newest entry the group's current leader has
+    appended to its log ([Tstamp.zero] if none). A member rejoining via
+    {!restart_member} receives every entry dispatched after this point,
+    and none dispatched before it — so a recovery state transfer that
+    covers the horizon closes the redelivery gap exactly. *)
+
 val restart_member : 'a t -> gid:int -> idx:int -> deliver:('a delivery -> unit) -> unit
 (** Rejoin a member whose node crashed and was recovered (a process
     restart loses all protocol state): reset its state, install a fresh

@@ -3,6 +3,8 @@ type t = {
   verb_ns : int;
   per_byte_ns_x100 : int;
   failure_timeout_ns : int;
+  doorbell_ns : int;
+  post_coalesce : int;
 }
 
 let default =
@@ -11,6 +13,8 @@ let default =
     verb_ns = 1_500;
     per_byte_ns_x100 = 32;
     failure_timeout_ns = 100_000;
+    doorbell_ns = 30;
+    post_coalesce = 16;
   }
 
 let verb_latency t ~bytes_len = t.verb_ns + (bytes_len * t.per_byte_ns_x100 / 100)

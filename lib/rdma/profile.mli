@@ -16,6 +16,14 @@ type t = {
           (32 = 0.32 ns/B = 25 Gbps) *)
   failure_timeout_ns : int;
       (** delay before a verb targeting a dead peer errors out *)
+  doorbell_ns : int;
+      (** local CPU cost per additional work request sharing a doorbell:
+          in a batched post the first WQE pays [post_ns] (building the
+          WQE plus the MMIO doorbell write), each further WQE in the
+          same ring only pays this incremental store *)
+  post_coalesce : int;
+      (** maximum work requests rung by a single doorbell; larger
+          batches are split into ceil(n / post_coalesce) rings *)
 }
 
 val default : t

@@ -108,6 +108,98 @@ let write_post t addr payload =
       if Fabric.is_alive t.qp_dst then land_write t addr payload
       else Metrics.incr t.qp_obs.o_dropped)
 
+(* {1 Doorbell batching}
+
+   A batch posts many write WQEs with one doorbell per coalesce group:
+   the first WQE of a group pays [post_ns] (WQE build + MMIO ring),
+   each further WQE only [doorbell_ns]. Wire behaviour is unchanged —
+   every WQE still serializes on its own QP ([busy_until]) and pays the
+   full per-verb latency, so RC ordering and bandwidth are modelled
+   exactly as for individual posts. [rdma.verb.count{verb=write_post}]
+   counts doorbells (one per group, charged to the QP carrying the
+   group's first WQE); bytes and latency stay per-WQE. *)
+
+type wqe = { w_qp : t; w_addr : Memory.addr; w_payload : bytes }
+
+(* Land one posted WQE at its completion instant, as [write_post]. *)
+let schedule_wqe eng w ~completion =
+  Engine.schedule ~delay:(completion - Engine.now eng) eng (fun () ->
+      if Fabric.is_alive w.w_qp.qp_dst then land_write w.w_qp w.w_addr w.w_payload
+      else Metrics.incr w.w_qp.qp_obs.o_dropped)
+
+(* Post [wqes] (in order) from the caller's fiber with doorbell
+   coalescing. All WQEs must originate from the same source node. *)
+let post_coalesced wqes =
+  match wqes with
+  | [] -> ()
+  | first :: _ ->
+      let eng, prof = prof_and_eng first.w_qp in
+      let reg = Fabric.metrics (Fabric.fabric_of first.w_qp.qp_src) in
+      let rings = Metrics.counter reg "rdma.doorbell.rings" in
+      let wqe_count = Metrics.counter reg "rdma.doorbell.wqes" in
+      let coalesced = Metrics.counter reg "rdma.doorbell.coalesced" in
+      let group = ref [] (* reversed *) and group_len = ref 0 in
+      let flush () =
+        match List.rev !group with
+        | [] -> ()
+        | g_first :: _ as g ->
+            let posted = Engine.now eng in
+            (* One doorbell for the whole group. *)
+            Engine.consume
+              (prof.Profile.post_ns + ((!group_len - 1) * prof.Profile.doorbell_ns));
+            Metrics.incr g_first.w_qp.qp_obs.o_write_post.vo_count;
+            Metrics.incr rings;
+            Metrics.add wqe_count !group_len;
+            Metrics.add coalesced (!group_len - 1);
+            List.iter
+              (fun w ->
+                let qp = w.w_qp in
+                let bytes_len = Bytes.length w.w_payload in
+                let start = max (Engine.now eng) qp.busy_until in
+                let completion = start + Profile.verb_latency prof ~bytes_len in
+                qp.busy_until <- completion;
+                Metrics.add qp.qp_obs.o_write_post.vo_bytes bytes_len;
+                Metrics.observe qp.qp_obs.o_write_post.vo_lat (completion - posted);
+                schedule_wqe eng w ~completion)
+              g;
+            group := [];
+            group_len := 0
+      in
+      List.iter
+        (fun w ->
+          let w = { w with w_payload = Bytes.copy w.w_payload } in
+          group := w :: !group;
+          incr group_len;
+          if !group_len >= prof.Profile.post_coalesce then flush ())
+        wqes;
+      flush ()
+
+let write_post_many t pairs =
+  post_coalesced
+    (List.map (fun (addr, payload) -> { w_qp = t; w_addr = addr; w_payload = payload }) pairs)
+
+module Doorbell = struct
+  type batch = { mutable b_wqes : wqe list (* reversed *); mutable b_len : int }
+
+  let create () = { b_wqes = []; b_len = 0 }
+
+  let add b qp addr payload =
+    (match b.b_wqes with
+    | w :: _ when w.w_qp.qp_src != qp.qp_src ->
+        invalid_arg "Qp.Doorbell.add: all WQEs must share the source node"
+    | _ -> ());
+    b.b_wqes <- { w_qp = qp; w_addr = addr; w_payload = payload } :: b.b_wqes;
+    b.b_len <- b.b_len + 1
+
+  let length b = b.b_len
+
+  let ring b =
+    let wqes = List.rev b.b_wqes in
+    b.b_wqes <- [];
+    b.b_len <- 0;
+    post_coalesced wqes
+end
+
 let cas t addr ~expected ~desired =
   let completion = reserve t t.qp_obs.o_cas ~bytes_len:8 in
   await_completion t completion ~verb:"cas";

@@ -30,4 +30,10 @@ echo "== probe trace =="
 dune exec bin/probe.exe -- trace "$trace" > /dev/null
 dune exec bin/probe.exe -- jsonlint "$trace"
 
+echo "== bench coord smoke =="
+# Quick coordination bench: multi-partition p50/p99 latency,
+# single-partition throughput and doorbell charges -> BENCH_coord.json.
+dune exec bench/main.exe -- quick coord
+dune exec bin/probe.exe -- jsonlint BENCH_coord.json
+
 echo "all checks passed"

@@ -627,13 +627,10 @@ let test_kv_leader_crash_tolerated () =
       then Alcotest.failf "rejoined ex-leader diverged on %d" (Oid.to_int oid))
     (Versioned_store.registered_oids s1)
 
-let chaos_crash_restart_prop =
-  (* Random crash/restart schedules against continuous traffic: the
-     system keeps serving, and live replicas converge. One follower per
-     partition may be down at any time (f = 1). *)
-  QCheck.Test.make ~name:"chaos: random follower crash/restart schedules" ~count:5
-    QCheck.(int_bound 10_000)
-    (fun seed ->
+(* Random crash/restart schedules against continuous traffic: the
+   system keeps serving, and live replicas converge. One follower per
+   partition may be down at any time (f = 1). *)
+let run_chaos_schedule seed =
       let w = make_kv ~seed ~keys:4 ~partitions:2 ~init:0L () in
       let completed = ref 0 in
       for c = 0 to 2 do
@@ -678,7 +675,23 @@ let chaos_crash_restart_prop =
                     (Versioned_store.registered_oids ref_store))
                 rest)
         (System.replicas w.sys);
-      true)
+      true
+
+let chaos_crash_restart_prop =
+  QCheck.Test.make ~name:"chaos: random follower crash/restart schedules" ~count:5
+    QCheck.(int_bound 10_000)
+    run_chaos_schedule
+
+let test_chaos_regression_rejoin_gap () =
+  (* Pinned schedule (qcheck seed 3206). This input once diverged: a
+     restarted follower asked for recovery from its own last-applied
+     tmp, but entries already dispatched to the leader's log before the
+     rejoin — and applied by the donor only after the snapshot — were
+     covered by neither the transfer nor redelivery, leaving a permanent
+     hole that delta transfers then propagated. The fix requests
+     recovery from the leader's dispatch horizon and marks adopted
+     transfers as log gaps. *)
+  check_bool "seed 3206 converges" true (run_chaos_schedule 3206)
 
 (* {1 Parallel execution (Section III-D.1 extension)} *)
 
@@ -785,6 +798,130 @@ let test_parallel_conflicts_serialize () =
     (Bytes.get_int64_le (fst (Versioned_store.get st (Kv_app.oid_of_key 0))) 0);
   assert_replicas_converged w
 
+(* {1 Conflict index (O(footprint) admission)} *)
+
+let oids = List.map Oid.of_int
+
+let test_conflict_index_rules () =
+  let open Conflict_index in
+  let t = create () in
+  let a = footprint ~reads:(oids [ 1; 2 ]) ~writes:(oids [ 3 ]) in
+  let rd3 = footprint ~reads:(oids [ 3 ]) ~writes:[] in
+  let wr2 = footprint ~reads:[] ~writes:(oids [ 2 ]) in
+  let shared = footprint ~reads:(oids [ 1; 2 ]) ~writes:(oids [ 4 ]) in
+  check_bool "empty index admits" true (can_admit t a);
+  admit t a;
+  check_bool "read of in-flight write blocked" false (can_admit t rd3);
+  check_bool "write of in-flight read blocked" false (can_admit t wr2);
+  check_bool "shared readers admitted" true (can_admit t shared);
+  admit t shared;
+  retire t a;
+  check_bool "retire reopens the written object" true (can_admit t rd3);
+  check_bool "surviving reader still pins object 2" false (can_admit t wr2);
+  retire t shared;
+  check_bool "all clear after both retire" true (can_admit t wr2);
+  check_int "index drains empty" 0 (live_objects t)
+
+let test_conflict_index_normalization () =
+  let open Conflict_index in
+  (* Duplicates collapse, and a read of an object the request also
+     writes is subsumed by the write entry. *)
+  let f = footprint ~reads:(oids [ 5; 5; 6 ]) ~writes:(oids [ 5 ]) in
+  check_int "dedup + read-of-own-write" 2 (footprint_size f);
+  let t = create () in
+  admit t f;
+  check_bool "write entry blocks readers" false
+    (can_admit t (footprint ~reads:(oids [ 5 ]) ~writes:[]));
+  check_bool "read entry shares with readers" true
+    (can_admit t (footprint ~reads:(oids [ 6 ]) ~writes:[]));
+  check_bool "read entry blocks writers" false
+    (can_admit t (footprint ~reads:[] ~writes:(oids [ 6 ])));
+  retire t f;
+  check_int "drained" 0 (live_objects t)
+
+let test_conflict_index_admission_is_o_footprint () =
+  (* Acceptance micro-check: admitting against 64 in-flight
+     non-conflicting requests probes exactly as many index entries as
+     against 8 — the candidate's own footprint size, independent of
+     the in-flight count (the old scan was O(inflight x footprint)). *)
+  let open Conflict_index in
+  let probes_with inflight =
+    let t = create () in
+    for i = 0 to inflight - 1 do
+      let f = footprint ~reads:[] ~writes:(oids [ 1000 + i ]) in
+      assert (can_admit t f);
+      admit t f
+    done;
+    let cand = footprint ~reads:(oids [ 1; 2; 3; 4 ]) ~writes:(oids [ 5; 6 ]) in
+    let before = probes t in
+    check_bool "candidate admissible" true (can_admit t cand);
+    probes t - before
+  in
+  let p8 = probes_with 8 and p64 = probes_with 64 in
+  check_int "admit cost independent of in-flight count" p8 p64;
+  check_int "cost equals candidate footprint" 6 p64
+
+(* {1 Coordination batching} *)
+
+let test_batching_onoff_equivalence () =
+  (* coord_batching changes only the cost model, never delivery or
+     execution: the same Incr_all workload (whose final state is
+     order-independent) must complete fully and converge to
+     byte-identical stores with batching on and off, while the doorbell
+     path cuts write_post charges by at least the per-peer fan-out
+     factor (5 remote slots per announce here). *)
+  let run batching =
+    let reg = Heron_obs.Metrics.create () in
+    let w =
+      make_kv ~seed:29 ~keys:4 ~partitions:2 ~init:0L
+        ~tweak:(fun c -> { c with Config.coord_batching = batching; metrics = reg })
+        ()
+    in
+    let completed = ref 0 in
+    for c = 0 to 2 do
+      on_client w (Printf.sprintf "c%d" c) (fun node ->
+          for _ = 1 to 25 do
+            ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+            incr completed
+          done)
+    done;
+    Engine.run_until w.eng (Time_ns.s 5);
+    assert_replicas_converged w;
+    let state =
+      List.concat_map
+        (fun part ->
+          let st = Replica.store (System.replica w.sys ~part ~idx:0) in
+          List.map
+            (fun oid ->
+              (part, Oid.to_int oid, Bytes.to_string (fst (Versioned_store.get st oid))))
+            (Versioned_store.registered_oids st))
+        [ 0; 1 ]
+    in
+    let posts =
+      List.fold_left
+        (fun acc e ->
+          match e.Heron_obs.Metrics.e_value with
+          | Heron_obs.Metrics.Counter_v n
+            when e.Heron_obs.Metrics.e_name = "rdma.verb.count"
+                 && List.mem ("verb", "write_post") e.Heron_obs.Metrics.e_labels ->
+              acc + n
+          | _ -> acc)
+        0
+        (Heron_obs.Metrics.snapshot reg)
+    in
+    (!completed, state, posts)
+  in
+  let c_on, s_on, posts_on = run true in
+  let c_off, s_off, posts_off = run false in
+  check_int "all ops completed (batching on)" 75 c_on;
+  check_int "all ops completed (batching off)" 75 c_off;
+  check_bool "identical final state" true (s_on = s_off);
+  check_bool
+    (Printf.sprintf "doorbell charges cut by fan-out factor (%d on vs %d off)"
+       posts_on posts_off)
+    true
+    (posts_on > 0 && posts_off >= 4 * posts_on)
+
 let tc name f = Alcotest.test_case name `Quick f
 let qc t = QCheck_alcotest.to_alcotest t
 
@@ -829,6 +966,7 @@ let suite =
         tc "replica crash tolerated" test_kv_replica_crash_tolerated;
         tc "crash, restart, full rejoin" test_kv_crash_restart_rejoin;
         tc "multicast leader crash + ex-leader rejoin" test_kv_leader_crash_tolerated;
+        tc "chaos regression: rejoin gap (seed 3206)" test_chaos_regression_rejoin_gap;
         qc chaos_crash_restart_prop;
       ] );
     ( "core.parallel",
@@ -837,6 +975,14 @@ let suite =
         tc "speedup on disjoint keys" test_parallel_speedup;
         tc "conflicting requests serialize" test_parallel_conflicts_serialize;
       ] );
+    ( "core.conflict_index",
+      [
+        tc "admission rules" test_conflict_index_rules;
+        tc "footprint normalization" test_conflict_index_normalization;
+        tc "admission is O(footprint)" test_conflict_index_admission_is_o_footprint;
+      ] );
+    ( "core.coordination",
+      [ tc "coord batching on/off equivalence" test_batching_onoff_equivalence ] );
   ]
 
 let () = Alcotest.run "heron_core" suite

@@ -116,9 +116,10 @@ let kv_spec ~keys ~init : (Kv_app.req, Kv_app.resp, int64 list) Lincheck.spec =
 
 (* Run concurrent clients against a real deployment and record the
    history each observed. *)
-let record_heron_history ~seed ~keys ~partitions ~clients ~ops_per_client ~gen_op =
+let record_heron_history ?(tweak = fun c -> c) ~seed ~keys ~partitions ~clients
+    ~ops_per_client ~gen_op () =
   let eng = Engine.create ~seed () in
-  let cfg = Config.default ~partitions ~replicas:3 in
+  let cfg = tweak (Config.default ~partitions ~replicas:3) in
   let sys = System.create eng ~cfg ~app:(Kv_app.app ~keys ~partitions ~init:0L) in
   System.start sys;
   let events = ref [] in
@@ -159,7 +160,7 @@ let test_heron_history_linearizable () =
   let keys = 4 in
   let events =
     record_heron_history ~seed:31 ~keys ~partitions:2 ~clients:4 ~ops_per_client:12
-      ~gen_op:(mixed_op ~keys)
+      ~gen_op:(mixed_op ~keys) ()
   in
   match Lincheck.counterexample_free (kv_spec ~keys ~init:0L) events with
   | Ok () -> ()
@@ -172,7 +173,7 @@ let heron_linearizable_prop =
       let keys = 3 in
       let events =
         record_heron_history ~seed ~keys ~partitions:3 ~clients:3 ~ops_per_client:10
-          ~gen_op:(mixed_op ~keys)
+          ~gen_op:(mixed_op ~keys) ()
       in
       Lincheck.check (kv_spec ~keys ~init:0L) events)
 
@@ -182,7 +183,7 @@ let test_corrupted_history_rejected () =
   let keys = 4 in
   let events =
     record_heron_history ~seed:33 ~keys ~partitions:2 ~clients:3 ~ops_per_client:8
-      ~gen_op:(mixed_op ~keys)
+      ~gen_op:(mixed_op ~keys) ()
   in
   let t = (List.nth events (List.length events - 1)).Lincheck.ev_return in
   let poison =
@@ -196,6 +197,23 @@ let test_corrupted_history_rejected () =
   in
   check_bool "poisoned history rejected" false
     (Lincheck.check (kv_spec ~keys ~init:0L) (events @ [ poison ]))
+
+let test_batching_onoff_linearizable () =
+  (* Doorbell-batched coordination writes must not change correctness:
+     the same mixed workload linearizes with coord_batching on and off,
+     and every client op completes in both runs. Timing differs between
+     the two configs, so histories are compared by verdict and op count
+     rather than event-for-event. *)
+  let keys = 4 in
+  let run batching =
+    record_heron_history ~seed:41 ~keys ~partitions:2 ~clients:4 ~ops_per_client:10
+      ~tweak:(fun c -> { c with Config.coord_batching = batching })
+      ~gen_op:(mixed_op ~keys) ()
+  in
+  let on_ = run true and off = run false in
+  check_bool "batching on linearizes" true (Lincheck.check (kv_spec ~keys ~init:0L) on_);
+  check_bool "batching off linearizes" true (Lincheck.check (kv_spec ~keys ~init:0L) off);
+  Alcotest.(check int) "same op count" (List.length off) (List.length on_)
 
 let tc name f = Alcotest.test_case name `Quick f
 let qc t = QCheck_alcotest.to_alcotest t
@@ -215,6 +233,7 @@ let suite =
       [
         tc "mixed KV history is linearizable" test_heron_history_linearizable;
         tc "corrupted history rejected" test_corrupted_history_rejected;
+        tc "coord batching on/off verdicts agree" test_batching_onoff_linearizable;
         qc heron_linearizable_prop;
       ] );
   ]

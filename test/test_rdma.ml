@@ -270,6 +270,176 @@ let test_profile_verb_latency () =
   check_int "zero payload" p.Profile.verb_ns (Profile.verb_latency p ~bytes_len:0);
   check_int "1KB at 25Gbps" (p.Profile.verb_ns + 320) (Profile.verb_latency p ~bytes_len:1000)
 
+(* {1 Doorbell batching} *)
+
+(* A fresh fabric with its own registry so metric assertions are not
+   polluted by other tests. *)
+let make_metered ?(profile = Profile.default) () =
+  let eng = Engine.create () in
+  let reg = Heron_obs.Metrics.create () in
+  let fab = Fabric.create ~metrics:reg eng ~profile in
+  let a = Fabric.add_node fab ~name:"a" in
+  let b = Fabric.add_node fab ~name:"b" in
+  (eng, reg, fab, a, b)
+
+let counter_of reg ?labels name =
+  match Heron_obs.Metrics.find (Heron_obs.Metrics.snapshot reg) ?labels name with
+  | Some (Heron_obs.Metrics.Counter_v n) -> n
+  | Some _ -> Alcotest.failf "%s: not a counter" name
+  | None -> 0
+
+let test_write_post_many_one_doorbell () =
+  (* n WQEs under one coalesce group: the poster pays post_ns once plus
+     doorbell_ns per further WQE; every WQE still pays full RC-ordered
+     wire latency, so the last landing is n verb latencies out. *)
+  let eng, reg, _, a, b = make_metered () in
+  let p = Profile.default in
+  let r = Fabric.alloc_region b ~size:64 in
+  let nid = Fabric.node_id b in
+  let after_post = ref 0 in
+  Fabric.spawn_on a (fun () ->
+      let qp = Qp.connect ~src:a ~dst:b in
+      Qp.write_post_many qp
+        (List.init 5 (fun i ->
+             (Memory.addr ~node:nid r ~off:(8 * i), Bytes.make 8 (Char.chr (65 + i)))));
+      after_post := Engine.self_now ());
+  Engine.run eng;
+  check_int "one doorbell + 4 chained WQEs"
+    (p.Profile.post_ns + (4 * p.Profile.doorbell_ns))
+    !after_post;
+  for i = 0 to 4 do
+    check_bytes "payload landed"
+      (Bytes.make 8 (Char.chr (65 + i)))
+      (Memory.read_bytes r ~off:(8 * i) ~len:8)
+  done;
+  check_int "one write_post charge"
+    1
+    (counter_of reg "rdma.verb.count" ~labels:[ ("verb", "write_post"); ("src", "a"); ("dst", "b") ]);
+  check_int "per-WQE bytes"
+    40
+    (counter_of reg "rdma.verb.bytes" ~labels:[ ("verb", "write_post"); ("src", "a"); ("dst", "b") ]);
+  check_int "rings" 1 (counter_of reg "rdma.doorbell.rings");
+  check_int "wqes" 5 (counter_of reg "rdma.doorbell.wqes");
+  check_int "coalesced" 4 (counter_of reg "rdma.doorbell.coalesced")
+
+let test_write_post_many_coalesce_split () =
+  (* post_coalesce caps WQEs per doorbell: 5 WQEs at 2 per ring cost 3
+     doorbells and 2 chained posts. *)
+  let profile = { Profile.default with Profile.post_coalesce = 2 } in
+  let eng, reg, _, a, b = make_metered ~profile () in
+  let r = Fabric.alloc_region b ~size:64 in
+  let nid = Fabric.node_id b in
+  let after_post = ref 0 in
+  Fabric.spawn_on a (fun () ->
+      let qp = Qp.connect ~src:a ~dst:b in
+      Qp.write_post_many qp
+        (List.init 5 (fun i -> (Memory.addr ~node:nid r ~off:(8 * i), Bytes.make 8 'x')));
+      after_post := Engine.self_now ());
+  Engine.run eng;
+  check_int "3 doorbells + 2 chained WQEs"
+    ((3 * profile.Profile.post_ns) + (2 * profile.Profile.doorbell_ns))
+    !after_post;
+  check_int "write_post counts doorbells"
+    3
+    (counter_of reg "rdma.verb.count" ~labels:[ ("verb", "write_post"); ("src", "a"); ("dst", "b") ]);
+  check_int "rings" 3 (counter_of reg "rdma.doorbell.rings");
+  check_int "wqes" 5 (counter_of reg "rdma.doorbell.wqes");
+  check_int "coalesced" 2 (counter_of reg "rdma.doorbell.coalesced")
+
+let test_write_post_many_rc_order_and_latency () =
+  (* WQEs in one batch serialize on the QP: k-th completion is k verb
+     latencies after the (single) post charge. *)
+  let eng, _, _, a, b = make_metered () in
+  let p = Profile.default in
+  let r = Fabric.alloc_region b ~size:8 in
+  let nid = Fabric.node_id b in
+  let landings = ref [] in
+  Fabric.spawn_on b (fun () ->
+      let last = ref 0L in
+      for _ = 1 to 3 do
+        Signal.wait_until (Fabric.mem_signal b) (fun () ->
+            not (Int64.equal (Memory.get_i64 r ~off:0) !last));
+        last := Memory.get_i64 r ~off:0;
+        landings := Engine.self_now () :: !landings
+      done);
+  Fabric.spawn_on a (fun () ->
+      let qp = Qp.connect ~src:a ~dst:b in
+      Qp.write_post_many qp
+        (List.init 3 (fun i ->
+             let payload = Bytes.create 8 in
+             Bytes.set_int64_le payload 0 (Int64.of_int (i + 1));
+             (Memory.addr ~node:nid r ~off:0, payload))));
+  Engine.run eng;
+  let cpu = p.Profile.post_ns + (2 * p.Profile.doorbell_ns) in
+  let lat = Profile.verb_latency p ~bytes_len:8 in
+  Alcotest.(check (list int))
+    "in-order landings, one verb latency apart"
+    [ cpu + lat; cpu + (2 * lat); cpu + (3 * lat) ]
+    (List.rev !landings)
+
+let test_doorbell_cross_qp () =
+  (* One ring covering QPs to two peers: single doorbell charge, both
+     wires run concurrently (per-QP busy_until), and a dead peer only
+     drops its own WQE. *)
+  let eng, reg, fab, a, b = make_metered () in
+  let c = Fabric.add_node fab ~name:"c" in
+  let p = Profile.default in
+  let rb = Fabric.alloc_region b ~size:8 in
+  let rc = Fabric.alloc_region c ~size:8 in
+  let after_ring = ref 0 in
+  Fabric.crash c;
+  Fabric.spawn_on a (fun () ->
+      let qb = Qp.connect ~src:a ~dst:b in
+      let qc = Qp.connect ~src:a ~dst:c in
+      let batch = Qp.Doorbell.create () in
+      Qp.Doorbell.add batch qb (Memory.addr ~node:(Fabric.node_id b) rb ~off:0)
+        (Bytes.of_string "to-b!");
+      Qp.Doorbell.add batch qc (Memory.addr ~node:(Fabric.node_id c) rc ~off:0)
+        (Bytes.of_string "to-c!");
+      check_int "batch length" 2 (Qp.Doorbell.length batch);
+      Qp.Doorbell.ring batch;
+      check_int "drained" 0 (Qp.Doorbell.length batch);
+      after_ring := Engine.self_now ());
+  Engine.run eng;
+  check_int "one doorbell for both peers"
+    (p.Profile.post_ns + p.Profile.doorbell_ns)
+    !after_ring;
+  check_bytes "live peer got its write" (Bytes.of_string "to-b!")
+    (Memory.read_bytes rb ~off:0 ~len:5);
+  Alcotest.(check int64) "dead peer untouched" 0L (Memory.get_i64 rc ~off:0);
+  check_int "drop counted on the dead QP"
+    1
+    (counter_of reg "rdma.dropped_writes" ~labels:[ ("src", "a"); ("dst", "c") ]);
+  check_int "rings" 1 (counter_of reg "rdma.doorbell.rings");
+  check_int "wqes" 2 (counter_of reg "rdma.doorbell.wqes")
+
+let test_doorbell_payload_snapshot () =
+  (* Payloads are snapshotted when the doorbell rings, so the caller's
+     buffer can be reused afterwards. *)
+  let eng, _, _, a, b = make_metered () in
+  let r = Fabric.alloc_region b ~size:8 in
+  Fabric.spawn_on a (fun () ->
+      let qp = Qp.connect ~src:a ~dst:b in
+      let batch = Qp.Doorbell.create () in
+      let payload = Bytes.of_string "old" in
+      Qp.Doorbell.add batch qp (Memory.addr ~node:(Fabric.node_id b) r ~off:0) payload;
+      Qp.Doorbell.ring batch;
+      Bytes.blit_string "new" 0 payload 0 3);
+  Engine.run eng;
+  check_bytes "snapshot at ring time" (Bytes.of_string "old")
+    (Memory.read_bytes r ~off:0 ~len:3)
+
+let test_write_post_many_empty () =
+  let eng, _, _, a, b = make_metered () in
+  let moved = ref false in
+  Fabric.spawn_on a (fun () ->
+      let qp = Qp.connect ~src:a ~dst:b in
+      Qp.write_post_many qp [];
+      Qp.Doorbell.ring (Qp.Doorbell.create ());
+      moved := Engine.self_now () > 0);
+  Engine.run eng;
+  check_bool "empty batches are free" false !moved
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suite =
@@ -304,6 +474,15 @@ let suite =
         tc "payload snapshot semantics" test_qp_payload_snapshot;
         tc "QP shared between fibers" test_qp_shared_between_fibers;
         tc "profile latency formula" test_profile_verb_latency;
+      ] );
+    ( "rdma.doorbell",
+      [
+        tc "write_post_many single doorbell" test_write_post_many_one_doorbell;
+        tc "coalesce split" test_write_post_many_coalesce_split;
+        tc "RC order within a batch" test_write_post_many_rc_order_and_latency;
+        tc "cross-QP batch" test_doorbell_cross_qp;
+        tc "payload snapshot at ring" test_doorbell_payload_snapshot;
+        tc "empty batches" test_write_post_many_empty;
       ] );
   ]
 

@@ -5,7 +5,12 @@
      dune exec bin/probe.exe -- trace FILE      -- Perfetto trace of a
                                                    small simulated run
      dune exec bin/probe.exe -- jsonlint FILE   -- validate a JSON file
-                                                   (exit 0/1) *)
+                                                   (exit 0/1)
+     dune exec bin/probe.exe -- chaos --seeds 0..500 [--shrink]
+                                                [--corpus DIR]
+                                                [--replay FILE]...
+                                                -- chaos-schedule sweep /
+                                                   corpus replay (exit 0/1) *)
 
 open Heron_stats
 open Heron_tpcc
@@ -133,6 +138,91 @@ let run_trace file =
   in
   pr "trace written to %s (%d replicas, %d spans)\n" file (List.length traces) spans
 
+(* [probe chaos]: sweep generated fault schedules (and/or replay pinned
+   ones) against the simulator; see DESIGN.md's chaos section. *)
+let run_chaos args =
+  let module Sched = Heron_chaos.Schedule in
+  let module Cdriver = Heron_chaos.Driver in
+  let module Shrink = Heron_chaos.Shrink in
+  let seed_lo = ref 0 and seed_hi = ref 100 in
+  let shrink = ref false in
+  let corpus = ref None in
+  let replays = ref [] in
+  let usage () =
+    Printf.eprintf
+      "usage: probe chaos [--seeds A..B] [--shrink] [--corpus DIR] [--replay FILE]...\n";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: spec :: rest ->
+        (match String.index_opt spec '.' with
+        | Some _ -> (
+            try Scanf.sscanf spec "%d..%d" (fun a b -> seed_lo := a; seed_hi := b)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> usage ())
+        | None -> usage ());
+        parse rest
+    | "--shrink" :: rest ->
+        shrink := true;
+        parse rest
+    | "--corpus" :: dir :: rest ->
+        corpus := Some dir;
+        parse rest
+    | "--replay" :: file :: rest ->
+        replays := file :: !replays;
+        parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let failures = ref 0 in
+  let report sc outcome =
+    match outcome with
+    | Cdriver.Completed _ -> ()
+    | Cdriver.Failed f ->
+        incr failures;
+        pr "seed %d FAILED (%s): %s\n" sc.Sched.sc_seed (Cdriver.failure_kind f)
+          (Format.asprintf "%a" Cdriver.pp_failure f);
+        if !shrink then begin
+          let small = Shrink.minimize sc ~kind:(Cdriver.failure_kind f) in
+          pr "  shrunk to %d events:\n%s\n"
+            (List.length small.Sched.sc_events)
+            (Format.asprintf "    %a" Sched.pp small);
+          match !corpus with
+          | None -> ()
+          | Some dir ->
+              (try Unix.mkdir dir 0o755
+               with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              let file =
+                Filename.concat dir (Printf.sprintf "chaos_seed_%d.json" sc.Sched.sc_seed)
+              in
+              Sched.save small ~file;
+              pr "  pinned as %s\n" file
+        end
+  in
+  List.iter
+    (fun file ->
+      match Sched.load ~file with
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          exit 2
+      | Ok sc ->
+          pr "replay %s: %!" file;
+          let outcome = Cdriver.run sc in
+          pr "%s\n" (Format.asprintf "%a" Cdriver.pp_outcome outcome);
+          report sc outcome)
+    (List.rev !replays);
+  if !replays = [] then begin
+    let t0 = Unix.gettimeofday () in
+    for seed = !seed_lo to !seed_hi do
+      let sc = Sched.generate ~seed in
+      report sc (Cdriver.run sc)
+    done;
+    pr "%d schedules (seeds %d..%d), %d failed, %.1fs\n"
+      (!seed_hi - !seed_lo + 1) !seed_lo !seed_hi !failures
+      (Unix.gettimeofday () -. t0)
+  end;
+  exit (if !failures > 0 then 1 else 0)
+
 let run_jsonlint file =
   let ic =
     try open_in_bin file
@@ -156,7 +246,8 @@ let () =
   | [] -> run_calibration ()
   | [ "trace"; file ] -> run_trace file
   | [ "jsonlint"; file ] -> run_jsonlint file
+  | "chaos" :: rest -> run_chaos rest
   | _ ->
       Printf.eprintf
-        "usage: probe [trace FILE | jsonlint FILE]  (no args: calibration)\n";
+        "usage: probe [trace FILE | jsonlint FILE | chaos ...]  (no args: calibration)\n";
       exit 2

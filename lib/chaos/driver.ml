@@ -1,0 +1,259 @@
+open Heron_sim
+open Heron_rdma
+open Heron_core
+open Heron_kv
+module Lincheck = Heron_lincheck.Lincheck
+module Metrics = Heron_obs.Metrics
+module S = Schedule
+
+type failure =
+  | Stalled of { completed : int; expected : int }
+  | Diverged of { detail : string }
+  | Invariant of { part : int; idx : int; detail : string }
+  | Not_linearizable of { detail : string }
+  | Crashed of { detail : string }
+
+type outcome = Completed of { completed : int } | Failed of failure
+
+let failure_kind = function
+  | Stalled _ -> "stalled"
+  | Diverged _ -> "diverged"
+  | Invariant _ -> "invariant"
+  | Not_linearizable _ -> "not_linearizable"
+  | Crashed _ -> "crashed"
+
+let m_runs = Metrics.counter Metrics.default "chaos.schedules_run"
+let m_failures = Metrics.counter Metrics.default "chaos.failures"
+let m_skipped = Metrics.counter Metrics.default "chaos.injections_skipped"
+
+let gen_op sc rng =
+  match sc.S.sc_workload with
+  | S.Incr_all -> Kv_app.Incr_all [ 0; 1 ]
+  | S.Mixed -> (
+      let keys = sc.S.sc_keys in
+      match Random.State.int rng 5 with
+      | 0 -> Kv_app.Put (Random.State.int rng keys, Int64.of_int (Random.State.int rng 100))
+      | 1 -> Kv_app.Get (Random.State.int rng keys)
+      | 2 -> Kv_app.Add (Random.State.int rng keys, 1L)
+      | 3 -> Kv_app.Incr_all [ 0; 1 ]
+      | _ -> Kv_app.Read_all [ 0; 1 ])
+
+let replica_node sys (part, idx) = Replica.node (System.replica sys ~part ~idx)
+
+(* Schedule one event's injection callbacks. Spanned events install
+   their fault at [at] and carry their own cleanup at [at + span], so
+   removing the event from a schedule removes both sides. Replicas are
+   re-resolved at fire time: a restart replaces the replica object. *)
+let inject sys ev =
+  let eng = System.engine sys in
+  let fab = System.fabric sys in
+  let at t f = Engine.schedule ~delay:t eng f in
+  match ev with
+  | S.Crash { part; idx; at = t } ->
+      at t (fun () ->
+          let node = replica_node sys (part, idx) in
+          (* Peers must be alive AND fully synchronised: a replica mid
+             state-transfer has not yet adopted suffixes its peers
+             acknowledged under Phase 4's grace, so its peers are not
+             expendable yet (see {!Replica.in_recovery}). *)
+          let peers_ready =
+            let ok = ref true in
+            Array.iteri
+              (fun i r ->
+                if
+                  i <> idx
+                  && ((not (Fabric.is_alive (Replica.node r)))
+                     || Replica.in_recovery r)
+                then ok := false)
+              (System.replicas sys).(part);
+            !ok
+          in
+          if idx > 0 && Fabric.is_alive node && peers_ready then Fabric.crash node
+          else Metrics.incr m_skipped)
+  | S.Restart { part; idx; at = t } ->
+      at t (fun () ->
+          if not (Fabric.is_alive (replica_node sys (part, idx))) then
+            Engine.spawn ~name:"chaos-restart" eng (fun () ->
+                System.restart_replica sys ~part ~idx)
+          else Metrics.incr m_skipped)
+  | S.Delay_link { src; dst; extra_ns; at = t; span } ->
+      at t (fun () ->
+          let src = Fabric.node_id (replica_node sys src)
+          and dst = Fabric.node_id (replica_node sys dst) in
+          Fabric.set_link_fault fab ~src ~dst ~extra_ns ());
+      at (t + span) (fun () ->
+          let src = Fabric.node_id (replica_node sys src)
+          and dst = Fabric.node_id (replica_node sys dst) in
+          Fabric.clear_link_fault fab ~src ~dst)
+  | S.Drop_writes { src; dst; at = t; span } ->
+      at t (fun () ->
+          let src = Fabric.node_id (replica_node sys src)
+          and dst = Fabric.node_id (replica_node sys dst) in
+          Fabric.set_link_fault fab ~src ~dst ~drop:true ());
+      at (t + span) (fun () ->
+          let src = Fabric.node_id (replica_node sys src)
+          and dst = Fabric.node_id (replica_node sys dst) in
+          Fabric.clear_link_fault fab ~src ~dst)
+  | S.Pause_replica { part; idx; extra_ns; at = t; span } ->
+      at t (fun () -> Replica.inject_exec_delay (System.replica sys ~part ~idx) extra_ns);
+      at (t + span) (fun () -> Replica.inject_exec_delay (System.replica sys ~part ~idx) 0)
+
+let divergence sys =
+  let problem = ref None in
+  let note fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  Array.iteri
+    (fun p row ->
+      let live =
+        Array.to_list row |> List.filter (fun r -> Fabric.is_alive (Replica.node r))
+      in
+      match live with
+      | [] -> note "partition %d has no live replicas" p
+      | first :: rest ->
+          List.iter
+            (fun r ->
+              List.iter
+                (fun oid ->
+                  let va, ta = Versioned_store.get (Replica.store first) oid in
+                  let vb, tb = Versioned_store.get (Replica.store r) oid in
+                  if not (Bytes.equal va vb) then
+                    note
+                      "partition %d: replica %d disagrees with replica %d on oid %d \
+                       (%Ld@%s applied %s vs %Ld@%s applied %s)"
+                      p (Replica.idx r) (Replica.idx first) (Oid.to_int oid)
+                      (Bytes.get_int64_le vb 0)
+                      (Format.asprintf "%a" Heron_multicast.Tstamp.pp tb)
+                      (Format.asprintf "%a" Heron_multicast.Tstamp.pp
+                         (Replica.last_req r))
+                      (Bytes.get_int64_le va 0)
+                      (Format.asprintf "%a" Heron_multicast.Tstamp.pp ta)
+                      (Format.asprintf "%a" Heron_multicast.Tstamp.pp
+                         (Replica.last_req first)))
+                (Versioned_store.registered_oids (Replica.store first)))
+            rest)
+    (System.replicas sys);
+  !problem
+
+let run_exn sc =
+  let eng = Engine.create ~seed:sc.S.sc_seed () in
+  let cfg = Config.default ~partitions:sc.S.sc_partitions ~replicas:sc.S.sc_replicas in
+  let sys =
+    System.create eng ~cfg
+      ~app:(Kv_app.app ~keys:sc.S.sc_keys ~partitions:sc.S.sc_partitions ~init:0L)
+  in
+  System.start sys;
+  let expected = sc.S.sc_clients * sc.S.sc_ops in
+  let completed = ref 0 in
+  let history = ref [] in
+  for c = 0 to sc.S.sc_clients - 1 do
+    let node = System.new_client_node sys ~name:(Printf.sprintf "chaos-c%d" c) in
+    let rng = Random.State.make [| sc.S.sc_seed; c; 0xC11E |] in
+    Fabric.spawn_on node (fun () ->
+        for _ = 1 to sc.S.sc_ops do
+          let op = gen_op sc rng in
+          let t0 = Engine.self_now () in
+          let resps = System.submit sys ~from:node op in
+          let t1 = Engine.self_now () in
+          history :=
+            {
+              Lincheck.ev_client = c;
+              ev_op = op;
+              ev_result = snd (List.hd resps);
+              ev_invoke = t0;
+              ev_return = t1;
+            }
+            :: !history;
+          incr completed
+        done)
+  done;
+  List.iter (inject sys) sc.S.sc_events;
+  (* Advance in short steps so a finished run does not simulate the
+     whole horizon's worth of failure-detector polling. *)
+  let horizon = Time_ns.ms 60 in
+  let debug = Sys.getenv_opt "CHAOS_DEBUG" <> None in
+  while !completed < expected && Engine.now eng < horizon do
+    Engine.run_for eng (Time_ns.ms 2);
+    if debug then begin
+      Printf.eprintf "t=%dus completed=%d\n" (Engine.now eng / 1000) !completed;
+      Array.iteri
+        (fun p row ->
+          Array.iteri
+            (fun i r ->
+              Printf.eprintf "  p%d/r%d alive=%b last_req=%s applied_log=%s lag=%d srv=%d\n"
+                p i
+                (Fabric.is_alive (Replica.node r))
+                (Format.asprintf "%a" Heron_multicast.Tstamp.pp (Replica.last_req r))
+                (Format.asprintf "%a" Heron_multicast.Tstamp.pp
+                   (Update_log.last_tmp (Replica.update_log r)))
+                (Replica.stats r).Replica.st_laggers
+                (Replica.stats r).Replica.st_transfers_served)
+            row)
+        (System.replicas sys);
+      for g = 0 to sc.S.sc_partitions - 1 do
+        prerr_string (Heron_multicast.Ramcast.debug_state (System.multicast sys) ~gid:g)
+      done
+    end
+  done;
+  if !completed < expected then
+    Failed (Stalled { completed = !completed; expected })
+  else begin
+      (* Settle: let every scheduled fault expire and any in-flight
+         recovery finish, then clear leftovers (a shrunk schedule may
+         have lost a cleanup edge) and judge the quiescent system. *)
+      let last_end = List.fold_left (fun a e -> max a (S.event_end e)) 0 sc.S.sc_events in
+      Engine.run_until eng (max (Engine.now eng) last_end);
+      Fabric.clear_all_link_faults (System.fabric sys);
+      Array.iter
+        (fun row -> Array.iter (fun r -> Replica.inject_exec_delay r 0) row)
+        (System.replicas sys);
+      Engine.run_for eng (Time_ns.ms 15);
+      match divergence sys with
+      | Some detail -> Failed (Diverged { detail })
+      | None -> (
+          let invariant_breach = ref None in
+          Array.iter
+            (fun row ->
+              Array.iter
+                (fun r ->
+                  if !invariant_breach = None && Fabric.is_alive (Replica.node r) then
+                    match Replica.check_invariants r with
+                    | Ok () -> ()
+                    | Error detail ->
+                        invariant_breach :=
+                          Some (Invariant { part = Replica.part r; idx = Replica.idx r; detail }))
+                row)
+            (System.replicas sys);
+          match !invariant_breach with
+          | Some f -> Failed f
+          | None -> (
+              let spec = Kv_model.spec ~keys:sc.S.sc_keys ~init:0L in
+              match
+                Lincheck.counterexample_free ~pp_op:Kv_model.pp_op
+                  ~pp_result:Kv_model.pp_result spec (List.rev !history)
+              with
+              | Ok () -> Completed { completed = !completed }
+              | Error detail -> Failed (Not_linearizable { detail })))
+  end
+
+let run sc =
+  Metrics.incr m_runs;
+  let verdict =
+    (* An exception out of the event loop is protocol code breaking (an
+       assert, an array bound), not the harness: capture it as a
+       failure so it can be shrunk and pinned like any other. *)
+    try run_exn sc with e -> Failed (Crashed { detail = Printexc.to_string e })
+  in
+  (match verdict with Failed _ -> Metrics.incr m_failures | Completed _ -> ());
+  verdict
+
+let pp_failure ppf = function
+  | Stalled { completed; expected } ->
+      Format.fprintf ppf "stalled: %d of %d operations completed" completed expected
+  | Diverged { detail } -> Format.fprintf ppf "diverged: %s" detail
+  | Invariant { part; idx; detail } ->
+      Format.fprintf ppf "invariant breach on p%d/r%d: %s" part idx detail
+  | Not_linearizable { detail } -> Format.fprintf ppf "not linearizable: %s" detail
+  | Crashed { detail } -> Format.fprintf ppf "crashed: %s" detail
+
+let pp_outcome ppf = function
+  | Completed { completed } -> Format.fprintf ppf "ok (%d operations)" completed
+  | Failed f -> pp_failure ppf f

@@ -1,0 +1,50 @@
+(** Chaos-schedule interpreter: build a fresh KV deployment, run the
+    schedule's client workload while injecting its fault events at
+    their virtual times, then judge the run.
+
+    A run fails when the system breaks one of its promises:
+
+    - {b Stalled} — the clients' operations did not all complete within
+      a generous virtual-time horizon (generated schedules stay inside
+      a liveness envelope, so progress is owed);
+    - {b Diverged} — after the run settles, two live replicas of one
+      partition disagree on an object's latest version;
+    - {b Invariant} — a live replica fails
+      {!Heron_core.Replica.check_invariants};
+    - {b Not_linearizable} — the recorded client history admits no
+      linearization ({!Heron_lincheck.Lincheck}); the detail carries
+      the shortest failing prefix.
+    - {b Crashed} — an exception escaped the simulated system (an
+      assertion or array bound inside protocol code, not the harness);
+      the detail carries the exception text.
+
+    Runs are deterministic: same schedule, same outcome, every time —
+    which is what makes shrinking and corpus replay possible.
+
+    Injection is defensive so that {e any} event subset (a shrinking
+    candidate) stays inside the liveness envelope: a crash is skipped
+    if the target is index 0, already dead, or another replica of the
+    partition is down or still synchronising state
+    ({!Heron_core.Replica.in_recovery}); a restart is skipped if the
+    target is alive.
+    Metrics: [chaos.schedules_run], [chaos.failures],
+    [chaos.injections_skipped]. *)
+
+type failure =
+  | Stalled of { completed : int; expected : int }
+  | Diverged of { detail : string }
+  | Invariant of { part : int; idx : int; detail : string }
+  | Not_linearizable of { detail : string }
+  | Crashed of { detail : string }
+
+type outcome = Completed of { completed : int } | Failed of failure
+
+val failure_kind : failure -> string
+(** Stable one-word tag ([stalled], [diverged], [invariant],
+    [not_linearizable], [crashed]) — the shrinker's notion of "the same
+    bug". *)
+
+val run : Schedule.t -> outcome
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,38 @@
+open Heron_kv
+module Lincheck = Heron_lincheck.Lincheck
+
+let apply state req =
+  let get k = List.nth state k in
+  let set k v = List.mapi (fun i x -> if i = k then v else x) state in
+  match req with
+  | Kv_app.Get k -> (state, Kv_app.Value (get k))
+  | Kv_app.Put (k, v) -> (set k v, Kv_app.Ack)
+  | Kv_app.Add (k, d) ->
+      let v = Int64.add (get k) d in
+      (set k v, Kv_app.Value v)
+  | Kv_app.Transfer { src; dst; amount } ->
+      let s = set src (Int64.sub (get src) amount) in
+      let s = List.mapi (fun i x -> if i = dst then Int64.add (get dst) amount else x) s in
+      (s, Kv_app.Ack)
+  | Kv_app.Incr_all ks ->
+      (List.mapi (fun i x -> if List.mem i ks then Int64.add x 1L else x) state, Kv_app.Ack)
+  | Kv_app.Read_all ks -> (state, Kv_app.Values (List.map (fun k -> (k, get k)) ks))
+
+let spec ~keys ~init : (Kv_app.req, Kv_app.resp, int64 list) Lincheck.spec =
+  { Lincheck.initial = List.init keys (fun _ -> init); apply; equal_result = ( = ) }
+
+let pp_keys ppf ks =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    Format.pp_print_int ppf ks
+
+let pp_op ppf = function
+  | Kv_app.Get k -> Format.fprintf ppf "get k=%d" k
+  | Kv_app.Put (k, v) -> Format.fprintf ppf "put k=%d v=%Ld" k v
+  | Kv_app.Add (k, d) -> Format.fprintf ppf "add k=%d d=%Ld" k d
+  | Kv_app.Transfer { src; dst; amount } ->
+      Format.fprintf ppf "transfer %d->%d %Ld" src dst amount
+  | Kv_app.Incr_all ks -> Format.fprintf ppf "incr_all %a" pp_keys ks
+  | Kv_app.Read_all ks -> Format.fprintf ppf "read_all %a" pp_keys ks
+
+let pp_result = Kv_app.pp_resp

@@ -1,0 +1,14 @@
+(** Sequential specification of {!Heron_kv.Kv_app} for linearizability
+    checking of chaos histories: the pure model the recorded concurrent
+    history must be explainable by. State is the value of every key. *)
+
+open Heron_kv
+
+val spec :
+  keys:int -> init:int64 -> (Kv_app.req, Kv_app.resp, int64 list) Heron_lincheck.Lincheck.spec
+
+val pp_op : Format.formatter -> Kv_app.req -> unit
+(** Compact rendering for counterexample output ([put k=3 v=7],
+    [incr_all 0,1], ...). *)
+
+val pp_result : Format.formatter -> Kv_app.resp -> unit

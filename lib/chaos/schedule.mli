@@ -1,0 +1,80 @@
+(** Fault schedules for the chaos harness.
+
+    A schedule is an explicit, serializable description of one chaos
+    run: the workload a deployment executes (partitions, replicas,
+    clients, operation mix — all derived from a seed) plus a list of
+    timed fault events injected while the workload runs. Schedules are
+    plain data: the {!Driver} interprets them against a live system,
+    the shrinker ({!Shrink}) minimizes their event lists, and failing
+    schedules are pinned as JSON files under [test/corpus/] and
+    replayed forever after by [dune runtest].
+
+    Times are virtual nanoseconds from simulation start. Replicas are
+    named by [(partition, index)], never by fabric node id, so a
+    schedule is meaningful against any freshly-built deployment of the
+    same shape. *)
+
+type event =
+  | Crash of { part : int; idx : int; at : int }
+      (** Kill replica [idx] of [part] at time [at] (power failure:
+          fibers cancelled, volatile memory lost on recovery). *)
+  | Restart of { part : int; idx : int; at : int }
+      (** Recover the replica and run the full rejoin path: multicast
+          re-subscription and state transfer (Algorithm 3). *)
+  | Delay_link of { src : int * int; dst : int * int; extra_ns : int; at : int; span : int }
+      (** Add [extra_ns] one-way latency to every RDMA verb from
+          replica [src] to replica [dst] during [[at, at+span]]. *)
+  | Drop_writes of { src : int * int; dst : int * int; at : int; span : int }
+      (** Silently drop posted (fire-and-forget) writes from [src] to
+          [dst] during the span — lost coordination announcements.
+          Blocking verbs are unaffected (RC transport retries). *)
+  | Pause_replica of { part : int; idx : int; extra_ns : int; at : int; span : int }
+      (** Slow the replica's execution by [extra_ns] per request during
+          the span, manufacturing a lagger (paper Section V-E). *)
+
+type workload =
+  | Incr_all  (** every op is [Incr_all [0;1]] — cross-partition writes *)
+  | Mixed  (** reads, writes, increments and snapshots (lincheck food) *)
+
+type t = {
+  sc_seed : int;  (** engine + client-RNG seed *)
+  sc_partitions : int;
+  sc_replicas : int;
+  sc_keys : int;
+  sc_clients : int;
+  sc_ops : int;  (** operations per client *)
+  sc_workload : workload;
+  sc_events : event list;  (** sorted by {!event_time} *)
+}
+
+val event_time : event -> int
+val event_end : event -> int
+(** [event_time] plus the span for spanned events. *)
+
+val normalize : t -> t
+(** Sort events by time (stable). *)
+
+val generate : seed:int -> t
+(** Derive a schedule from a seed, valid by construction and inside the
+    liveness envelope: crash/restart rounds are sequential (at most one
+    replica down at a time, never index 0 — the initial multicast
+    leader), drop faults target cross-partition links only and end
+    before the first crash, so a majority of announcements always gets
+    through and the run must complete. Any failure under such a
+    schedule is Heron's fault, not the schedule's. *)
+
+val validate : t -> (unit, string) result
+(** Well-formedness (shape, ranges, sortedness, crash/restart
+    alternation per replica, index 0 never crashed). Holds for
+    generated schedules; shrunk subsets may legitimately leave a
+    replica down forever but still satisfy this. *)
+
+val to_json : t -> Heron_obs.Json.t
+val of_json : Heron_obs.Json.t -> (t, string) result
+(** Inverses: [of_json (to_json s) = Ok (normalize s)]. *)
+
+val save : t -> file:string -> unit
+val load : file:string -> (t, string) result
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -87,6 +87,7 @@ type ('req, 'resp) t = {
   r_stats : stats;
   r_obs : obs;
   mutable r_pending_deser : int;  (* bytes to deserialize after a transfer *)
+  mutable r_recovering : int;  (* state transfers currently in flight *)
   mutable r_exec_delay : Time_ns.t;  (* failure injection: extra exec cost *)
   mutable r_tracer : Trace.t option;
   r_eng : Engine.t;
@@ -124,6 +125,7 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_stats = make_stats ();
     r_obs = make_obs reg;
     r_pending_deser = 0;
+    r_recovering = 0;
     r_exec_delay = 0;
     r_tracer = None;
     r_eng = Fabric.engine (Fabric.fabric_of node);
@@ -154,6 +156,57 @@ let clear_stats r =
 let update_log r = r.r_log
 let inject_exec_delay r d = r.r_exec_delay <- d
 let set_tracer r tr = r.r_tracer <- Some tr
+
+(* Internal self-consistency, for the chaos harness. Each check is an
+   always-true property of Algorithms 1-3 at any instant; the
+   [quiescent] extras additionally assume no request is in flight (a
+   donor snapshot legitimately ships a peer's in-progress writes, so
+   store tags may transiently exceed [r_last_req] mid-recovery). *)
+let check_invariants ?(quiescent = true) r =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let pp t = Format.asprintf "%a" Tstamp.pp t in
+  if Tstamp.(r.r_last_req < r.r_last_applied) then
+    fail "last_applied %s ahead of last_req %s" (pp r.r_last_applied) (pp r.r_last_req)
+  else if Tstamp.(r.r_last_req < Update_log.last_tmp r.r_log) then
+    fail "update log reaches %s beyond last_req %s"
+      (pp (Update_log.last_tmp r.r_log)) (pp r.r_last_req)
+  else if Tstamp.(r.r_last_req < Update_log.truncation r.r_log) then
+    fail "log truncation point %s beyond last_req %s"
+      (pp (Update_log.truncation r.r_log)) (pp r.r_last_req)
+  else if
+    (let own, _ = Coord_mem.read_slot r.r_coord ~part:r.r_part ~idx:r.r_idx in
+     Tstamp.(r.r_last_req < own))
+  then
+    fail "own coordination slot %s beyond last_req %s"
+      (pp (fst (Coord_mem.read_slot r.r_coord ~part:r.r_part ~idx:r.r_idx)))
+      (pp r.r_last_req)
+  else
+    let bad = ref None in
+    List.iter
+      (fun oid ->
+        if !bad = None then begin
+          (* Decode the raw cell rather than calling [get_before]: the
+             latter counts misses into [store.dual_version_miss], and a
+             checker must not perturb the metrics it runs alongside. *)
+          let (_, ta), (_, tb) =
+            Versioned_store.decode_cell (Versioned_store.encode_cell_of r.r_store oid)
+          in
+          let newest = if Tstamp.(tb <= ta) then ta else tb in
+          (* Dual versioning keeps the two versions distinct: only the
+             initial (zero, zero) pair may coincide. *)
+          if Tstamp.equal ta tb && not (Tstamp.equal ta Tstamp.zero) then
+            bad :=
+              Some
+                (Printf.sprintf "object %d lost its older version (both at %s)"
+                   (Oid.to_int oid) (pp ta))
+          else if quiescent && Tstamp.(r.r_last_req < newest) then
+            bad :=
+              Some
+                (Printf.sprintf "object %d tagged %s beyond last_req %s"
+                   (Oid.to_int oid) (pp newest) (pp r.r_last_req))
+        end)
+      (Versioned_store.registered_oids r.r_store);
+    match !bad with None -> Result.Ok () | Some msg -> Error msg
 
 let trace r ~name ~tmp ~start stop =
   match r.r_tracer with
@@ -328,13 +381,40 @@ let sync_fanout r ~slot_idx tmp ~status =
 (* {1 State transfer (Algorithm 3)} *)
 
 (* Lagger side: request a transfer from the group and block until a
-   donor reports completion, then adopt the synchronised prefix. *)
-let rec initiate_state_transfer r ~failed_tmp =
+   donor reports completion, then adopt the synchronised prefix.
+
+   [failed_tmp] is the point the transfer must reach back to — the
+   donor ships every object updated at or after it. [cover] is how far
+   the adopted state must extend before it is usable; normally the two
+   coincide (the failed read), but a restarted replica needs everything
+   from the beginning of time ([failed_tmp] minimal) while insisting
+   the donor has applied past the group's dispatch horizon ([cover]),
+   because entries before the horizon are never redelivered. Keeping
+   one timestamp for both roles transfers too little: a delta from the
+   horizon misses any object last written before it, which an empty
+   store silently keeps at its catalog value. *)
+let rec initiate_state_transfer_locked r ~failed_tmp ~cover =
   let transfer_start = Engine.now r.r_eng in
   r.r_stats.st_laggers <- r.r_stats.st_laggers + 1;
   Heron_obs.Metrics.incr r.r_obs.ob_laggers;
   sync_fanout r ~slot_idx:r.r_idx failed_tmp ~status:1;
-  wait_mem r (fun () -> snd (Statesync_mem.read_slot r.r_sync ~idx:r.r_idx) = 0);
+  (* The request lives only in the group's statesync slots: a member
+     that was down during the fanout (its wiped slot reads idle) or
+     that crashes while queued to serve forgets it. Re-publish once
+     every candidate's turn has gone by unanswered, so the current
+     incarnations of the group see it. *)
+  let served () = snd (Statesync_mem.read_slot r.r_sync ~idx:r.r_idx) = 0 in
+  let republish_ns =
+    max 1 (n_replicas r - 1) * r.r_cfg.Config.statesync_timeout_ns
+  in
+  let rec await () =
+    wait_mem_deadline r served ~deadline:(Engine.now r.r_eng + republish_ns);
+    if not (served ()) then begin
+      sync_fanout r ~slot_idx:r.r_idx failed_tmp ~status:1;
+      await ()
+    end
+  in
+  await ();
   (* Non-serialized data shipped by the donor must be deserialized
      before resuming (Figure 8's second scenario). *)
   if r.r_pending_deser > 0 then begin
@@ -354,12 +434,27 @@ let rec initiate_state_transfer r ~failed_tmp =
      cover it, so ask again (it keeps executing meanwhile). *)
   trace r ~name:"state-transfer" ~tmp:failed_tmp ~start:transfer_start
     (Engine.now r.r_eng);
-  if Tstamp.(rid < failed_tmp) then begin
+  if Tstamp.(rid < cover) then begin
     Engine.sleep r.r_cfg.Config.statesync_timeout_ns;
-    initiate_state_transfer r ~failed_tmp
+    initiate_state_transfer_locked r ~failed_tmp ~cover
   end
 
-let force_state_transfer r ~failed_tmp = initiate_state_transfer r ~failed_tmp
+(* [r_recovering] brackets the whole episode, retries included: the
+   chaos driver reads it to keep crash injection inside the failure
+   model (killing the last replica that applied a suffix while its
+   peers are still synchronising loses that suffix with only one
+   nominal failure). *)
+let initiate_state_transfer r ~failed_tmp ~cover =
+  r.r_recovering <- r.r_recovering + 1;
+  Fun.protect
+    ~finally:(fun () -> r.r_recovering <- r.r_recovering - 1)
+    (fun () -> initiate_state_transfer_locked r ~failed_tmp ~cover)
+
+let in_recovery r = r.r_recovering > 0
+
+let force_state_transfer ?cover r ~failed_tmp =
+  initiate_state_transfer r ~failed_tmp
+    ~cover:(match cover with Some c -> c | None -> failed_tmp)
 
 (* Donor side: ship the objects the lagger misses, 32 KB per RDMA
    write; registered cells land directly in the lagger's store,
@@ -447,11 +542,14 @@ let statesync_watcher r =
     for j = 0 to n - 1 do
       if pending_request j then begin
         handling.(j) <- true;
-        let failed_tmp, _ = Statesync_mem.read_slot r.r_sync ~idx:j in
         Fabric.spawn_on r.r_node (fun () ->
             (* Deterministic candidate order: (j+1) mod n, (j+2) ...;
-               each candidate waits its turn and only acts if no
-               earlier candidate completed the transfer. *)
+               each candidate waits its turn and acts if the slot still
+               shows an unserved request — even one newer than the
+               request it woke up for. Declining a superseded request
+               can strand the lagger: our re-detection loop is only
+               re-evaluated when a fresh write lands in our memory, and
+               a lagger blocked on its slot writes nothing further. *)
             let order = List.init (n - 1) (fun k -> (j + 1 + k) mod n) in
             let rec pos i = function
               | [] -> i
@@ -460,8 +558,15 @@ let statesync_watcher r =
             let my_pos = pos 0 order in
             Engine.sleep (my_pos * r.r_cfg.Config.statesync_timeout_ns);
             let tmp', status' = Statesync_mem.read_slot r.r_sync ~idx:j in
-            if status' = 1 && Tstamp.equal tmp' failed_tmp then
-              do_transfer r ~lagger_idx:j ~failed_tmp;
+            (* Serve only if our own applied state covers the request:
+               completing a transfer with older state would satisfy the
+               slot without helping the lagger, and a group of mutual
+               laggers would then bounce stale snapshots between each
+               other forever while a fresher donor never gets asked.
+               Declining leaves the slot pending for the next
+               candidate's turn (or the lagger's re-publish). *)
+            if status' = 1 && Tstamp.(tmp' <= r.r_last_applied) then
+              do_transfer r ~lagger_idx:j ~failed_tmp:tmp';
             handling.(j) <- false)
       end
     done;
@@ -698,7 +803,7 @@ let exec_single r req ~tmp ~on_applied =
       Heron_obs.Metrics.incr r.r_obs.ob_executed;
       send_reply r req resp
   | exception Lagging ->
-      initiate_state_transfer r ~failed_tmp:tmp;
+      initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
       on_applied ()
 
 (* Multi-partition request: Phase 2, execute, Phase 4, reply — or, on a
@@ -726,7 +831,7 @@ let exec_multi r req ~tmp ~dst ~on_applied =
       (* Algorithm 2 lines 23-25: synchronise and skip. The request only
          counts as applied once the transferred state (which covers it)
          has arrived. *)
-      initiate_state_transfer r ~failed_tmp:tmp;
+      initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
       on_applied ()
 
 let handle_delivery r (dv : ('req, 'resp) request Ramcast.delivery) =

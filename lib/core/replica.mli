@@ -71,18 +71,45 @@ val stats : ('req, 'resp) t -> stats
 val clear_stats : ('req, 'resp) t -> unit
 (** Reset all counters and samples (end of a warmup window). *)
 
-val force_state_transfer : ('req, 'resp) t -> failed_tmp:Tstamp.t -> unit
+val force_state_transfer :
+  ?cover:Tstamp.t -> ('req, 'resp) t -> failed_tmp:Tstamp.t -> unit
 (** Run the lagger side of Algorithm 3 as if a read had just failed at
-    [failed_tmp]; blocks the calling fiber until the transfer
-    completes. For tests and the Figure 8 experiment. *)
+    [failed_tmp]: the donor ships every object updated at or after it.
+    [cover] (default [failed_tmp]) is how far the adopted state must
+    reach — the transfer is re-requested until a donor has applied past
+    it. Restart recovery passes a minimal [failed_tmp] (the store is
+    empty, everything must ship) with [cover] at the group's dispatch
+    horizon. Blocks the calling fiber until the transfer completes. *)
 
 val update_log : ('req, 'resp) t -> Update_log.t
 (** The replica's update log (tests and the Figure 8 experiment). *)
+
+val in_recovery : ('req, 'resp) t -> bool
+(** Whether a state-transfer episode (lagger side, retries included) is
+    currently in flight on this replica. The chaos driver uses it to
+    keep crash injection inside the failure model: until every replica
+    of a partition has applied an acknowledged request's suffix —
+    Phase 4's grace deadline replies without waiting for laggers — the
+    replicas that did apply it are not expendable, and crashing one
+    while a peer is still synchronising can lose acknowledged state
+    with only one nominal failure. *)
 
 val inject_exec_delay : ('req, 'resp) t -> Time_ns.t -> unit
 (** Failure injection: add a fixed delay to every request this replica
     executes, making it slower than its peers. Used to manufacture
     laggers (paper Section V-E). *)
+
+val check_invariants : ?quiescent:bool -> ('req, 'resp) t -> (unit, string) result
+(** Internal self-consistency checks for the chaos harness: the applied
+    frontier never leads the delivery frontier, the update log (entries
+    and truncation point) never reaches beyond the last delivered
+    request, the replica's own coordination slot never announces a
+    future request, and every registered object still holds two
+    distinct versions. With [quiescent] (the default) additionally
+    asserts no store version is tagged beyond [last_req] — true at rest
+    but legitimately violated mid-recovery, when a donor snapshot ships
+    a peer's in-progress writes ahead of the adopted prefix. [Error]
+    carries a human-readable description of the breach. *)
 
 val set_tracer : ('req, 'resp) t -> Trace.t -> unit
 (** Attach a span tracer: the replica records per-request spans

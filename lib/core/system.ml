@@ -114,20 +114,17 @@ let restart_replica t ~part ~idx =
   Replica.set_directory fresh t.sys_replicas;
   Ramcast.restart_member t.sys_mcast ~gid:part ~idx ~deliver:(fun dv ->
       Mailbox.send (Replica.inbox fresh) dv);
-  (* The multicast layer does not redeliver entries dispatched before
-     the rejoin, so the recovery transfer must cover the group's
-     dispatch horizon: [initiate_state_transfer] retries until a donor
-     has applied past it. Entries dispatched after the horizon queue in
-     the fresh inbox and are replayed (or skipped as covered) once the
-     replica starts. A transfer from any earlier point — e.g. the
-     donor's applied prefix at snapshot time — can silently miss
-     requests the donor applies just after the snapshot, leaving this
-     replica permanently short. *)
-  let horizon = Ramcast.dispatch_horizon t.sys_mcast ~gid:part in
+  (* Transfer from the beginning of time: the store is empty, so a
+     delta from any later point would keep cold objects at their
+     catalog values. Any consistent donor snapshot suffices for the
+     cover — [restart_member] re-delivers every entry past the donor's
+     applied prefix into the fresh inbox, and the replica skips the
+     covered ones when it starts. Insisting on more (say, the dispatch
+     horizon) can deadlock: a donor wedged in Phase 2 of an entry
+     cannot apply past it until this replica rejoins coordination. *)
   let earliest = Tstamp.make ~clock:1 ~uid:1 in
-  let failed_tmp = if Tstamp.(horizon < earliest) then earliest else horizon in
   Fabric.spawn_on node (fun () ->
-      Replica.force_state_transfer fresh ~failed_tmp;
+      Replica.force_state_transfer fresh ~failed_tmp:earliest;
       Replica.start fresh)
 
 let new_client_node t ~name =

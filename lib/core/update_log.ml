@@ -24,6 +24,8 @@ let append t tmp oid =
 let note_gap t ~upto = if Tstamp.(t.trunc < upto) then t.trunc <- upto
 let length t = Queue.length t.entries
 let covers t ~from = Tstamp.(t.trunc < from)
+let last_tmp t = t.last
+let truncation t = t.trunc
 
 let oids_in_range t ~from ~upto =
   if not (covers t ~from) then

@@ -33,6 +33,14 @@ val length : t -> int
 val covers : t -> from:Tstamp.t -> bool
 (** Whether the log retains every update with timestamp >= [from]. *)
 
+val last_tmp : t -> Tstamp.t
+(** Largest timestamp ever appended ([Tstamp.zero] if none). *)
+
+val truncation : t -> Tstamp.t
+(** The truncation point: the largest timestamp whose updates may be
+    missing, from overflow drops or {!note_gap} ([Tstamp.zero] while
+    the log is complete). *)
+
 val oids_in_range : t -> from:Tstamp.t -> upto:Tstamp.t -> Oid.t list
 (** Distinct oids updated by requests with timestamp in
     [[from, upto]] (both inclusive), in first-update order. Raises

@@ -66,11 +66,46 @@ let check spec events =
     dfs spec.initial 0
   end
 
-let counterexample_free spec events =
+let counterexample_free ?pp_op ?pp_result spec events =
   if check spec events then Ok ()
-  else
-    Error
+  else begin
+    (* The verdict depends only on the event set, so the invoke-ordered
+       prefixes of the history form a chain whose last element (the full
+       history) fails: the smallest failing prefix is the debuggable
+       core of the violation — everything after its last event is
+       noise. *)
+    let sorted =
+      List.stable_sort
+        (fun a b ->
+          match compare a.ev_invoke b.ev_invoke with
+          | 0 -> compare a.ev_return b.ev_return
+          | c -> c)
+        events
+    in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rec first_failing k =
+      if k >= n then n
+      else if not (check spec (Array.to_list (Array.sub arr 0 k))) then k
+      else first_failing (k + 1)
+    in
+    let k = first_failing 1 in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
       (Printf.sprintf
          "history of %d events admits no linearization consistent with the \
-          sequential specification"
-         (List.length events))
+          sequential specification; shortest failing prefix: %d events"
+         n k);
+    for i = 0 to k - 1 do
+      let e = arr.(i) in
+      Buffer.add_string buf
+        (Printf.sprintf "\n  client %d [%d, %d]" e.ev_client e.ev_invoke e.ev_return);
+      (match pp_op with
+      | Some pp -> Buffer.add_string buf (Format.asprintf " %a" pp e.ev_op)
+      | None -> ());
+      match pp_result with
+      | Some pp -> Buffer.add_string buf (Format.asprintf " -> %a" pp e.ev_result)
+      | None -> ()
+    done;
+    Error (Buffer.contents buf)
+  end

@@ -36,5 +36,16 @@ val check : ('op, 'res, 'state) spec -> ('op, 'res) event list -> bool
     matches [apply] at its place in the order). *)
 
 val counterexample_free :
-  ('op, 'res, 'state) spec -> ('op, 'res) event list -> (unit, string) result
-(** Like {!check} but explains a violation (for test failure output). *)
+  ?pp_op:(Format.formatter -> 'op -> unit) ->
+  ?pp_result:(Format.formatter -> 'res -> unit) ->
+  ('op, 'res, 'state) spec ->
+  ('op, 'res) event list ->
+  (unit, string) result
+(** Like {!check} but explains a violation (for test failure output and
+    chaos repros). The message reports the {e shortest failing prefix}
+    of the history — events sorted by invocation time, cut at the first
+    prefix that already admits no linearization — one line per event:
+    [client ID [invoke, return]], followed by the operation and the
+    observed result when [pp_op] / [pp_result] are given. Everything
+    after that prefix is noise; the violation is contained in the
+    listed events. *)

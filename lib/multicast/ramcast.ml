@@ -135,6 +135,31 @@ let dispatch_horizon t ~gid =
   else lead.m_log.(lead.m_log_len - 1).d_tmp
 let quorum t ~gid = (Array.length t.groups.(gid).g_members / 2) + 1
 
+let debug_state t ~gid =
+  let g = t.groups.(gid) in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "group %d leader=%d\n" gid g.g_leader);
+  Array.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  m%d alive=%b log_len=%d next_deliver=%d delivered=%d pending=%d \
+            commits=%d head_acks=%s committed=%d\n"
+           m.m_idx
+           (Fabric.is_alive m.m_node)
+           m.m_log_len m.m_next_deliver m.m_delivered (Hashtbl.length m.m_pending)
+           (Queue.length m.m_commits)
+           (match Queue.peek_opt m.m_commits with
+           | None -> "-"
+           | Some c ->
+               Printf.sprintf "%d/%d(uid %s)" c.cm_acks
+                 (List.length c.cm_entries)
+                 (String.concat ","
+                    (List.map (fun e -> string_of_int e.d_uid) c.cm_entries)))
+           (Hashtbl.length m.m_committed)))
+    g.g_members;
+  Buffer.contents b
+
 let current_leader t gid =
   let g = t.groups.(gid) in
   g.g_members.(g.g_leader)
@@ -554,6 +579,33 @@ let restart_member t ~gid ~idx ~deliver =
   in
   drain ();
   m.m_deliver <- deliver;
+  (* Log suffix sync, as on leader takeover: entries replicated while
+     this member was down are never re-sent, and a recovery state
+     transfer only covers what its donor had applied — an entry past
+     the donor's applied point but already in the leader's log would
+     otherwise reach this member by neither path. Worse than a hole:
+     if that entry is multi-partition, its coordination needs a
+     majority of this group at it, which a rejoiner that can never
+     obtain it cannot help form — recovery and coordination then wait
+     on each other forever. Copy the leader's log (one event-loop
+     turn, so the snapshot is consistent), re-deliver the committed
+     prefix — the replica skips whatever its transfer covered — and
+     ack the in-flight tail so the leader can commit it. *)
+  let lead = t.groups.(gid).g_members.(t.groups.(gid).g_leader) in
+  m.m_log <- Array.sub lead.m_log 0 lead.m_log_len;
+  m.m_log_len <- lead.m_log_len;
+  m.m_next_deliver <- 0;
+  for i = 0 to m.m_log_len - 1 do
+    let e = m.m_log.(i) in
+    Hashtbl.replace m.m_seen e.d_uid ();
+    m.m_clock <- max m.m_clock e.d_tmp.Tstamp.clock;
+    if i < lead.m_next_deliver then Hashtbl.replace m.m_committed e.d_uid ()
+  done;
+  drain_follower m;
+  for i = lead.m_next_deliver to m.m_log_len - 1 do
+    post_ctrl t ~src:m.m_node ~dst:lead ~bytes:t.cfg.ack_bytes
+      (Ack { a_uid = m.m_log.(i).d_uid })
+  done;
   spawn_member_loops t m
 
 let start t =

@@ -92,21 +92,28 @@ val leader_idx : 'a t -> gid:int -> int
 val delivered_count : 'a t -> gid:int -> idx:int -> int
 (** Messages delivered so far by one member (tests/monitoring). *)
 
+val debug_state : 'a t -> gid:int -> string
+(** Multi-line dump of one group's protocol state (leader, per-member
+    log and commit-queue positions) for diagnosing stuck runs in the
+    chaos harness. *)
+
 val dispatch_horizon : 'a t -> gid:int -> Tstamp.t
 (** Timestamp of the newest entry the group's current leader has
-    appended to its log ([Tstamp.zero] if none). A member rejoining via
-    {!restart_member} receives every entry dispatched after this point,
-    and none dispatched before it — so a recovery state transfer that
-    covers the horizon closes the redelivery gap exactly. *)
+    appended to its log ([Tstamp.zero] if none). Monitoring /
+    diagnostics: everything a rejoining member must obtain — by log
+    sync or by the layer above's state transfer — lies at or before
+    this point at the instant of the rejoin. *)
 
 val restart_member : 'a t -> gid:int -> idx:int -> deliver:('a delivery -> unit) -> unit
 (** Rejoin a member whose node crashed and was recovered (a process
     restart loses all protocol state): reset its state, install a fresh
-    delivery callback, and respawn its processes. The member resumes as
-    a follower from the group's current position; messages it missed
-    while down are not redelivered — the layer above recovers them
-    (Heron's full state transfer). The node must be alive and must not
-    currently be the group's leader. *)
+    delivery callback, synchronise the replicated log from the current
+    leader (as a new leader does on takeover) and respawn its
+    processes. Entries the leader had already delivered are re-delivered
+    to the fresh callback — the layer above skips those its recovery
+    state transfer covers — and in-flight entries are stored and acked
+    so they can commit. The node must be alive and must not currently
+    be the group's leader. *)
 
 val quorum : 'a t -> gid:int -> int
 (** f + 1 for the group. *)

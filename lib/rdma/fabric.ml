@@ -4,6 +4,7 @@ type node = {
   id : int;
   name : string;
   mutable alive : bool;
+  mutable epoch : int;  (* incarnation; bumped by [crash] *)
   mutable token : Engine.token;
   regions : (int, Memory.region) Hashtbl.t;
   mutable next_rid : int;
@@ -17,12 +18,18 @@ and fabric = {
   nodes : (int, node) Hashtbl.t;
   mutable next_node : int;
   obs : Heron_obs.Metrics.t;
+  faults : (int * int, link_fault) Hashtbl.t;  (* (src id, dst id) *)
 }
+
+(* Injected link faults (chaos layer): extra one-way latency and/or
+   dropping of posted writes on one directed (src, dst) link. *)
+and link_fault = { mutable lf_extra_ns : int; mutable lf_drop : bool }
 
 type t = fabric
 
 let create ?(metrics = Heron_obs.Metrics.default) eng ~profile =
-  { eng; prof = profile; nodes = Hashtbl.create 16; next_node = 0; obs = metrics }
+  { eng; prof = profile; nodes = Hashtbl.create 16; next_node = 0; obs = metrics;
+    faults = Hashtbl.create 8 }
 
 let engine t = t.eng
 let profile t = t.prof
@@ -36,6 +43,7 @@ let add_node t ~name =
       id;
       name;
       alive = true;
+      epoch = 0;
       token = Engine.new_token t.eng;
       regions = Hashtbl.create 8;
       next_rid = 0;
@@ -49,6 +57,7 @@ let add_node t ~name =
 let node_id n = n.id
 let node_name n = n.name
 let is_alive n = n.alive
+let epoch n = n.epoch
 let fabric_of n = n.fabric
 let find_node t id = Hashtbl.find t.nodes id
 let node_count t = Hashtbl.length t.nodes
@@ -56,6 +65,7 @@ let node_count t = Hashtbl.length t.nodes
 let crash n =
   if n.alive then begin
     n.alive <- false;
+    n.epoch <- n.epoch + 1;
     Engine.cancel n.token
   end
 
@@ -77,6 +87,30 @@ let alloc_region n ~size =
 
 let region n rid = Hashtbl.find n.regions rid
 let mem_signal n = n.signal
+
+(* {1 Link fault injection} *)
+
+let set_link_fault t ~src ~dst ?(extra_ns = 0) ?(drop = false) () =
+  if extra_ns < 0 then invalid_arg "Fabric.set_link_fault: negative extra_ns";
+  match Hashtbl.find_opt t.faults (src, dst) with
+  | Some f ->
+      f.lf_extra_ns <- extra_ns;
+      f.lf_drop <- drop
+  | None ->
+      Hashtbl.replace t.faults (src, dst) { lf_extra_ns = extra_ns; lf_drop = drop }
+
+let clear_link_fault t ~src ~dst = Hashtbl.remove t.faults (src, dst)
+let clear_all_link_faults t = Hashtbl.reset t.faults
+
+let link_extra_ns t ~src ~dst =
+  match Hashtbl.find_opt t.faults (src, dst) with
+  | Some f -> f.lf_extra_ns
+  | None -> 0
+
+let link_drops t ~src ~dst =
+  match Hashtbl.find_opt t.faults (src, dst) with
+  | Some f -> f.lf_drop
+  | None -> false
 
 let check_local n (a : Memory.addr) =
   if a.Memory.mem_node <> n.id then

@@ -32,6 +32,13 @@ val node_id : node -> int
 val node_name : node -> string
 val is_alive : node -> bool
 
+val epoch : node -> int
+(** Incarnation number, bumped by {!crash}. Lets a queue pair detect
+    that its peer died (and possibly rebooted) between posting a verb
+    and its completion: a reliable connection does not survive a peer
+    reboot, so such verbs must fail rather than touch the rebooted
+    node's memory. *)
+
 val fabric_of : node -> t
 (** The fabric a node belongs to. *)
 
@@ -62,6 +69,33 @@ val region : node -> int -> Memory.region
 val mem_signal : node -> Heron_sim.Signal.t
 (** Broadcast whenever a remote write or CAS lands in the node's
     memory. Local code waits on this instead of busy-polling. *)
+
+(** {1 Link fault injection (chaos layer)}
+
+    Faults are keyed by the directed (source id, destination id) pair
+    and consulted by {!Qp} on every verb: [extra_ns] is added to the
+    one-way completion latency of every verb on the link, and with
+    [drop] set, {e posted} writes ([Qp.write_post] and doorbell
+    batches) landing while the fault is active are silently dropped —
+    exactly as they are towards a dead peer — and counted in
+    [rdma.dropped_writes]. Blocking verbs are delayed but never
+    dropped (RC transport retries until the transport timeout, which
+    only a dead peer exhausts). *)
+
+val set_link_fault :
+  t -> src:int -> dst:int -> ?extra_ns:int -> ?drop:bool -> unit -> unit
+(** Install (or overwrite) the fault on one directed link. Defaults:
+    no extra latency, no dropping. *)
+
+val clear_link_fault : t -> src:int -> dst:int -> unit
+val clear_all_link_faults : t -> unit
+
+val link_extra_ns : t -> src:int -> dst:int -> int
+(** Extra one-way latency currently injected on the link (0 when
+    healthy). *)
+
+val link_drops : t -> src:int -> dst:int -> bool
+(** Whether posted writes on the link are currently being dropped. *)
 
 val local_read : node -> Memory.addr -> len:int -> bytes
 (** Direct local access (no latency); [addr] must name this node. *)

@@ -60,6 +60,16 @@ let prof_and_eng t =
   let fab = Fabric.fabric_of t.qp_src in
   (Fabric.engine fab, Fabric.profile fab)
 
+(* Injected extra one-way latency on this QP's link (chaos layer). *)
+let fault_delay t =
+  Fabric.link_extra_ns (Fabric.fabric_of t.qp_src)
+    ~src:(Fabric.node_id t.qp_src) ~dst:(Fabric.node_id t.qp_dst)
+
+(* Whether posted writes on this QP's link are being dropped. *)
+let fault_drops t =
+  Fabric.link_drops (Fabric.fabric_of t.qp_src)
+    ~src:(Fabric.node_id t.qp_src) ~dst:(Fabric.node_id t.qp_dst)
+
 (* Reserve this QP for one verb carrying [bytes_len] payload bytes and
    return the completion instant. RC ordering: a verb starts only after
    the previous one on the same QP completed. Records count, bytes and
@@ -69,17 +79,26 @@ let reserve t vo ~bytes_len =
   let posted = Engine.now eng in
   Engine.consume prof.Profile.post_ns;
   let start = max (Engine.now eng) t.busy_until in
-  let completion = start + Profile.verb_latency prof ~bytes_len in
+  let completion = start + Profile.verb_latency prof ~bytes_len + fault_delay t in
   t.busy_until <- completion;
   Metrics.incr vo.vo_count;
   Metrics.add vo.vo_bytes bytes_len;
   Metrics.observe vo.vo_lat (completion - posted);
   completion
 
+(* A reliable connection does not survive its peer dying, even briefly:
+   a verb fails unless the peer was alive at post time, is alive at
+   completion time, and kept the same incarnation in between — a verb
+   whose wire time straddles a crash (or a crash-and-reboot) must not
+   touch the peer's memory, which may have been wiped and reused. *)
 let await_completion t completion ~verb =
   let eng, prof = prof_and_eng t in
+  let alive0 = Fabric.is_alive t.qp_dst in
+  let epoch0 = Fabric.epoch t.qp_dst in
   Engine.sleep (completion - Engine.now eng);
-  if not (Fabric.is_alive t.qp_dst) then begin
+  if
+    not (alive0 && Fabric.is_alive t.qp_dst && Fabric.epoch t.qp_dst = epoch0)
+  then begin
     Engine.sleep prof.Profile.failure_timeout_ns;
     Metrics.incr t.qp_obs.o_failures;
     raise (Rdma_exception { target = Fabric.node_id t.qp_dst; verb })
@@ -104,8 +123,15 @@ let write_post t addr payload =
   let payload = Bytes.copy payload in
   let eng, _ = prof_and_eng t in
   let completion = reserve t t.qp_obs.o_write_post ~bytes_len:(Bytes.length payload) in
+  let alive0 = Fabric.is_alive t.qp_dst in
+  let epoch0 = Fabric.epoch t.qp_dst in
   Engine.schedule ~delay:(completion - Engine.now eng) eng (fun () ->
-      if Fabric.is_alive t.qp_dst then land_write t addr payload
+      if
+        alive0
+        && Fabric.is_alive t.qp_dst
+        && Fabric.epoch t.qp_dst = epoch0
+        && not (fault_drops t)
+      then land_write t addr payload
       else Metrics.incr t.qp_obs.o_dropped)
 
 (* {1 Doorbell batching}
@@ -123,8 +149,15 @@ type wqe = { w_qp : t; w_addr : Memory.addr; w_payload : bytes }
 
 (* Land one posted WQE at its completion instant, as [write_post]. *)
 let schedule_wqe eng w ~completion =
+  let alive0 = Fabric.is_alive w.w_qp.qp_dst in
+  let epoch0 = Fabric.epoch w.w_qp.qp_dst in
   Engine.schedule ~delay:(completion - Engine.now eng) eng (fun () ->
-      if Fabric.is_alive w.w_qp.qp_dst then land_write w.w_qp w.w_addr w.w_payload
+      if
+        alive0
+        && Fabric.is_alive w.w_qp.qp_dst
+        && Fabric.epoch w.w_qp.qp_dst = epoch0
+        && not (fault_drops w.w_qp)
+      then land_write w.w_qp w.w_addr w.w_payload
       else Metrics.incr w.w_qp.qp_obs.o_dropped)
 
 (* Post [wqes] (in order) from the caller's fiber with doorbell
@@ -156,7 +189,9 @@ let post_coalesced wqes =
                 let qp = w.w_qp in
                 let bytes_len = Bytes.length w.w_payload in
                 let start = max (Engine.now eng) qp.busy_until in
-                let completion = start + Profile.verb_latency prof ~bytes_len in
+                let completion =
+                  start + Profile.verb_latency prof ~bytes_len + fault_delay qp
+                in
                 qp.busy_until <- completion;
                 Metrics.add qp.qp_obs.o_write_post.vo_bytes bytes_len;
                 Metrics.observe qp.qp_obs.o_write_post.vo_lat (completion - posted);

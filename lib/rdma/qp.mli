@@ -12,6 +12,10 @@
     {!write_post} is the exception: it models a posted write whose
     completion is never polled (fire-and-forget).
 
+    Injected link faults ({!Fabric.set_link_fault}) apply per verb:
+    the link's extra latency is added to every completion, and an
+    active drop fault discards posted writes at their landing instant.
+
     Every verb records count, payload bytes and post-to-completion
     latency into the fabric's metric registry ({!Fabric.metrics}) as
     [rdma.verb.count] / [rdma.verb.bytes] / [rdma.verb.latency_ns]
@@ -43,10 +47,11 @@ val write : t -> Memory.addr -> bytes -> unit
 val write_post : t -> Memory.addr -> bytes -> unit
 (** Post a write and return after the local post cost only. The write
     lands (and raises the destination's memory signal) at its in-order
-    completion instant; if the peer is dead at that instant the write is
-    dropped — exactly the behaviour of an unpolled posted write — and
-    counted in the [rdma.dropped_writes] metric (see
-    {!dropped_writes}). *)
+    completion instant; if the peer is dead — or an injected link fault
+    ({!Fabric.set_link_fault}) is dropping writes on this link — at
+    that instant the write is dropped — exactly the behaviour of an
+    unpolled posted write — and counted in the [rdma.dropped_writes]
+    metric (see {!dropped_writes}). *)
 
 val dropped_writes : t -> int
 (** Posted writes this QP dropped because the peer was dead at their

@@ -44,7 +44,6 @@ let schedule ?(delay = 0) t run =
 
 let spawn ?token ?name t f =
   let tok = match token with Some tok -> tok | None -> { cancelled = false } in
-  ignore name;
   t.fibers <- t.fibers + 1;
   let open Effect.Deep in
   (* Resume a parked continuation, honouring cancellation: a fiber whose
@@ -58,7 +57,18 @@ let spawn ?token ?name t f =
       exnc =
         (fun e ->
           t.fibers <- t.fibers - 1;
-          match e with Cancelled -> () | e -> raise e);
+          match e with
+          | Cancelled -> ()
+          | e ->
+              (* The raise below unwinds through the event loop, losing
+                 the raise site; print it here (where the backtrace is
+                 still intact) when tracing is requested. *)
+              if Sys.getenv_opt "HERON_FIBER_TRACE" <> None then
+                Printf.eprintf "fiber %s died: %s\n%s\n%!"
+                  (match name with Some n -> n | None -> "(unnamed)")
+                  (Printexc.to_string e)
+                  (Printexc.get_backtrace ());
+              raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with

@@ -30,6 +30,11 @@ echo "== probe trace =="
 dune exec bin/probe.exe -- trace "$trace" > /dev/null
 dune exec bin/probe.exe -- jsonlint "$trace"
 
+echo "== chaos smoke sweep =="
+# 120 generated fault schedules against the full stack; failures shrink
+# and pin under test/corpus/ so they can be committed as regressions.
+dune exec bin/probe.exe -- chaos --seeds 0..119 --shrink --corpus test/corpus
+
 echo "== bench coord smoke =="
 # Quick coordination bench: multi-partition p50/p99 latency,
 # single-partition throughput and doorbell charges -> BENCH_coord.json.

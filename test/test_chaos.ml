@@ -1,0 +1,283 @@
+(* Tests for the chaos harness itself — schedule generation, JSON
+   (de)serialization, the driver's failure envelope, the shrinker — and
+   the regression corpus: every test/corpus/*.json is a schedule that
+   once broke the system, pinned so it replays forever. *)
+
+open Heron_chaos
+module Metrics = Heron_obs.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let qc t = QCheck_alcotest.to_alcotest t
+
+(* {1 Schedules} *)
+
+(* Generated schedules are well-formed by construction: that is what
+   lets the driver treat any failure under one as the system's fault. *)
+let generator_valid_prop =
+  QCheck.Test.make ~name:"generated schedules validate" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sc = Schedule.generate ~seed in
+      match Schedule.validate sc with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
+
+let test_generate_deterministic () =
+  check_bool "same seed, same schedule" true
+    (Schedule.generate ~seed:42 = Schedule.generate ~seed:42);
+  check_bool "different seeds differ somewhere" true
+    (List.exists
+       (fun s -> Schedule.generate ~seed:s <> Schedule.generate ~seed:(s + 1))
+       [ 0; 1; 2; 3; 4 ])
+
+let test_generate_envelope () =
+  (* Structural liveness envelope: follower indices only, at most one
+     replica down at any instant. *)
+  for seed = 0 to 199 do
+    let sc = Schedule.generate ~seed in
+    let down = ref None in
+    List.iter
+      (fun e ->
+        match e with
+        | Schedule.Crash { part; idx; _ } ->
+            if idx = 0 then Alcotest.failf "seed %d crashes a leader" seed;
+            (match !down with
+            | Some _ -> Alcotest.failf "seed %d overlaps two crashes" seed
+            | None -> down := Some (part, idx))
+        | Schedule.Restart { part; idx; _ } ->
+            if !down <> Some (part, idx) then
+              Alcotest.failf "seed %d restarts a live replica" seed;
+            down := None
+        | _ -> ())
+      sc.Schedule.sc_events
+  done
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~name:"of_json (to_json s) = Ok s" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sc = Schedule.generate ~seed in
+      match Schedule.of_json (Schedule.to_json sc) with
+      | Ok sc' -> sc' = Schedule.normalize sc
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
+
+let test_file_roundtrip () =
+  let sc = Schedule.generate ~seed:7 in
+  let file = Filename.temp_file "chaos_sched" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Schedule.save sc ~file;
+      match Schedule.load ~file with
+      | Ok sc' -> check_bool "load inverts save" true (sc' = sc)
+      | Error msg -> Alcotest.fail msg)
+
+let test_json_rejects_garbage () =
+  let reject j =
+    match Schedule.of_json j with
+    | Ok _ -> Alcotest.fail "bad schedule accepted"
+    | Error _ -> ()
+  in
+  reject (Heron_obs.Json.Obj [ ("version", Heron_obs.Json.Int 99) ]);
+  reject (Heron_obs.Json.Obj [ ("version", Heron_obs.Json.Int 1) ]);
+  (match Schedule.load ~file:"/nonexistent/chaos.json" with
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error _ -> ());
+  (* An unknown event kind must not be silently dropped. *)
+  let sc = Schedule.generate ~seed:1 in
+  match Schedule.to_json sc with
+  | Heron_obs.Json.Obj fields ->
+      let fields =
+        List.map
+          (function
+            | "events", Heron_obs.Json.List _ ->
+                ( "events",
+                  Heron_obs.Json.List
+                    [ Heron_obs.Json.Obj
+                        [ ("kind", Heron_obs.Json.String "meteor_strike") ] ] )
+            | f -> f)
+          fields
+      in
+      reject (Heron_obs.Json.Obj fields)
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
+let test_validate_catches () =
+  let sc = Schedule.generate ~seed:0 in
+  let bad events = { sc with Schedule.sc_events = events } in
+  let refuses sc' =
+    match Schedule.validate sc' with
+    | Ok () -> Alcotest.fail "invalid schedule validated"
+    | Error _ -> ()
+  in
+  refuses (bad [ Schedule.Crash { part = 0; idx = 0; at = 10 } ]);
+  refuses (bad [ Schedule.Crash { part = 9; idx = 1; at = 10 } ]);
+  refuses
+    (bad
+       [ Schedule.Crash { part = 0; idx = 1; at = 10 };
+         Schedule.Crash { part = 0; idx = 1; at = 20 } ]);
+  refuses (bad [ Schedule.Restart { part = 0; idx = 1; at = 10 } ]);
+  refuses
+    (bad
+       [ Schedule.Delay_link
+           { src = (0, 1); dst = (0, 1); extra_ns = 1; at = 0; span = 1 } ]);
+  (* Unsorted events. *)
+  refuses
+    (bad
+       [ Schedule.Pause_replica { part = 0; idx = 1; extra_ns = 1; at = 50; span = 1 };
+         Schedule.Pause_replica { part = 0; idx = 2; extra_ns = 1; at = 10; span = 1 } ])
+
+(* {1 Driver} *)
+
+let test_driver_clean_seeds () =
+  (* A handful of generated schedules complete and pass all checks; the
+     full sweep lives in scripts/check.sh and CI. *)
+  List.iter
+    (fun seed ->
+      let sc = Schedule.generate ~seed in
+      match Driver.run sc with
+      | Driver.Completed { completed } ->
+          check_int (Printf.sprintf "seed %d op count" seed)
+            (sc.Schedule.sc_clients * sc.Schedule.sc_ops)
+            completed
+      | Driver.Failed f ->
+          Alcotest.failf "seed %d: %s" seed
+            (Format.asprintf "%a" Driver.pp_failure f))
+    [ 0; 1; 2 ]
+
+let test_driver_deterministic () =
+  let sc = Schedule.generate ~seed:5 in
+  check_bool "same schedule, same outcome" true (Driver.run sc = Driver.run sc)
+
+let test_driver_metrics () =
+  let runs = Metrics.counter Metrics.default "chaos.schedules_run" in
+  let before = Metrics.counter_value runs in
+  ignore (Driver.run (Schedule.generate ~seed:11));
+  check_int "schedules_run incremented" (before + 1) (Metrics.counter_value runs)
+
+let test_driver_skips_unsafe_injections () =
+  (* Events outside the envelope — crashing the multicast leader,
+     crashing into a dead partition-mate, restarting a live replica —
+     are skipped, not performed: any subset of a failing schedule (a
+     shrinking candidate) must still be a fair test. *)
+  let sc = Schedule.generate ~seed:3 in
+  let sc =
+    Schedule.normalize
+      { sc with
+        Schedule.sc_events =
+          [ Schedule.Crash { part = 0; idx = 0; at = 200_000 };
+            Schedule.Restart { part = 0; idx = 1; at = 300_000 };
+            Schedule.Crash { part = 0; idx = 1; at = 400_000 };
+            Schedule.Crash { part = 0; idx = 2; at = 600_000 };
+            Schedule.Restart { part = 0; idx = 1; at = 900_000 } ] }
+  in
+  let skipped = Metrics.counter Metrics.default "chaos.injections_skipped" in
+  let before = Metrics.counter_value skipped in
+  (match Driver.run sc with
+  | Driver.Completed _ -> ()
+  | Driver.Failed f ->
+      Alcotest.failf "envelope run failed: %s"
+        (Format.asprintf "%a" Driver.pp_failure f));
+  check_bool "injections were skipped" true (Metrics.counter_value skipped > before)
+
+let test_failure_kinds_stable () =
+  (* The shrinker keys on these strings; changing one silently orphans
+     pinned corpus entries. *)
+  check_string "stalled" "stalled"
+    (Driver.failure_kind (Driver.Stalled { completed = 0; expected = 1 }));
+  check_string "diverged" "diverged"
+    (Driver.failure_kind (Driver.Diverged { detail = "" }));
+  check_string "invariant" "invariant"
+    (Driver.failure_kind (Driver.Invariant { part = 0; idx = 0; detail = "" }));
+  check_string "not_linearizable" "not_linearizable"
+    (Driver.failure_kind (Driver.Not_linearizable { detail = "" }));
+  check_string "crashed" "crashed"
+    (Driver.failure_kind (Driver.Crashed { detail = "" }))
+
+(* {1 Shrinker} *)
+
+let test_shrink_passing_unchanged () =
+  (* minimize assumes its input fails; handed a passing schedule it
+     must return it unchanged rather than "minimize" to nonsense. *)
+  let sc = Schedule.generate ~seed:2 in
+  let sc' = Shrink.minimize sc ~kind:"diverged" in
+  check_bool "passing schedule unchanged" true (sc' = sc)
+
+let test_shrink_steps_counted () =
+  let steps = Metrics.counter Metrics.default "chaos.shrink_steps" in
+  let before = Metrics.counter_value steps in
+  ignore (Shrink.minimize (Schedule.generate ~seed:2) ~kind:"stalled");
+  check_bool "shrink steps counted" true (Metrics.counter_value steps > before)
+
+(* {1 Regression corpus}
+
+   Every schedule pinned under test/corpus/ once produced a failure
+   (before its fix); each must load, validate, and now replay to
+   Completed. A regression reappearing shows up here as a named,
+   deterministic reproduction — see DESIGN.md for what each pin was. *)
+
+let corpus_files () =
+  (* dune runtest runs tests in test/; dune exec runs from the root. *)
+  let dir =
+    if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+  in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let test_corpus_nonempty () =
+  check_bool "corpus has pinned schedules" true (List.length (corpus_files ()) >= 5)
+
+let test_corpus_replays () =
+  List.iter
+    (fun file ->
+      match Schedule.load ~file with
+      | Error msg -> Alcotest.failf "%s: %s" file msg
+      | Ok sc -> (
+          (match Schedule.validate sc with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: invalid: %s" file msg);
+          match Driver.run sc with
+          | Driver.Completed _ -> ()
+          | Driver.Failed f ->
+              Alcotest.failf "%s REGRESSED: %s" file
+                (Format.asprintf "%a" Driver.pp_failure f)))
+    (corpus_files ())
+
+let suite =
+  [
+    ( "chaos.schedule",
+      [
+        qc generator_valid_prop;
+        tc "generation is deterministic" test_generate_deterministic;
+        tc "generated envelope: sequential follower faults" test_generate_envelope;
+        qc json_roundtrip_prop;
+        tc "save/load roundtrip" test_file_roundtrip;
+        tc "malformed JSON rejected" test_json_rejects_garbage;
+        tc "validate catches bad schedules" test_validate_catches;
+      ] );
+    ( "chaos.driver",
+      [
+        tc "clean seeds complete" test_driver_clean_seeds;
+        tc "runs are deterministic" test_driver_deterministic;
+        tc "schedules_run metric" test_driver_metrics;
+        tc "unsafe injections skipped" test_driver_skips_unsafe_injections;
+        tc "failure kinds are stable" test_failure_kinds_stable;
+      ] );
+    ( "chaos.shrink",
+      [
+        tc "passing schedule unchanged" test_shrink_passing_unchanged;
+        tc "shrink steps counted" test_shrink_steps_counted;
+      ] );
+    ( "chaos.corpus",
+      [ tc "corpus present" test_corpus_nonempty; tc "replay corpus" test_corpus_replays ] );
+  ]
+
+let () = Alcotest.run "heron_chaos" suite

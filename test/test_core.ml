@@ -165,6 +165,101 @@ let store_version_prop =
       in
       ok_newest && ok_prev)
 
+let test_store_remote_read_write_race () =
+  (* Algorithm 2's lock-free race: a remote reader snapshots the cell
+     with a one-sided read while the local writer installs the next
+     version. Whichever side wins, the reader's version survives,
+     because the writer only overwrites the version no current reader
+     can want (the older one). *)
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  Versioned_store.set st 1 (b "v5") ~tmp:(tmp 5);
+  (* Reader of request 8 wants the freshest version < 8, i.e. v5. *)
+  let before = Versioned_store.encode_cell_of st 1 in
+  Versioned_store.set st 1 (b "v8") ~tmp:(tmp 8);
+  let after = Versioned_store.encode_cell_of st 1 in
+  List.iter
+    (fun snap ->
+      match
+        Versioned_store.pick_version (Versioned_store.decode_cell snap) ~bound:(tmp 8)
+      with
+      | Some (v, t) ->
+          Alcotest.(check string) "reader sees v5 either way" "v5" (bs v);
+          check_bool "tag" true (Tstamp.equal t (tmp 5))
+      | None -> Alcotest.fail "reader lost its version to the race")
+    [ before; after ];
+  (* A reader two requests behind is the one casualty: after v8 lands,
+     bound 5 finds nothing — the lagger condition that triggers
+     Algorithm 3 — rather than a wrong value. *)
+  check_bool "pre-race snapshot still serves bound 5" true
+    (Versioned_store.pick_version (Versioned_store.decode_cell before) ~bound:(tmp 5)
+    <> None);
+  check_bool "post-race lagger miss" true
+    (Versioned_store.pick_version (Versioned_store.decode_cell after) ~bound:(tmp 5)
+    = None)
+
+let test_store_out_of_order_writes () =
+  (* Parallel workers may install versions out of timestamp order; the
+     two-slot rule keeps reads coherent. *)
+  let _, st = make_store () in
+  Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:16 ~init:(b "v0");
+  Versioned_store.set st 1 (b "v6") ~tmp:(tmp 6);
+  Versioned_store.set st 1 (b "v4") ~tmp:(tmp 4);
+  Alcotest.(check string) "newest unaffected by late write" "v6"
+    (bs (fst (Versioned_store.get st 1)));
+  (match Versioned_store.get_before st 1 ~bound:(tmp 6) with
+  | Some (v, _) -> Alcotest.(check string) "late version readable" "v4" (bs v)
+  | None -> Alcotest.fail "late version lost");
+  (* A third out-of-order write lands on the older slot (v4), not v6. *)
+  Versioned_store.set st 1 (b "v5") ~tmp:(tmp 5);
+  (match Versioned_store.get_before st 1 ~bound:(tmp 6) with
+  | Some (v, _) -> Alcotest.(check string) "newer of the two survivors" "v5" (bs v)
+  | None -> Alcotest.fail "version lost");
+  Alcotest.(check string) "newest still v6" "v6" (bs (fst (Versioned_store.get st 1)))
+
+let store_interleaving_prop =
+  (* Any interleaving of writes — out-of-order timestamps, duplicate
+     timestamps (idempotent re-execution) — leaves the store equal to
+     the two-slot reference model, for every read bound. *)
+  QCheck.Test.make ~name:"adversarial write interleavings match the two-slot model"
+    ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 25) (pair (int_range 1 30) (int_bound 99)))
+    (fun writes ->
+      let _, st = make_store () in
+      Versioned_store.register st 1 ~klass:Versioned_store.Registered ~cap:8
+        ~init:(b "i");
+      let slot_a = ref (Tstamp.zero, "i") and slot_b = ref (Tstamp.zero, "i") in
+      let model_set t v =
+        if Tstamp.equal (fst !slot_a) t then slot_a := (t, v)
+        else if Tstamp.equal (fst !slot_b) t then slot_b := (t, v)
+        else if Tstamp.(fst !slot_a <= fst !slot_b) then slot_a := (t, v)
+        else slot_b := (t, v)
+      in
+      List.for_all
+        (fun (c, v) ->
+          let t = tmp c and v = string_of_int v in
+          Versioned_store.set st 1 (Bytes.of_string v) ~tmp:t;
+          model_set t v;
+          let newest =
+            if Tstamp.(fst !slot_a <= fst !slot_b) then snd !slot_b else snd !slot_a
+          in
+          bs (fst (Versioned_store.get st 1)) = newest
+          && List.for_all
+               (fun bound_c ->
+                 let bound = tmp bound_c in
+                 let expect =
+                   [ !slot_a; !slot_b ]
+                   |> List.filter (fun (t, _) -> Tstamp.(t < bound))
+                   |> List.sort (fun (ta, _) (tb, _) -> Tstamp.compare tb ta)
+                   |> function (_, v) :: _ -> Some v | [] -> None
+                 in
+                 expect
+                 = Option.map
+                     (fun (v, _) -> bs v)
+                     (Versioned_store.get_before st 1 ~bound))
+               [ 0; 1; 5; 15; 31 ])
+        writes)
+
 (* {1 Update_log} *)
 
 let test_log_range () =
@@ -207,6 +302,59 @@ let test_log_out_of_order () =
   (* Entry (tmp 5) was dropped: coverage from tmp 5 must be denied. *)
   check_bool "coverage sound after out-of-order drop" false
     (Update_log.covers log ~from:(tmp 5))
+
+let test_log_note_gap_head () =
+  (* Hole at the log head: a restarted replica adopts a snapshot whose
+     prefix it never executed, so nothing at or below the adoption
+     point may be served as a delta. *)
+  let log = Update_log.create ~capacity:100 in
+  Update_log.note_gap log ~upto:(tmp 5);
+  check_bool "truncation at the gap" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 5));
+  check_bool "does not cover the hole" false (Update_log.covers log ~from:(tmp 5));
+  check_bool "covers above the hole" true (Update_log.covers log ~from:(tmp 6));
+  Update_log.append log (tmp 6) 1;
+  Update_log.append log (tmp 7) 2;
+  Alcotest.(check (list int)) "range above the hole" [ 1; 2 ]
+    (Update_log.oids_in_range log ~from:(tmp 6) ~upto:(tmp 7));
+  check_bool "range into the hole rejected" true
+    (try
+       ignore (Update_log.oids_in_range log ~from:(tmp 5) ~upto:(tmp 7));
+       false
+     with Invalid_argument _ -> true)
+
+let test_log_note_gap_monotone () =
+  (* Back-to-back adopted transfers: the gap only moves forward. A
+     second transfer adopting an older snapshot must not un-poison
+     ranges behind the first gap. *)
+  let log = Update_log.create ~capacity:10 in
+  Update_log.append log (tmp 1) 1;
+  Update_log.note_gap log ~upto:(tmp 6);
+  Update_log.note_gap log ~upto:(tmp 4);
+  check_bool "gap is monotone" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 6));
+  Update_log.note_gap log ~upto:(tmp 9);
+  check_bool "gap advances" true (Tstamp.equal (Update_log.truncation log) (tmp 9));
+  check_bool "entry below the gap no longer served" false
+    (Update_log.covers log ~from:(tmp 1))
+
+let test_log_gap_spanning_truncation () =
+  (* Hole spanning the overflow-truncation boundary: a gap behind the
+     truncation point is absorbed by it; one ahead of it wins. *)
+  let log = Update_log.create ~capacity:3 in
+  for i = 1 to 5 do
+    Update_log.append log (tmp i) i
+  done;
+  (* Overflow dropped entries 1 and 2. *)
+  Update_log.note_gap log ~upto:(tmp 1);
+  check_bool "gap behind truncation absorbed" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 2));
+  Update_log.note_gap log ~upto:(tmp 4);
+  check_bool "gap past truncation wins" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 4));
+  check_bool "still covers the tail" true (Update_log.covers log ~from:(tmp 5));
+  Alcotest.(check (list int)) "tail range still answered" [ 5 ]
+    (Update_log.oids_in_range log ~from:(tmp 5) ~upto:(tmp 5))
 
 (* {1 Coord_mem / Statesync_mem} *)
 
@@ -466,6 +614,55 @@ let test_kv_forced_state_transfer () =
       finished := true);
   Engine.run_until w.eng (Time_ns.s 1);
   check_bool "transfer completed" true !finished
+
+let test_kv_back_to_back_adopted_transfers () =
+  (* Two adopted transfers in a row on a genuinely lagging replica: the
+     first adoption leaves a hole in its update log (it never executed
+     the shipped prefix), the second must cope with that hole — the
+     donor falls back to a full transfer rather than shipping a delta
+     across it — and the gap point only moves forward. *)
+  let w =
+    make_kv ~seed:9 ~keys:4 ~partitions:1 ~init:0L
+      ~tweak:(fun c ->
+        { c with Config.wait_phase2 = Config.Majority; wait_phase4 = Config.Majority })
+      ()
+  in
+  let r2 = System.replica w.sys ~part:0 ~idx:2 in
+  Replica.inject_exec_delay r2 (Time_ns.us 400);
+  let finished = ref false in
+  on_client w "c0" (fun node ->
+      for i = 1 to 30 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Add (i mod 4, 1L)))
+      done;
+      let t1 = Replica.last_req (System.replica w.sys ~part:0 ~idx:0) in
+      Replica.force_state_transfer r2 ~failed_tmp:t1;
+      let g1 = Update_log.truncation (Replica.update_log r2) in
+      check_bool "first adoption leaves a log hole" false (Tstamp.equal g1 Tstamp.zero);
+      check_bool "hole reaches the adoption point" true Tstamp.(t1 <= g1);
+      for i = 1 to 30 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Add (i mod 4, 1L)))
+      done;
+      let t2 = Replica.last_req (System.replica w.sys ~part:0 ~idx:0) in
+      Replica.force_state_transfer r2 ~failed_tmp:t2;
+      let g2 = Update_log.truncation (Replica.update_log r2) in
+      check_bool "gap only moves forward" true Tstamp.(g1 <= g2);
+      check_bool "caught up to the second adoption" true
+        Tstamp.(t2 <= Replica.last_req r2);
+      finished := true);
+  Engine.run_until w.eng (Time_ns.s 2);
+  check_bool "both transfers completed" true !finished;
+  Replica.inject_exec_delay r2 0;
+  Engine.run_until w.eng (Time_ns.s 3);
+  assert_replicas_converged w;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun r ->
+          match Replica.check_invariants r with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "invariant breach: %s" m)
+        row)
+    (System.replicas w.sys)
 
 let test_kv_replica_crash_tolerated () =
   (* With one replica of each partition dead, requests still complete
@@ -938,12 +1135,18 @@ let suite =
         tc "capacity checks" test_store_capacity_checks;
         tc "get_at_most" test_store_get_at_most;
         qc store_version_prop;
+        tc "remote read vs write race" test_store_remote_read_write_race;
+        tc "out-of-order writes" test_store_out_of_order_writes;
+        qc store_interleaving_prop;
       ] );
     ( "core.update_log",
       [
         tc "range queries" test_log_range;
         tc "truncation" test_log_truncation;
         tc "out-of-order appends" test_log_out_of_order;
+        tc "note_gap: hole at log head" test_log_note_gap_head;
+        tc "note_gap: monotone across transfers" test_log_note_gap_monotone;
+        tc "note_gap: gap spanning truncation" test_log_gap_spanning_truncation;
       ] );
     ( "core.memories",
       [ tc "coord_mem" test_coord_mem; tc "statesync_mem" test_statesync_mem ] );
@@ -963,6 +1166,7 @@ let suite =
       [
         tc "lagger recovers via state transfer" test_kv_lagger_state_transfer;
         tc "forced state transfer" test_kv_forced_state_transfer;
+        tc "back-to-back adopted transfers" test_kv_back_to_back_adopted_transfers;
         tc "replica crash tolerated" test_kv_replica_crash_tolerated;
         tc "crash, restart, full rejoin" test_kv_crash_restart_rejoin;
         tc "multicast leader crash + ex-leader rejoin" test_kv_leader_crash_tolerated;

@@ -73,6 +73,47 @@ let test_bad_interval_rejected () =
     (Invalid_argument "Lincheck.check: event returns before it is invoked")
     (fun () -> ignore (Lincheck.check reg_spec [ ev 0 R_read 0 10 5 ]))
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_counterexample_message_shape () =
+  (* The failure report must carry the shortest failing prefix — and
+     only it: everything after the violating event is noise a developer
+     should never have to read. *)
+  let pp_op ppf = function
+    | R_read -> Format.fprintf ppf "read"
+    | R_write v -> Format.fprintf ppf "write %d" v
+  in
+  let pp_result = Format.pp_print_int in
+  let history =
+    [
+      ev 0 (R_write 5) 0 0 10;
+      ev 1 R_read 7 20 30;  (* impossible: nobody wrote 7 *)
+      ev 0 R_read 5 40 50;
+      ev 1 R_read 5 60 70;
+    ]
+  in
+  match Lincheck.counterexample_free ~pp_op ~pp_result reg_spec history with
+  | Ok () -> Alcotest.fail "impossible history accepted"
+  | Error msg ->
+      check_bool "reports the prefix length" true
+        (contains ~needle:"shortest failing prefix: 2 events" msg);
+      check_bool "lists the write" true
+        (contains ~needle:"client 0 [0, 10] write 5" msg);
+      check_bool "lists the violating read with its result" true
+        (contains ~needle:"client 1 [20, 30] read -> 7" msg);
+      check_bool "omits events after the violation" false
+        (contains ~needle:"[40, 50]" msg || contains ~needle:"[60, 70]" msg)
+
+let test_counterexample_free_accepts () =
+  match
+    Lincheck.counterexample_free reg_spec [ ev 0 (R_write 3) 0 0 10; ev 0 R_read 3 20 30 ]
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
 (* Sequential histories generated from the spec are always accepted. *)
 let reg_sequential_prop =
   QCheck.Test.make ~name:"generated sequential histories linearize" ~count:200
@@ -227,6 +268,8 @@ let suite =
         tc "real-time order" test_reg_real_time_order;
         tc "empty history" test_empty_history;
         tc "bad interval rejected" test_bad_interval_rejected;
+        tc "counterexample message shape" test_counterexample_message_shape;
+        tc "counterexample_free accepts good histories" test_counterexample_free_accepts;
         qc reg_sequential_prop;
       ] );
     ( "lincheck.heron",

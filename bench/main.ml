@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- quick   -- shortened windows/sweeps
      dune exec bench/main.exe -- fig4    -- one experiment
      (also: fig5 fig6 fig7 table1 fig8 ablations micro_kv micro;
-    `coord' is opt-in only and writes BENCH_coord.json)
+    `coord' and `reconfig' are opt-in only and write BENCH_coord.json /
+    BENCH_reconfig.json)
 
    Absolute numbers come from the calibrated simulation (DESIGN.md);
    EXPERIMENTS.md records the paper-vs-measured comparison. *)
@@ -141,6 +142,138 @@ let run_coord ~quick =
         (p multi_on 50.) (p multi_on 99.) (p multi_off 50.) (p multi_off 99.)
         single.Heron_harness.Driver.rs_throughput_tps posts_on posts_off)
 
+(* {1 Shifting-hotspot reconfiguration bench}
+
+   A YCSB-style workload whose zipfian popularity is concentrated on
+   one partition's keys, with the hot partition switched mid-run.
+   Compares a static placement against the live rebalancer
+   (DESIGN.md §10) and writes BENCH_reconfig.json; the rebalanced run
+   must beat the static one after the shift. *)
+
+let run_reconfig ~quick =
+  timed "reconfig" (fun () ->
+      let open Heron_sim in
+      let open Heron_core in
+      let open Heron_ycsb in
+      let t0 = Unix.gettimeofday () in
+      let partitions = 4 and replicas = 3 in
+      let records = 256 and value_bytes = 64 in
+      let clients = 16 in
+      let warmup = Time_ns.ms (if quick then 2 else 5) in
+      let measure = Time_ns.ms (if quick then 8 else 20) in
+      let adapt = Time_ns.ms (if quick then 6 else 15) in
+      let run ~rebalance =
+        let reg = Heron_obs.Metrics.create () in
+        let eng = Engine.create ~seed:21 () in
+        let cfg =
+          { (Config.default ~partitions ~replicas) with
+            Config.metrics = reg;
+            reconfig = { Config.enabled = true } }
+        in
+        let app = Ycsb_app.app ~records ~value_bytes ~partitions in
+        let sys = System.create eng ~cfg ~app in
+        System.start sys;
+        let zipf = Zipf.create ~n:(records / partitions) () in
+        let hot = ref 0 in
+        (* Phase-tagged samples: [None] during warmup/adaptation. *)
+        let phase = ref None in
+        let phases = [| Sample_set.create (); Sample_set.create () |] in
+        let completed = [| ref 0; ref 0 |] in
+        for c = 0 to clients - 1 do
+          let rng = Random.State.make [| c; 0x4EC0; 0xBE7C |] in
+          let node = System.new_client_node sys ~name:(Printf.sprintf "yc-%d" c) in
+          Heron_rdma.Fabric.spawn_on node (fun () ->
+              let rec loop () =
+                let rank = Zipf.sample zipf rng in
+                let key =
+                  Ycsb_app.hotspot_key ~records ~partitions ~hot:!hot rank
+                in
+                let op =
+                  if Random.State.int rng 100 < 50 then Ycsb_app.Y_read key
+                  else
+                    Ycsb_app.Y_update { key; seed = Random.State.int rng 1000 }
+                in
+                let t0 = Engine.self_now () in
+                ignore (System.submit sys ~from:node op);
+                let t1 = Engine.self_now () in
+                (match !phase with
+                | None -> ()
+                | Some p ->
+                    incr completed.(p);
+                    Sample_set.add phases.(p) (t1 - t0));
+                loop ()
+              in
+              loop ())
+        done;
+        let rb =
+          if rebalance then
+            Some
+              (Heron_reconfig.Rebalancer.start
+                 ~policy:
+                   {
+                     Heron_reconfig.Rebalancer.default_policy with
+                     imbalance_x100 = 130;
+                     min_accesses = 50;
+                   }
+                 sys)
+          else None
+        in
+        Engine.run_until eng (Engine.now eng + warmup);
+        phase := Some 0;
+        Engine.run_until eng (Engine.now eng + measure);
+        phase := None;
+        (* The hotspot moves to another partition's stripe; give the
+           rebalancer (if any) one adaptation window before measuring. *)
+        hot := 2;
+        Engine.run_until eng (Engine.now eng + adapt);
+        phase := Some 1;
+        Engine.run_until eng (Engine.now eng + measure);
+        phase := None;
+        Option.iter Heron_reconfig.Rebalancer.stop rb;
+        let tput p =
+          float_of_int !(completed.(p)) /. Time_ns.to_s_f measure
+        in
+        let c name =
+          Heron_obs.Metrics.counter_value (Heron_obs.Metrics.counter reg name)
+        in
+        ( tput 0,
+          tput 1,
+          float_of_int (Sample_set.percentile phases.(1) 50.) /. 1e3,
+          c "reconfig.migrations",
+          c "reconfig.objects_moved",
+          Placement.epoch (System.directory sys) )
+      in
+      let s_pre, s_post, s_p50, _, _, _ = run ~rebalance:false in
+      let r_pre, r_post, r_p50, migrations, moved, epoch = run ~rebalance:true in
+      let json =
+        Heron_obs.Json.Obj
+          [
+            ("bench", Heron_obs.Json.String "reconfig");
+            ("quick", Heron_obs.Json.Bool quick);
+            ("static_preshift_tput_tps", Heron_obs.Json.Float s_pre);
+            ("static_postshift_tput_tps", Heron_obs.Json.Float s_post);
+            ("static_postshift_p50_us", Heron_obs.Json.Float s_p50);
+            ("rebalanced_preshift_tput_tps", Heron_obs.Json.Float r_pre);
+            ("rebalanced_postshift_tput_tps", Heron_obs.Json.Float r_post);
+            ("rebalanced_postshift_p50_us", Heron_obs.Json.Float r_p50);
+            ("migrations", Heron_obs.Json.Int migrations);
+            ("objects_moved", Heron_obs.Json.Int moved);
+            ("final_epoch", Heron_obs.Json.Int epoch);
+            ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
+          ]
+      in
+      let oc = open_out "BENCH_reconfig.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Heron_obs.Json.to_channel oc json;
+          output_char oc '\n');
+      say
+        "reconfig: post-shift %.0f tps static vs %.0f tps rebalanced (pre-shift \
+         %.0f vs %.0f), %d migrations / %d objects, epoch %d -> \
+         BENCH_reconfig.json\n"
+        s_post r_post s_pre r_pre migrations moved epoch)
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro_tests () =
@@ -266,6 +399,7 @@ let () =
   if wants "ablations" then run_ablations ~quick;
   if wants "micro_kv" then run_micro_kv ~quick;
   if List.mem "coord" args then run_coord ~quick;
+  if List.mem "reconfig" args then run_reconfig ~quick;
   if wants "micro" then run_micro ();
   Option.iter dump_metrics metrics_file;
   say "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

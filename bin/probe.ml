@@ -7,10 +7,13 @@
      dune exec bin/probe.exe -- jsonlint FILE   -- validate a JSON file
                                                    (exit 0/1)
      dune exec bin/probe.exe -- chaos --seeds 0..500 [--shrink]
-                                                [--corpus DIR]
-                                                [--replay FILE]...
+                                                [--corpus DIR] [--reconfig]
+                                                [--replay FILE-OR-DIR]...
                                                 -- chaos-schedule sweep /
-                                                   corpus replay (exit 0/1) *)
+                                                   corpus replay (exit 0/1)
+     dune exec bin/probe.exe -- reconfig        -- live-repartitioning demo:
+                                                   manual migration, then the
+                                                   rebalancer spreads a hotspot *)
 
 open Heron_stats
 open Heron_tpcc
@@ -146,12 +149,24 @@ let run_chaos args =
   let module Shrink = Heron_chaos.Shrink in
   let seed_lo = ref 0 and seed_hi = ref 100 in
   let shrink = ref false in
+  let reconfig = ref false in
   let corpus = ref None in
   let replays = ref [] in
   let usage () =
     Printf.eprintf
-      "usage: probe chaos [--seeds A..B] [--shrink] [--corpus DIR] [--replay FILE]...\n";
+      "usage: probe chaos [--seeds A..B] [--shrink] [--corpus DIR] [--reconfig] \
+       [--replay FILE-OR-DIR]...\n";
     exit 2
+  in
+  (* A --replay directory means every *.json inside it, in name order —
+     so CI can point at the whole pinned corpus. *)
+  let expand_replay path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+      |> List.map (Filename.concat path)
+    else [ path ]
   in
   let rec parse = function
     | [] -> ()
@@ -165,11 +180,18 @@ let run_chaos args =
     | "--shrink" :: rest ->
         shrink := true;
         parse rest
+    | "--reconfig" :: rest ->
+        reconfig := true;
+        parse rest
     | "--corpus" :: dir :: rest ->
         corpus := Some dir;
         parse rest
-    | "--replay" :: file :: rest ->
-        replays := file :: !replays;
+    | "--replay" :: path :: rest ->
+        (match expand_replay path with
+        | [] ->
+            Printf.eprintf "%s: no *.json schedules inside\n" path;
+            exit 2
+        | files -> replays := List.rev_append files !replays);
         parse rest
     | _ -> usage ()
   in
@@ -213,15 +235,82 @@ let run_chaos args =
     (List.rev !replays);
   if !replays = [] then begin
     let t0 = Unix.gettimeofday () in
+    let gen = if !reconfig then Sched.generate_reconfig else Sched.generate in
     for seed = !seed_lo to !seed_hi do
-      let sc = Sched.generate ~seed in
+      let sc = gen ~seed in
       report sc (Cdriver.run sc)
     done;
-    pr "%d schedules (seeds %d..%d), %d failed, %.1fs\n"
-      (!seed_hi - !seed_lo + 1) !seed_lo !seed_hi !failures
+    pr "%d %sschedules (seeds %d..%d), %d failed, %.1fs\n"
+      (!seed_hi - !seed_lo + 1)
+      (if !reconfig then "reconfig " else "")
+      !seed_lo !seed_hi !failures
       (Unix.gettimeofday () -. t0)
   end;
   exit (if !failures > 0 then 1 else 0)
+
+(* [probe reconfig]: small live-repartitioning demo (DESIGN.md §10) —
+   a manual migration first, then the load-driven rebalancer spreading
+   a hotspot of even keys that all start on partition 0. *)
+let run_reconfig () =
+  let open Heron_sim in
+  let open Heron_core in
+  let partitions = 2 and keys = 8 in
+  let eng = Engine.create ~seed:11 () in
+  let cfg =
+    { (Config.default ~partitions ~replicas:3) with
+      Config.metrics = Heron_obs.Metrics.create ();
+      reconfig = { Config.enabled = true } }
+  in
+  let app = Heron_kv.Kv_app.app ~keys ~partitions ~init:0L in
+  let sys = System.create eng ~cfg ~app in
+  System.start sys;
+  let stop = ref false in
+  for c = 0 to 3 do
+    let node = System.new_client_node sys ~name:(Printf.sprintf "rc-c%d" c) in
+    let rng = Random.State.make [| c; 0x4EC |] in
+    Heron_rdma.Fabric.spawn_on node (fun () ->
+        while not !stop do
+          (* Hotspot: keys 0, 2, 4, 6 — all on partition 0 at epoch 0. *)
+          let key = 2 * Random.State.int rng 4 in
+          ignore (System.submit sys ~from:node (Heron_kv.Kv_app.Add (key, 1L)))
+        done)
+  done;
+  Engine.run_until eng (Time_ns.ms 2);
+  let admin = System.new_client_node sys ~name:"admin" in
+  Heron_rdma.Fabric.spawn_on admin (fun () ->
+      match
+        Heron_reconfig.Migration.migrate sys ~from:admin
+          ~oids:[ Heron_kv.Kv_app.oid_of_key 2 ] ~dst:1
+      with
+      | Ok () ->
+          pr "manual migration: key 2 -> partition 1 ok, epoch now %d\n"
+            (Placement.epoch (System.directory sys))
+      | Error e -> pr "manual migration failed: %s\n" e);
+  Engine.run_until eng (Time_ns.ms 4);
+  let rb =
+    Heron_reconfig.Rebalancer.start
+      ~policy:{ Heron_reconfig.Rebalancer.default_policy with imbalance_x100 = 130 }
+      sys
+  in
+  Engine.run_until eng (Time_ns.ms 24);
+  Heron_reconfig.Rebalancer.stop rb;
+  stop := true;
+  Engine.run_until eng (Engine.now eng + Time_ns.ms 1);
+  let c name =
+    Heron_obs.Metrics.counter_value (Heron_obs.Metrics.counter cfg.Config.metrics name)
+  in
+  pr "rebalancer: %d load checks, %d objects moved\n"
+    (Heron_reconfig.Rebalancer.rounds rb)
+    (Heron_reconfig.Rebalancer.moves rb);
+  pr "directory epoch %d; placement now:" (Placement.epoch (System.directory sys));
+  for k = 0 to keys - 1 do
+    match Heron_reconfig.Migration.current_partition sys (Heron_kv.Kv_app.oid_of_key k) with
+    | Some p -> pr " k%d->p%d" k p
+    | None -> ()
+  done;
+  pr "\nmigrations=%d objects_moved=%d wrong_epoch_retries=%d\n"
+    (c "reconfig.migrations") (c "reconfig.objects_moved")
+    (c "reconfig.wrong_epoch_retries")
 
 let run_jsonlint file =
   let ic =
@@ -247,7 +336,9 @@ let () =
   | [ "trace"; file ] -> run_trace file
   | [ "jsonlint"; file ] -> run_jsonlint file
   | "chaos" :: rest -> run_chaos rest
+  | [ "reconfig" ] -> run_reconfig ()
   | _ ->
       Printf.eprintf
-        "usage: probe [trace FILE | jsonlint FILE | chaos ...]  (no args: calibration)\n";
+        "usage: probe [trace FILE | jsonlint FILE | chaos ... | reconfig]  (no args: \
+         calibration)\n";
       exit 2

@@ -97,6 +97,20 @@ let inject sys ev =
   | S.Pause_replica { part; idx; extra_ns; at = t; span } ->
       at t (fun () -> Replica.inject_exec_delay (System.replica sys ~part ~idx) extra_ns);
       at (t + span) (fun () -> Replica.inject_exec_delay (System.replica sys ~part ~idx) 0)
+  | S.Migrate { key; dst; at = t } ->
+      at t (fun () ->
+          (* The migration client blocks on per-partition acks, so it
+             runs on its own node; skipped moves (already home, another
+             migration in flight, no live source) count like any other
+             no-op injection. *)
+          let node = System.new_client_node sys ~name:"chaos-mig" in
+          Fabric.spawn_on node (fun () ->
+              match
+                Heron_reconfig.Migration.migrate sys ~from:node
+                  ~oids:[ Kv_app.oid_of_key key ] ~dst
+              with
+              | Ok () -> ()
+              | Error _ -> Metrics.incr m_skipped))
 
 let divergence sys =
   let problem = ref None in
@@ -135,7 +149,13 @@ let divergence sys =
 
 let run_exn sc =
   let eng = Engine.create ~seed:sc.S.sc_seed () in
-  let cfg = Config.default ~partitions:sc.S.sc_partitions ~replicas:sc.S.sc_replicas in
+  let cfg =
+    {
+      (Config.default ~partitions:sc.S.sc_partitions ~replicas:sc.S.sc_replicas)
+      with
+      reconfig = { Config.enabled = true };
+    }
+  in
   let sys =
     System.create eng ~cfg
       ~app:(Kv_app.app ~keys:sc.S.sc_keys ~partitions:sc.S.sc_partitions ~init:0L)

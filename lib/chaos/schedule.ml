@@ -6,6 +6,10 @@ type event =
   | Delay_link of { src : int * int; dst : int * int; extra_ns : int; at : int; span : int }
   | Drop_writes of { src : int * int; dst : int * int; at : int; span : int }
   | Pause_replica of { part : int; idx : int; extra_ns : int; at : int; span : int }
+  | Migrate of { key : int; dst : int; at : int }
+      (* live-migrate one key to partition [dst]; the source is resolved
+         from the placement directory at fire time, and the injection is
+         skipped if the key already lives there *)
 
 type workload = Incr_all | Mixed
 
@@ -22,11 +26,11 @@ type t = {
 
 let event_time = function
   | Crash { at; _ } | Restart { at; _ } | Delay_link { at; _ }
-  | Drop_writes { at; _ } | Pause_replica { at; _ } ->
+  | Drop_writes { at; _ } | Pause_replica { at; _ } | Migrate { at; _ } ->
       at
 
 let event_end = function
-  | Crash { at; _ } | Restart { at; _ } -> at
+  | Crash { at; _ } | Restart { at; _ } | Migrate { at; _ } -> at
   | Delay_link { at; span; _ } | Drop_writes { at; span; _ }
   | Pause_replica { at; span; _ } ->
       at + span
@@ -113,6 +117,60 @@ let generate ~seed =
     | None -> ()
     | Some (src, dst) -> events := Drop_writes { src; dst; at; span } :: !events
   end;
+  (* Live repartitioning: occasionally migrate keys mid-run so placement
+     changes race crashes, restarts, laggers and client traffic. Drawn
+     after every earlier event so older seeds keep their fault pattern. *)
+  for _ = 1 to int 3 do
+    events :=
+      Migrate { key = int 4; dst = int partitions; at = 150_000 + int 4_000_000 }
+      :: !events
+  done;
+  normalize
+    {
+      sc_seed = seed;
+      sc_partitions = partitions;
+      sc_replicas = replicas;
+      sc_keys = 4;
+      sc_clients = 3;
+      sc_ops = 40;
+      sc_workload = workload;
+      sc_events = !events;
+    }
+
+(* Reconfig-focused generator: every schedule carries migrations, and
+   their times cluster around the crash/restart windows so a crash lands
+   during an in-flight migration as often as possible (the sweep the CI
+   reconfig job runs). *)
+let generate_reconfig ~seed =
+  let rng = Random.State.make [| seed; 0x4EC0F |] in
+  let int = Random.State.int rng in
+  let partitions = 2 and replicas = 3 in
+  let workload = if int 3 = 0 then Incr_all else Mixed in
+  let events = ref [] in
+  let t = ref 0 in
+  let rounds = 1 + int 2 in
+  for _ = 1 to rounds do
+    let crash_at = !t + 200_000 + int 900_000 in
+    let restart_at = crash_at + 250_000 + int 950_000 in
+    let part = int partitions and idx = 1 + int (replicas - 1) in
+    events :=
+      Restart { part; idx; at = restart_at }
+      :: Crash { part; idx; at = crash_at }
+      :: !events;
+    (* One or two migrations inside [crash - 200us, restart + 300us]. *)
+    for _ = 1 to 1 + int 2 do
+      let at = max 0 (crash_at - 200_000 + int (restart_at - crash_at + 500_000)) in
+      events := Migrate { key = int 4; dst = int partitions; at } :: !events
+    done;
+    t := restart_at
+  done;
+  if int 2 = 0 then
+    events :=
+      Pause_replica
+        { part = int partitions; idx = int replicas;
+          extra_ns = 5_000 + int 25_000; at = int 3_000_000;
+          span = 200_000 + int 1_800_000 }
+      :: !events;
   normalize
     {
       sc_seed = seed;
@@ -158,7 +216,12 @@ let validate t =
       | Pause_replica { part; idx; extra_ns; at; span } ->
           if not (ok_replica (part, idx)) then
             fail "replica (%d,%d) out of range" part idx
-          else if extra_ns < 0 || at < 0 || span < 0 then fail "negative pause parameters")
+          else if extra_ns < 0 || at < 0 || span < 0 then fail "negative pause parameters"
+      | Migrate { key; dst; at } ->
+          if key < 0 || key >= t.sc_keys then fail "migration key %d out of range" key
+          else if dst < 0 || dst >= t.sc_partitions then
+            fail "migration destination %d out of range" dst
+          else if at < 0 then fail "negative migration time")
     in
     List.iter check_event t.sc_events;
     let rec sorted = function
@@ -217,6 +280,10 @@ let event_to_json = function
         [ ("kind", Json.String "pause"); ("part", Json.Int part);
           ("idx", Json.Int idx); ("extra_ns", Json.Int extra_ns);
           ("at_ns", Json.Int at); ("span_ns", Json.Int span) ]
+  | Migrate { key; dst; at } ->
+      Json.Obj
+        [ ("kind", Json.String "migrate"); ("key", Json.Int key);
+          ("dst_part", Json.Int dst); ("at_ns", Json.Int at) ]
 
 let to_json t =
   Json.Obj
@@ -267,6 +334,10 @@ let event_of_json j =
         { part = int_field "part" j; idx = int_field "idx" j;
           extra_ns = int_field "extra_ns" j; at = int_field "at_ns" j;
           span = int_field "span_ns" j }
+  | "migrate" ->
+      Migrate
+        { key = int_field "key" j; dst = int_field "dst_part" j;
+          at = int_field "at_ns" j }
   | k -> raise (Bad (Printf.sprintf "unknown event kind %S" k))
 
 let of_json j =
@@ -329,6 +400,8 @@ let pp_event ppf = function
   | Pause_replica { part; idx; extra_ns; at; span } ->
       Format.fprintf ppf "@%dus pause p%d/r%d +%dns for %dus" (at / 1000) part idx
         extra_ns (span / 1000)
+  | Migrate { key; dst; at } ->
+      Format.fprintf ppf "@%dus migrate k%d->p%d" (at / 1000) key dst
 
 let pp ppf t =
   Format.fprintf ppf "seed %d, %dx%d, %d clients x %d %s ops, %d events" t.sc_seed

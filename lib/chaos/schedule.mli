@@ -31,6 +31,12 @@ type event =
   | Pause_replica of { part : int; idx : int; extra_ns : int; at : int; span : int }
       (** Slow the replica's execution by [extra_ns] per request during
           the span, manufacturing a lagger (paper Section V-E). *)
+  | Migrate of { key : int; dst : int; at : int }
+      (** Live-migrate [key] to partition [dst] at time [at]
+          (DESIGN.md §10). The source partition is whatever the
+          directory says when the event fires; if the key already lives
+          on [dst] — or another migration is in flight — the injection
+          is skipped and counted, like a crash of a dead replica. *)
 
 type workload =
   | Incr_all  (** every op is [Incr_all [0;1]] — cross-partition writes *)
@@ -62,6 +68,14 @@ val generate : seed:int -> t
     before the first crash, so a majority of announcements always gets
     through and the run must complete. Any failure under such a
     schedule is Heron's fault, not the schedule's. *)
+
+val generate_reconfig : seed:int -> t
+(** Like {!generate} but reconfiguration-focused: every schedule
+    carries 1–3 migrations per crash/restart round, timed to overlap
+    the window between the crash and the restart (plus slop on both
+    sides), so crashes land during in-flight migrations and restarted
+    replicas recover state that includes migrated-in objects. Same
+    liveness envelope as {!generate}. *)
 
 val validate : t -> (unit, string) result
 (** Well-formedness (shape, ranges, sortedness, crash/restart

@@ -34,9 +34,9 @@ type ('req, 'resp) t = {
   catalog : unit -> obj_spec list;
 }
 
-let destinations app ~partitions req =
+let destinations_under ~placement_of app ~partitions req =
   let add acc oid =
-    match app.placement_of oid with
+    match placement_of oid with
     | Replicated -> acc
     | Partition p ->
         if p < 0 || p >= partitions then
@@ -47,3 +47,5 @@ let destinations app ~partitions req =
   match List.sort compare parts with
   | [] -> invalid_arg "App.destinations: request touches no partition"
   | dst -> dst
+
+let destinations app = destinations_under ~placement_of:app.placement_of app

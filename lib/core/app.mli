@@ -88,3 +88,10 @@ val destinations : ('req, 'resp) t -> partitions:int -> 'req -> int list
     partitions of its read set and write sketch ([Replicated] objects
     contribute nothing). Raises [Invalid_argument] if empty or if any
     partition is out of range. *)
+
+val destinations_under :
+  placement_of:(Oid.t -> placement) ->
+  ('req, 'resp) t -> partitions:int -> 'req -> int list
+(** {!destinations} computed under a substitute placement oracle — live
+    repartitioning ({!Placement}) layers epoch-versioned overrides over
+    the app's static [placement_of]. *)

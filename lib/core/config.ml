@@ -11,7 +11,10 @@ type costs = {
   hiccup_max_ns : int;
   coord_check_slot_ns : int;
   transfer_chunk_bytes : int;
+  redirect_backoff_ns : int;
 }
+
+type reconfig = { enabled : bool }
 
 type t = {
   partitions : int;
@@ -26,6 +29,7 @@ type t = {
   statesync_timeout_ns : int;
   addr_query_ns : int;
   coord_batching : bool;
+  reconfig : reconfig;
   metrics : Heron_obs.Metrics.t;
 }
 
@@ -41,7 +45,10 @@ let default_costs =
     hiccup_max_ns = 12_000;
     coord_check_slot_ns = 200;
     transfer_chunk_bytes = 32_768;
+    redirect_backoff_ns = 2_000;
   }
+
+let default_reconfig = { enabled = false }
 
 let default ~partitions ~replicas =
   if partitions <= 0 then invalid_arg "Config.default: partitions must be positive";
@@ -60,5 +67,6 @@ let default ~partitions ~replicas =
     statesync_timeout_ns = 5_000_000;
     addr_query_ns = 4_000;
     coord_batching = true;
+    reconfig = default_reconfig;
     metrics = Heron_obs.Metrics.default;
   }

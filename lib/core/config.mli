@@ -42,6 +42,18 @@ type costs = {
           point). *)
   transfer_chunk_bytes : int;
       (** RDMA payload size for state transfer (32 KB in the paper) *)
+  redirect_backoff_ns : int;
+      (** client pause before retrying a wrong-epoch redirect whose
+          refresh observed no new placement epoch (the migration that
+          triggered the redirect has not committed yet) *)
+}
+
+type reconfig = {
+  enabled : bool;
+      (** accept [Migrate] commands, track per-object access counts and
+          size registered-store regions for the whole catalog (any
+          object may migrate in). Off reproduces the static paper
+          system: no redirects, no counters, per-partition regions. *)
 }
 
 type t = {
@@ -74,6 +86,8 @@ type t = {
           [write_post] (and one [post_ns] charge) per destination
           replica. On by default; turn off to reproduce the unbatched
           cost model (the ablation in EXPERIMENTS.md compares both). *)
+  reconfig : reconfig;
+      (** live repartitioning (DESIGN.md §10); disabled by default *)
   metrics : Heron_obs.Metrics.t;
       (** registry the whole deployment records into: the fabric's RDMA
           verb series, the multicast counters and the replicas'
@@ -85,6 +99,7 @@ type t = {
 }
 
 val default_costs : costs
+val default_reconfig : reconfig
 
 val default : partitions:int -> replicas:int -> t
 (** Grace-based phase-4 coordination, majority phase-2, calibrated

@@ -1,0 +1,71 @@
+open Heron_obs
+
+type t = {
+  mutable dir_epoch : int;
+  dir_overrides : (Oid.t, int) Hashtbl.t;
+  mutable dir_busy : bool;
+  mutable dir_gauge : Metrics.gauge option;
+}
+
+let create () =
+  { dir_epoch = 0; dir_overrides = Hashtbl.create 32; dir_busy = false;
+    dir_gauge = None }
+
+let attach_metrics t reg =
+  let g = Metrics.gauge reg "reconfig.epoch" in
+  Metrics.set_gauge g t.dir_epoch;
+  t.dir_gauge <- Some g
+
+let epoch t = t.dir_epoch
+let lookup t oid = Hashtbl.find_opt t.dir_overrides oid
+
+let commit t ~epoch ~moves =
+  if epoch <> t.dir_epoch + 1 then
+    invalid_arg
+      (Printf.sprintf "Placement.commit: epoch %d, directory at %d" epoch
+         t.dir_epoch);
+  List.iter (fun (oid, part) -> Hashtbl.replace t.dir_overrides oid part) moves;
+  t.dir_epoch <- epoch;
+  match t.dir_gauge with None -> () | Some g -> Metrics.set_gauge g epoch
+
+let begin_exclusive t = if t.dir_busy then false else (t.dir_busy <- true; true)
+let end_exclusive t = t.dir_busy <- false
+
+type view = { mutable v_epoch : int; v_overrides : (Oid.t, int) Hashtbl.t }
+
+let fresh_view () = { v_epoch = 0; v_overrides = Hashtbl.create 8 }
+let view_epoch v = v.v_epoch
+
+let refresh v t =
+  Hashtbl.reset v.v_overrides;
+  Hashtbl.iter (fun oid part -> Hashtbl.replace v.v_overrides oid part)
+    t.dir_overrides;
+  v.v_epoch <- t.dir_epoch
+
+let install v ~epoch ~moves =
+  if epoch > v.v_epoch then begin
+    List.iter (fun (oid, part) -> Hashtbl.replace v.v_overrides oid part) moves;
+    v.v_epoch <- epoch
+  end
+
+let copy_view ~src ~dst =
+  Hashtbl.reset dst.v_overrides;
+  Hashtbl.iter (fun oid part -> Hashtbl.replace dst.v_overrides oid part)
+    src.v_overrides;
+  dst.v_epoch <- src.v_epoch
+
+let view_size v = Hashtbl.length v.v_overrides
+let view_lookup v oid = Hashtbl.find_opt v.v_overrides oid
+
+let placement_under v static oid =
+  match static oid with
+  | App.Replicated -> App.Replicated
+  | App.Partition _ as p -> (
+      match Hashtbl.find_opt v.v_overrides oid with
+      | Some part -> App.Partition part
+      | None -> p)
+
+let destinations v app ~partitions req =
+  App.destinations_under
+    ~placement_of:(placement_under v app.App.placement_of)
+    app ~partitions req

@@ -1,0 +1,83 @@
+(** Epoch-versioned placement: dynamic object-to-partition overrides
+    layered over the application's static placement oracle.
+
+    The paper's oracle ([App.placement_of]) is a pure function fixed at
+    deployment time; live repartitioning (DESIGN.md §10) layers a small
+    override table on top of it. Placement state exists in three roles:
+
+    - the {e authoritative directory} ({!type-t}), owned by the
+      deployment ({!System.directory}) and advanced by the migration
+      orchestrator ({!Heron_reconfig.Migration}) when a migration
+      commits;
+    - one {e replica view} per replica, advanced when the replica
+      executes a [Migrate] command at its position in the delivery
+      order — so every replica of a partition holds the same view at
+      the same point of the order;
+    - one {e client view} per client node, refreshed from the directory
+      only when a replica answers with a wrong-epoch redirect (clients
+      cache an epoch, exactly like DynaStar's clients cache the
+      location oracle).
+
+    Epochs are strictly increasing integers; epoch 0 is the pure static
+    oracle. Views are cheap copies: an override table holds one entry
+    per object that ever migrated. *)
+
+type t
+(** The authoritative directory. *)
+
+val create : unit -> t
+
+val attach_metrics : t -> Heron_obs.Metrics.t -> unit
+(** Publish the directory's epoch as the [reconfig.epoch] gauge. *)
+
+val epoch : t -> int
+
+val lookup : t -> Oid.t -> int option
+(** Current override for an object, if it ever migrated. *)
+
+val commit : t -> epoch:int -> moves:(Oid.t * int) list -> unit
+(** Install a committed migration's moves and advance the epoch.
+    Raises [Invalid_argument] unless [epoch = epoch t + 1] (migrations
+    are serialized by {!begin_exclusive}). *)
+
+val begin_exclusive : t -> bool
+(** Try to acquire the single-orchestrator migration slot; [false] if a
+    migration is already in flight. *)
+
+val end_exclusive : t -> unit
+
+(** {1 Views (replica- and client-side caches)} *)
+
+type view
+
+val fresh_view : unit -> view
+(** Epoch 0: the pure static oracle. *)
+
+val view_epoch : view -> int
+
+val refresh : view -> t -> unit
+(** Re-cache the directory's current overrides and epoch (a client
+    reacting to a wrong-epoch redirect). *)
+
+val install : view -> epoch:int -> moves:(Oid.t * int) list -> unit
+(** Apply one migration's moves to a view (a replica executing a
+    [Migrate] command). Epochs advance monotonically; re-installing an
+    already-seen epoch is idempotent. *)
+
+val copy_view : src:view -> dst:view -> unit
+(** Overwrite [dst] with [src]'s overrides and epoch (the state-transfer
+    donor shipping its placement alongside the object state). *)
+
+val view_size : view -> int
+(** Number of overrides (transfer byte accounting). *)
+
+val view_lookup : view -> Oid.t -> int option
+
+val placement_under : view -> (Oid.t -> App.placement) -> Oid.t -> App.placement
+(** The effective oracle: the view's override if present, otherwise the
+    static placement. Replicated objects never migrate and are returned
+    unchanged. *)
+
+val destinations :
+  view -> ('req, 'resp) App.t -> partitions:int -> 'req -> int list
+(** {!App.destinations} computed under the view's effective oracle. *)

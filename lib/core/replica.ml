@@ -2,13 +2,26 @@ open Heron_sim
 open Heron_rdma
 open Heron_multicast
 
+type 'resp reply = Reply of 'resp | Redirect of { epoch : int }
+
 type ('req, 'resp) request = {
   rq_payload : 'req;
   rq_dst : int list;
   rq_submitted : Time_ns.t;
   rq_client_node : Fabric.node;
-  rq_reply : part:int -> 'resp -> unit;
+  rq_reply : part:int -> 'resp reply -> unit;
 }
+
+type migration = {
+  mg_epoch : int;
+  mg_src : int;
+  mg_dst : int;
+  mg_oids : (Oid.t * int) list;  (* object and its cell capacity *)
+  mg_client_node : Fabric.node;
+  mg_done : part:int -> unit;
+}
+
+type ('req, 'resp) msg = Req of ('req, 'resp) request | Migrate of migration
 
 (* Registry handles (resolved once per replica at creation; replicas of
    one deployment share the config's registry, so these accumulate
@@ -22,6 +35,8 @@ type obs = {
   ob_remote_miss : Heron_obs.Metrics.counter;  (* store.dual_version_miss *)
   ob_executed : Heron_obs.Metrics.counter;  (* replica.executed *)
   ob_skipped : Heron_obs.Metrics.counter;  (* replica.skipped_deliveries *)
+  ob_redirects : Heron_obs.Metrics.counter;  (* reconfig.redirects *)
+  ob_migrations_applied : Heron_obs.Metrics.counter;  (* reconfig.migrations_applied *)
 }
 
 let make_obs reg =
@@ -35,6 +50,8 @@ let make_obs reg =
     ob_remote_miss = Metrics.counter reg "store.dual_version_miss";
     ob_executed = Metrics.counter reg "replica.executed";
     ob_skipped = Metrics.counter reg "replica.skipped_deliveries";
+    ob_redirects = Metrics.counter reg "reconfig.redirects";
+    ob_migrations_applied = Metrics.counter reg "reconfig.migrations_applied";
   }
 
 type stats = {
@@ -74,7 +91,7 @@ type ('req, 'resp) t = {
   r_coord : Coord_mem.t;
   r_sync : Statesync_mem.t;
   r_log : Update_log.t;
-  r_inbox : ('req, 'resp) request Ramcast.delivery Mailbox.t;
+  r_inbox : ('req, 'resp) msg Ramcast.delivery Mailbox.t;
   mutable r_last_req : Tstamp.t;
   mutable r_last_applied : Tstamp.t;
       (* last request whose writes are fully in the store; trails
@@ -84,9 +101,20 @@ type ('req, 'resp) t = {
   mutable r_peers : ('req, 'resp) t array array;  (* [part].(idx); set later *)
   r_qps : (int, Qp.t) Hashtbl.t;  (* by destination node id *)
   r_addr_known : (Oid.t * int, unit) Hashtbl.t;  (* object_map cache *)
+  r_view : Placement.view;
+      (* this replica's placement view, advanced in delivery order when
+         it executes a Migrate — identical across a partition's replicas
+         at the same point of the order *)
+  r_track : bool;  (* reconfig enabled: count accesses, accept Migrate *)
+  r_access : (Oid.t, int) Hashtbl.t;  (* per-object access counts *)
   r_stats : stats;
   r_obs : obs;
   mutable r_pending_deser : int;  (* bytes to deserialize after a transfer *)
+  mutable r_pending_view : Placement.view option;
+      (* placement snapshot shipped by a state-transfer donor, adopted
+         together with the synchronised prefix (not directly installed
+         by the donor: the lagger's delivery loop must never observe a
+         view ahead of its own frontier) *)
   mutable r_recovering : int;  (* state transfers currently in flight *)
   mutable r_exec_delay : Time_ns.t;  (* failure injection: extra exec cost *)
   mutable r_tracer : Trace.t option;
@@ -122,9 +150,13 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_peers = [||];
     r_qps = Hashtbl.create 16;
     r_addr_known = Hashtbl.create 1024;
+    r_view = Placement.fresh_view ();
+    r_track = cfg.Config.reconfig.Config.enabled;
+    r_access = Hashtbl.create 64;
     r_stats = make_stats ();
     r_obs = make_obs reg;
     r_pending_deser = 0;
+    r_pending_view = None;
     r_recovering = 0;
     r_exec_delay = 0;
     r_tracer = None;
@@ -156,6 +188,28 @@ let clear_stats r =
 let update_log r = r.r_log
 let inject_exec_delay r d = r.r_exec_delay <- d
 let set_tracer r tr = r.r_tracer <- Some tr
+let placement_view r = r.r_view
+
+(* Effective placement: the replica's epoch-versioned overrides layered
+   over the app's static oracle (DESIGN.md §10). *)
+let placement_of r oid = Placement.placement_under r.r_view r.r_app.App.placement_of oid
+
+let is_local r oid =
+  match placement_of r oid with
+  | App.Partition h -> h = r.r_part
+  | App.Replicated -> true
+
+(* Per-object access counts feeding the rebalancer; only maintained when
+   reconfig is enabled so the static system pays nothing. *)
+let count_access r oid =
+  if r.r_track then
+    Hashtbl.replace r.r_access oid
+      (1 + Option.value ~default:0 (Hashtbl.find_opt r.r_access oid))
+
+let drain_access_counts r =
+  let out = Hashtbl.fold (fun oid n acc -> (oid, n) :: acc) r.r_access [] in
+  Hashtbl.reset r.r_access;
+  out
 
 (* Internal self-consistency, for the chaos harness. Each check is an
    always-true property of Algorithms 1-3 at any instant; the
@@ -422,6 +476,15 @@ let rec initiate_state_transfer_locked r ~failed_tmp ~cover =
     r.r_pending_deser <- 0
   end;
   let rid, _ = Statesync_mem.read_slot r.r_sync ~idx:r.r_idx in
+  (* Adopt the donor's placement snapshot in the same turn as the
+     frontier: deliveries decided under the old view are all at or
+     before [rid] and will be skipped. *)
+  (match r.r_pending_view with
+  | Some v ->
+      if Placement.view_epoch v > Placement.view_epoch r.r_view then
+        Placement.copy_view ~src:v ~dst:r.r_view;
+      r.r_pending_view <- None
+  | None -> ());
   if Tstamp.(r.r_last_req < rid) then r.r_last_req <- rid;
   if Tstamp.(r.r_last_applied < rid) then begin
     r.r_last_applied <- rid;
@@ -492,12 +555,18 @@ let do_transfer r ~lagger_idx ~failed_tmp =
         | None -> None)
       loc
   in
+  (* Snapshot the placement view in the same turn: it must describe the
+     same instant as [upto] (exec_migration installs the epoch and marks
+     the command applied without suspending in between). *)
+  let plc = Placement.fresh_view () in
+  Placement.copy_view ~src:r.r_view ~dst:plc;
   let reg_bytes =
     List.fold_left (fun acc (_, cell) -> acc + Bytes.length cell) 0 reg_cells
   in
   let loc_bytes =
     List.fold_left (fun acc (_, (v, _)) -> acc + Bytes.length v + 24) 0 loc_values
   in
+  let plc_bytes = 8 + (16 * Placement.view_size plc) in
   charge_ser r loc_bytes;
   let qp = qp_to r lagger.r_node in
   let chunk = (costs r).Config.transfer_chunk_bytes in
@@ -508,17 +577,28 @@ let do_transfer r ~lagger_idx ~failed_tmp =
     end
   in
   (try
-     ship (reg_bytes + loc_bytes);
+     ship (reg_bytes + loc_bytes + plc_bytes);
      List.iter
-       (fun (oid, cell) -> Versioned_store.write_raw_cell lagger.r_store oid cell)
+       (fun (oid, cell) ->
+         (* A freshly restarted lagger loads only the static catalog;
+            register any migrated-in object before landing its cell
+            (the capacity is recoverable from the cell layout). *)
+         if not (Versioned_store.mem lagger.r_store oid) then
+           Versioned_store.register lagger.r_store oid
+             ~klass:Versioned_store.Registered
+             ~cap:((Bytes.length cell - 32) / 2)
+             ~init:Bytes.empty;
+         Versioned_store.write_raw_cell lagger.r_store oid cell)
        reg_cells;
      List.iter
        (fun (oid, (v, tmp)) -> Versioned_store.set lagger.r_store oid v ~tmp)
        loc_values;
+     lagger.r_pending_view <- Some plc;
      lagger.r_pending_deser <- lagger.r_pending_deser + loc_bytes;
      r.r_stats.st_transfers_served <- r.r_stats.st_transfers_served + 1;
      Heron_obs.Metrics.incr r.r_obs.ob_transfers;
-     Heron_obs.Metrics.add r.r_obs.ob_transfer_bytes (reg_bytes + loc_bytes);
+     Heron_obs.Metrics.add r.r_obs.ob_transfer_bytes
+       (reg_bytes + loc_bytes + plc_bytes);
      (* Report completion to the whole group (Algorithm 3 lines 16-17). *)
      sync_fanout r ~slot_idx:lagger_idx upto ~status:0
    with Qp.Rdma_exception _ -> (* lagger died mid-transfer *) ())
@@ -589,14 +669,14 @@ let ensure_addr_known r oid ~h =
     done
   end
 
-(* Remote read with dual-version selection: pick a replica of [h] that
-   coordinated in Phase 2, read its cell, take the freshest version
-   older than the request. Failed replicas are skipped on
-   RDMA exceptions; finding no old-enough version means we lag.
-   Candidate selection scans two preallocated arrays — no per-attempt
-   list allocation — and [tried] is reset explicitly when the whole
-   candidate set has failed. *)
-let remote_read r oid ~h ~tmp =
+(* Fetch an object's raw dual-version cell from a replica of [h] that
+   coordinated Phase 2 of [tmp]. Failed replicas are skipped on RDMA
+   exceptions. Candidate selection scans two preallocated arrays — no
+   per-attempt list allocation — and [tried] is reset explicitly when
+   the whole candidate set has failed. Shared by remote reads
+   (Algorithm 2) and migration pulls (DESIGN.md §10), which both need a
+   cell consistent with the Phase-2 cut of the request they execute. *)
+let remote_fetch_cell r oid ~h ~tmp =
   ensure_addr_known r oid ~h;
   let rng = Engine.rng r.r_eng in
   let n = n_replicas r in
@@ -626,25 +706,40 @@ let remote_read r oid ~h ~tmp =
     else
       let i = candidates.(Random.State.int rng !n_cand) in
       let q = peer r ~part:h ~idx:i in
-      match
-        Qp.read (qp_to r q.r_node)
-          (Versioned_store.cell_addr q.r_store oid)
-          ~len:(Versioned_store.cell_len q.r_store oid)
-      with
-      | raw -> (
-          let versions = Versioned_store.decode_cell raw in
-          match Versioned_store.pick_version versions ~bound:tmp with
-          | Some (v, _) ->
-              charge_deser r (Bytes.length v);
-              v
-          | None ->
-              Heron_obs.Metrics.incr r.r_obs.ob_remote_miss;
-              raise Lagging)
-      | exception Qp.Rdma_exception _ ->
-          tried.(i) <- true;
-          attempt ~tried_any:true
+      if not (Versioned_store.mem q.r_store oid) then begin
+        (* A freshly restarted peer wiped its store and has not
+           re-registered a migrated-in object yet; its stale
+           coordination slot made it a candidate. Skip it like a
+           failed replica. *)
+        tried.(i) <- true;
+        attempt ~tried_any:true
+      end
+      else
+        match
+          Qp.read (qp_to r q.r_node)
+            (Versioned_store.cell_addr q.r_store oid)
+            ~len:(Versioned_store.cell_len q.r_store oid)
+        with
+        | raw -> raw
+        | exception Qp.Rdma_exception _ ->
+            tried.(i) <- true;
+            attempt ~tried_any:true
   in
   attempt ~tried_any:false
+
+(* Remote read with dual-version selection: take the freshest version
+   older than the request; finding no old-enough version means we
+   lag. *)
+let remote_read r oid ~h ~tmp =
+  let raw = remote_fetch_cell r oid ~h ~tmp in
+  let versions = Versioned_store.decode_cell raw in
+  match Versioned_store.pick_version versions ~bound:tmp with
+  | Some (v, _) ->
+      charge_deser r (Bytes.length v);
+      v
+  | None ->
+      Heron_obs.Metrics.incr r.r_obs.ob_remote_miss;
+      raise Lagging
 
 (* Reading phase: prefetch every object of this partition's read
    plan. *)
@@ -654,6 +749,7 @@ let read_objects r req ~tmp =
   List.iter
     (fun oid ->
       if not (Hashtbl.mem values oid) then begin
+        count_access r oid;
         (* Local objects that do not exist (dynamic namespaces) are
            simply not prefetched; the callback sees them as absent. *)
         let local_read () =
@@ -672,7 +768,7 @@ let read_objects r req ~tmp =
                    covering those versions also covers this request). *)
                 raise Lagging
         in
-        match r.r_app.App.placement_of oid with
+        match placement_of r oid with
         | App.Replicated -> local_read ()
         | App.Partition h when h = r.r_part -> local_read ()
         | App.Partition h ->
@@ -690,12 +786,13 @@ let write_objects r writes ~tmp =
   List.iter
     (fun (oid, v) ->
       let local =
-        match r.r_app.App.placement_of oid with
+        match placement_of r oid with
         | App.Partition h -> h = r.r_part
         | App.Replicated ->
             invalid_arg "Heron: applications must not write replicated objects"
       in
       if local then begin
+        count_access r oid;
         (match Versioned_store.mem r.r_store oid with
         | true -> (
             match Versioned_store.klass_of r.r_store oid with
@@ -716,11 +813,8 @@ let local_read_on_demand r values oid ~tmp =
   match Hashtbl.find_opt values oid with
   | Some v -> Some v
   | None -> (
-      let local =
-        match r.r_app.App.placement_of oid with
-        | App.Replicated -> true
-        | App.Partition h -> h = r.r_part
-      in
+      count_access r oid;
+      let local = is_local r oid in
       if not local then
         invalid_arg
           (Printf.sprintf "Heron: remote object %d read outside the declared read set"
@@ -762,11 +856,7 @@ let execute r req ~tmp =
                 (Printf.sprintf "Heron: local object %d does not exist"
                    (Oid.to_int oid)));
       ctx_read_opt = (fun oid -> local_read_on_demand r values oid ~tmp);
-      ctx_is_local =
-        (fun oid ->
-          match r.r_app.App.placement_of oid with
-          | App.Partition h -> h = r.r_part
-          | App.Replicated -> true);
+      ctx_is_local = (fun oid -> is_local r oid);
       ctx_write = (fun oid v -> writes := (oid, v) :: !writes);
       ctx_charge = Engine.consume;
     }
@@ -776,9 +866,12 @@ let execute r req ~tmp =
   resp
 
 (* Reply to the client: one transfer of the serialized response; the
-   client keeps the first reply per partition. *)
+   client keeps the first reply per partition. Wrong-epoch redirects
+   carry just the replica's placement epoch. *)
 let send_reply r req resp =
-  let bytes = r.r_app.App.resp_size resp in
+  let bytes =
+    match resp with Reply v -> r.r_app.App.resp_size v | Redirect _ -> 8
+  in
   let client = req.rq_client_node in
   Fabric.spawn_on r.r_node (fun () ->
       try
@@ -801,7 +894,7 @@ let exec_single r req ~tmp ~on_applied =
       Heron_stats.Sample_set.add r.r_stats.st_exec (Engine.now r.r_eng - t0);
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
       Heron_obs.Metrics.incr r.r_obs.ob_executed;
-      send_reply r req resp
+      send_reply r req (Reply resp)
   | exception Lagging ->
       initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
       on_applied ()
@@ -826,7 +919,7 @@ let exec_multi r req ~tmp ~dst ~on_applied =
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
       Heron_obs.Metrics.incr r.r_obs.ob_executed;
       r.r_stats.st_multi <- r.r_stats.st_multi + 1;
-      send_reply r req resp
+      send_reply r req (Reply resp)
   | exception Lagging ->
       (* Algorithm 2 lines 23-25: synchronise and skip. The request only
          counts as applied once the transferred state (which covers it)
@@ -834,26 +927,118 @@ let exec_multi r req ~tmp ~dst ~on_applied =
       initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
       on_applied ()
 
-let handle_delivery r (dv : ('req, 'resp) request Ramcast.delivery) =
+(* {1 Migration (DESIGN.md §10)}
+
+   A [Migrate] command travels the ordinary multicast — to {e every}
+   partition, so that any request shares a relative delivery order with
+   it at all of its destinations and every replica makes the identical
+   keep-or-redirect routing decision for every request. The Phase-2
+   barrier fixes the cut: the destination partition pulls the objects'
+   raw dual-version cells from source replicas that announced Phase 2
+   (the same machinery as a remote read, so an in-flight pre-migration
+   write is absorbed by dual versioning), then every partition installs
+   the new placement epoch at the command's position in the order. *)
+
+(* Acknowledge a migration to the orchestrator (a small fixed-size
+   completion record, like a reply). Sent even when the command was
+   covered by a state transfer: the adopted state includes its
+   effects. *)
+let notify_migration_done r mg =
+  Fabric.spawn_on r.r_node (fun () ->
+      try
+        Qp.transfer (qp_to r mg.mg_client_node) ~bytes_len:16;
+        mg.mg_done ~part:r.r_part
+      with Qp.Rdma_exception _ -> ())
+
+let exec_migration r mg ~tmp ~dst ~on_applied =
+  let t0 = Engine.now r.r_eng in
+  coordinate r ~tmp ~dst ~stage:1 ~wait:r.r_cfg.Config.wait_phase2;
+  if r.r_part = mg.mg_dst then begin
+    (* Pull each object's raw cell from the source partition: both
+       versions ship, so post-migration reads bounded by pre-migration
+       requests still resolve here. *)
+    List.iter
+      (fun (oid, cap) ->
+        if not (Versioned_store.mem r.r_store oid) then
+          Versioned_store.register r.r_store oid
+            ~klass:Versioned_store.Registered ~cap ~init:Bytes.empty)
+      mg.mg_oids;
+    List.iter
+      (fun (oid, _) ->
+        let raw = remote_fetch_cell r oid ~h:mg.mg_src ~tmp in
+        Versioned_store.write_raw_cell r.r_store oid raw;
+        (* Record the arrival so delta state transfers from this
+           replica ship the migrated-in object. *)
+        Update_log.append r.r_log tmp oid)
+      mg.mg_oids
+  end;
+  (* Install the new epoch and mark the command applied with no
+     suspension in between: a state-transfer donor snapshots
+     (r_last_applied, placement view) in one event-loop turn and must
+     see them consistent. *)
+  Placement.install r.r_view ~epoch:mg.mg_epoch
+    ~moves:(List.map (fun (oid, _) -> (oid, mg.mg_dst)) mg.mg_oids);
+  on_applied ();
+  Heron_obs.Metrics.incr r.r_obs.ob_migrations_applied;
+  coordinate r ~tmp ~dst ~stage:2 ~wait:r.r_cfg.Config.wait_phase4;
+  trace r ~name:"migrate" ~tmp ~start:t0 (Engine.now r.r_eng);
+  notify_migration_done r mg
+
+(* A request whose destination set was computed under an older placement
+   than this replica's view: every replica of every destination answers
+   with a redirect and none executes (the decision is identical
+   everywhere — see the ordering argument above). Requests ordered
+   {e before} the migration still execute under the old placement
+   because the view only advances when the migration itself executes.
+   Must be called with no suspension point after the delivery was
+   dequeued, so the view cannot move between a peer's decision and
+   ours. *)
+let stale_routed r req =
+  Placement.view_epoch r.r_view > 0
+  && (match
+        Placement.destinations r.r_view r.r_app
+          ~partitions:r.r_cfg.Config.partitions req.rq_payload
+      with
+     | dst -> dst <> req.rq_dst
+     | exception Invalid_argument _ ->
+         (* Empty or out-of-range footprint: routing never consulted
+            the placement (explicit-destination submit); execute. *)
+         false)
+
+let redirect r req =
+  Heron_obs.Metrics.incr r.r_obs.ob_redirects;
+  send_reply r req (Redirect { epoch = Placement.view_epoch r.r_view })
+
+let handle_delivery r (dv : ('req, 'resp) msg Ramcast.delivery) =
   let tmp = dv.Ramcast.d_tmp in
-  let req = dv.Ramcast.d_payload in
   if Tstamp.(tmp <= r.r_last_req) then begin
     (* Covered by a state transfer (Algorithm 1 line 3). *)
     if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
     r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
-    Heron_obs.Metrics.incr r.r_obs.ob_skipped
+    Heron_obs.Metrics.incr r.r_obs.ob_skipped;
+    match dv.Ramcast.d_payload with
+    | Migrate mg -> notify_migration_done r mg
+    | Req _ -> ()
   end
   else begin
     r.r_last_req <- tmp;
-    trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
-    Heron_stats.Sample_set.add r.r_stats.st_ordering
-      (Engine.now r.r_eng - req.rq_submitted);
     let on_applied () =
       if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp
     in
-    match dv.Ramcast.d_dst with
-    | [ _ ] -> exec_single r req ~tmp ~on_applied
-    | dst -> exec_multi r req ~tmp ~dst ~on_applied
+    match dv.Ramcast.d_payload with
+    | Migrate mg -> exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst ~on_applied
+    | Req req ->
+        trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
+        Heron_stats.Sample_set.add r.r_stats.st_ordering
+          (Engine.now r.r_eng - req.rq_submitted);
+        if stale_routed r req then begin
+          on_applied ();
+          redirect r req
+        end
+        else
+          (match dv.Ramcast.d_dst with
+          | [ _ ] -> exec_single r req ~tmp ~on_applied
+          | dst -> exec_multi r req ~tmp ~dst ~on_applied)
   end
 
 (* {1 Parallel execution of single-partition requests (Section III-D.1)}
@@ -872,7 +1057,7 @@ let footprint_of r req =
   let writes =
     List.filter
       (fun oid ->
-        match r.r_app.App.placement_of oid with
+        match placement_of r oid with
         | App.Partition h -> h = r.r_part
         | App.Replicated -> false)
       (r.r_app.App.write_sketch req.rq_payload)
@@ -914,47 +1099,68 @@ let parallel_loop r =
   let rec loop () =
     let dv = Mailbox.recv r.r_inbox in
     let tmp = dv.Ramcast.d_tmp in
-    let req = dv.Ramcast.d_payload in
     (if Tstamp.(tmp <= r.r_last_req) then begin
        Queue.push tmp order;
        mark_applied tmp ();
        r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
-       Heron_obs.Metrics.incr r.r_obs.ob_skipped
+       Heron_obs.Metrics.incr r.r_obs.ob_skipped;
+       match dv.Ramcast.d_payload with
+       | Migrate mg -> notify_migration_done r mg
+       | Req _ -> ()
      end
      else begin
        r.r_last_req <- tmp;
-       Heron_stats.Sample_set.add r.r_stats.st_ordering
-         (Engine.now r.r_eng - req.rq_submitted);
-       match dv.Ramcast.d_dst with
-       | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
-           let fp = footprint_of r req in
-           (* Admission: capacity first (O(1)), then the conflict index
-              — O(own footprint) regardless of how many requests are in
-              flight. A blocked request re-checks once per completion
-              (the only event that can unblock it), never spinning over
-              the in-flight set. *)
-           let blocked = ref false in
-           Signal.wait_until done_sig (fun () ->
-               let ok = !inflight < workers && Conflict_index.can_admit cidx fp in
-               if not ok then blocked := true;
-               ok);
-           if !blocked then Heron_obs.Metrics.incr blocked_ctr;
-           Conflict_index.admit cidx fp;
-           incr inflight;
-           Queue.push tmp order;
-           Fabric.spawn_on r.r_node (fun () ->
-               exec_single r req ~tmp ~on_applied:(mark_applied tmp);
-               Conflict_index.retire cidx fp;
-               decr inflight;
-               Signal.broadcast done_sig)
-       | dst ->
-           (* Barrier: multi-partition and serial-hinted requests run
-              alone. *)
+       match dv.Ramcast.d_payload with
+       | Migrate mg ->
+           (* Migrations act as barriers, like multi-partition
+              requests. *)
            Signal.wait_until done_sig (fun () -> !inflight = 0);
            Queue.push tmp order;
-           (match dst with
-           | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)
-           | _ -> exec_multi r req ~tmp ~dst ~on_applied:(mark_applied tmp))
+           exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
+             ~on_applied:(mark_applied tmp)
+       | Req req -> (
+           Heron_stats.Sample_set.add r.r_stats.st_ordering
+             (Engine.now r.r_eng - req.rq_submitted);
+           (* Routing decision before any suspension point: admission
+              waits must not let a concurrently adopted placement view
+              change the verdict peers reached at this position of the
+              order. *)
+           if stale_routed r req then begin
+             Queue.push tmp order;
+             mark_applied tmp ();
+             redirect r req
+           end
+           else
+             match dv.Ramcast.d_dst with
+             | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
+                 let fp = footprint_of r req in
+                 (* Admission: capacity first (O(1)), then the conflict index
+                    — O(own footprint) regardless of how many requests are in
+                    flight. A blocked request re-checks once per completion
+                    (the only event that can unblock it), never spinning over
+                    the in-flight set. *)
+                 let blocked = ref false in
+                 Signal.wait_until done_sig (fun () ->
+                     let ok = !inflight < workers && Conflict_index.can_admit cidx fp in
+                     if not ok then blocked := true;
+                     ok);
+                 if !blocked then Heron_obs.Metrics.incr blocked_ctr;
+                 Conflict_index.admit cidx fp;
+                 incr inflight;
+                 Queue.push tmp order;
+                 Fabric.spawn_on r.r_node (fun () ->
+                     exec_single r req ~tmp ~on_applied:(mark_applied tmp);
+                     Conflict_index.retire cidx fp;
+                     decr inflight;
+                     Signal.broadcast done_sig)
+             | dst ->
+                 (* Barrier: multi-partition and serial-hinted requests run
+                    alone. *)
+                 Signal.wait_until done_sig (fun () -> !inflight = 0);
+                 Queue.push tmp order;
+                 (match dst with
+                 | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)
+                 | _ -> exec_multi r req ~tmp ~dst ~on_applied:(mark_applied tmp)))
      end);
     loop ()
   in

@@ -13,15 +13,41 @@
 open Heron_sim
 open Heron_multicast
 
+type 'resp reply =
+  | Reply of 'resp
+  | Redirect of { epoch : int }
+      (** the request's destination set was computed under a placement
+          older than the replicas' — every destination redirects and
+          none executes; the client refreshes its placement view and
+          retries (DESIGN.md §10) *)
+
 type ('req, 'resp) request = {
   rq_payload : 'req;
   rq_dst : int list;  (** destination partitions, sorted *)
   rq_submitted : Time_ns.t;  (** client submit instant (latency metrics) *)
   rq_client_node : Heron_rdma.Fabric.node;
-  rq_reply : part:int -> 'resp -> unit;
+  rq_reply : part:int -> 'resp reply -> unit;
       (** invoked (on a replica fiber, after the reply transfer) at most
           once per partition *)
 }
+
+type migration = {
+  mg_epoch : int;  (** placement epoch this migration installs *)
+  mg_src : int;  (** partition the objects leave *)
+  mg_dst : int;  (** partition the objects join *)
+  mg_oids : (Oid.t * int) list;  (** objects and their cell capacities *)
+  mg_client_node : Heron_rdma.Fabric.node;  (** the orchestrator's node *)
+  mg_done : part:int -> unit;  (** per-partition completion, like a reply *)
+}
+(** An online object migration (DESIGN.md §10), multicast to {e every}
+    partition as an ordinary totally-ordered command: the Phase-2
+    barrier fixes the cut, the destination partition pulls the objects'
+    raw dual-version cells from Phase-2-reached source replicas, and
+    each replica installs [mg_epoch] at the command's position in the
+    delivery order. Built by {!Heron_reconfig.Migration}. *)
+
+type ('req, 'resp) msg = Req of ('req, 'resp) request | Migrate of migration
+(** What travels the atomic multicast. *)
 
 type stats = {
   st_ordering : Heron_stats.Sample_set.t;
@@ -60,7 +86,7 @@ val start : ('req, 'resp) t -> unit
 (** Spawn the replica's processes: the execution loop and the
     state-transfer handler. *)
 
-val inbox : ('req, 'resp) t -> ('req, 'resp) request Ramcast.delivery Mailbox.t
+val inbox : ('req, 'resp) t -> ('req, 'resp) msg Ramcast.delivery Mailbox.t
 val store : ('req, 'resp) t -> Versioned_store.t
 val node : ('req, 'resp) t -> Heron_rdma.Fabric.node
 val part : ('req, 'resp) t -> int
@@ -83,6 +109,15 @@ val force_state_transfer :
 
 val update_log : ('req, 'resp) t -> Update_log.t
 (** The replica's update log (tests and the Figure 8 experiment). *)
+
+val placement_view : ('req, 'resp) t -> Placement.view
+(** The replica's placement view: epoch 0 until it executes (or adopts
+    through a state transfer) a migration. *)
+
+val drain_access_counts : ('req, 'resp) t -> (Oid.t * int) list
+(** Per-object access counts since the last drain (reads prefetched or
+    on demand, and applied writes), and reset them. Only populated when
+    [Config.reconfig.enabled]; the rebalancer polls this. *)
 
 val in_recovery : ('req, 'resp) t -> bool
 (** Whether a state-transfer episode (lagger side, retries included) is

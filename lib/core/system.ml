@@ -8,7 +8,10 @@ type ('req, 'resp) t = {
   sys_cfg : Config.t;
   sys_app : ('req, 'resp) App.t;
   sys_replicas : ('req, 'resp) Replica.t array array;
-  sys_mcast : ('req, 'resp) Replica.request Ramcast.t;
+  sys_mcast : ('req, 'resp) Replica.msg Ramcast.t;
+  sys_dir : Placement.t;
+  sys_views : (int, Placement.view) Hashtbl.t;  (* per client node id *)
+  sys_retries : Heron_obs.Metrics.counter;  (* reconfig.wrong_epoch_retries *)
   mutable sys_clients : int;
 }
 
@@ -19,24 +22,29 @@ let app t = t.sys_app
 let replica t ~part ~idx = t.sys_replicas.(part).(idx)
 let replicas t = t.sys_replicas
 let multicast t = t.sys_mcast
+let directory t = t.sys_dir
 
-(* Serialized size of a request on the wire: payload plus the read-set
-   object ids and the header. *)
-let request_size app (rq : ('req, 'resp) Replica.request) =
-  app.App.req_size rq.Replica.rq_payload + 32
+(* Serialized size of a message on the wire: payload plus the read-set
+   object ids and the header for a request; the object list and the
+   header for a migration. *)
+let msg_size app = function
+  | Replica.Req rq -> app.App.req_size rq.Replica.rq_payload + 32
+  | Replica.Migrate mg -> 48 + (16 * List.length mg.Replica.mg_oids)
 
 (* Registered-store region size needed by one partition: cells of all
-   registered objects homed (or replicated) there. *)
+   registered objects homed (or replicated) there. Under live
+   repartitioning any registered object may migrate in, so the region is
+   sized for the whole catalog. *)
 let region_size_for cfg specs ~part =
   let cell cap = 32 + (2 * cap) in
-  ignore cfg;
+  let reconfig = cfg.Config.reconfig.Config.enabled in
   List.fold_left
     (fun acc spec ->
       match (spec.App.spec_klass, spec.App.spec_placement) with
       | Versioned_store.Local, _ -> acc
       | Versioned_store.Registered, App.Replicated -> acc + cell spec.App.spec_cap
       | Versioned_store.Registered, App.Partition p ->
-          if p = part then acc + cell spec.App.spec_cap else acc)
+          if reconfig || p = part then acc + cell spec.App.spec_cap else acc)
     0 specs
 
 (* Register the catalog objects owned by one partition into a store. *)
@@ -76,7 +84,7 @@ let create eng ~cfg ~app =
   let groups = Array.map (Array.map Replica.node) sys_replicas in
   let sys_mcast =
     Ramcast.create ~config:cfg.Config.mcast fab
-      ~size_of:(fun rq -> request_size app rq)
+      ~size_of:(fun m -> msg_size app m)
       ~groups
   in
   Array.iteri
@@ -88,8 +96,14 @@ let create eng ~cfg ~app =
               Mailbox.send (Replica.inbox r) dv))
         row)
     sys_replicas;
+  let sys_dir = Placement.create () in
+  if cfg.Config.reconfig.Config.enabled then
+    Placement.attach_metrics sys_dir cfg.Config.metrics;
   { sys_eng = eng; sys_fab = fab; sys_cfg = cfg; sys_app = app; sys_replicas;
-    sys_mcast; sys_clients = 0 }
+    sys_mcast; sys_dir; sys_views = Hashtbl.create 8;
+    sys_retries =
+      Heron_obs.Metrics.counter cfg.Config.metrics "reconfig.wrong_epoch_retries";
+    sys_clients = 0 }
 
 let start t =
   Ramcast.start t.sys_mcast;
@@ -131,7 +145,20 @@ let new_client_node t ~name =
   t.sys_clients <- t.sys_clients + 1;
   Fabric.add_node t.sys_fab ~name
 
-let submit_to t ~from ~dst payload =
+(* A client's cached placement view, created at epoch 0 (the static
+   oracle) and refreshed from the directory on wrong-epoch redirects. *)
+let client_view t node =
+  let key = Fabric.node_id node in
+  match Hashtbl.find_opt t.sys_views key with
+  | Some v -> v
+  | None ->
+      let v = Placement.fresh_view () in
+      Hashtbl.replace t.sys_views key v;
+      v
+
+(* One multicast round: returns the per-partition replies (first reply
+   per partition wins, replicas answer redundantly). *)
+let submit_round t ~from ~dst payload =
   let replies = List.map (fun p -> (p, Ivar.create ())) dst in
   let rq =
     {
@@ -146,9 +173,52 @@ let submit_to t ~from ~dst payload =
           | None -> ());
     }
   in
-  ignore (Ramcast.multicast t.sys_mcast ~from ~dst rq);
+  ignore (Ramcast.multicast t.sys_mcast ~from ~dst (Replica.Req rq));
   List.map (fun (p, iv) -> (p, Ivar.read iv)) replies
 
+(* Submit and retry on wrong-epoch redirects: refresh the cached view
+   from the directory, recompute the destination set and resubmit. The
+   replicas' decision is uniform (all destinations redirect or none
+   does), so a mixed outcome is impossible; if the refresh observed no
+   new epoch — the migration that redirected us has not committed to
+   the directory yet — back off briefly before retrying. *)
+let rec submit_loop t ~from ~dst payload =
+  let replies = submit_round t ~from ~dst payload in
+  let redirected =
+    List.exists (function _, Replica.Redirect _ -> true | _ -> false) replies
+  in
+  if not redirected then
+    List.map
+      (fun (p, rep) ->
+        match rep with
+        | Replica.Reply resp -> (p, resp)
+        | Replica.Redirect _ -> assert false)
+      replies
+  else begin
+    Heron_obs.Metrics.incr t.sys_retries;
+    let view = client_view t from in
+    let before = Placement.view_epoch view in
+    Placement.refresh view t.sys_dir;
+    if Placement.view_epoch view = before then
+      Engine.sleep t.sys_cfg.Config.costs.Config.redirect_backoff_ns;
+    let dst' =
+      match
+        Placement.destinations view t.sys_app
+          ~partitions:t.sys_cfg.Config.partitions payload
+      with
+      | d -> d
+      | exception Invalid_argument _ -> dst
+    in
+    submit_loop t ~from ~dst:dst' payload
+  end
+
+let submit_to t ~from ~dst payload = submit_loop t ~from ~dst payload
+
 let submit t ~from payload =
-  let dst = App.destinations t.sys_app ~partitions:t.sys_cfg.Config.partitions payload in
-  submit_to t ~from ~dst payload
+  let partitions = t.sys_cfg.Config.partitions in
+  let dst =
+    if t.sys_cfg.Config.reconfig.Config.enabled then
+      Placement.destinations (client_view t from) t.sys_app ~partitions payload
+    else App.destinations t.sys_app ~partitions payload
+  in
+  submit_loop t ~from ~dst payload

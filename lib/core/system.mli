@@ -38,8 +38,14 @@ val replica : ('req, 'resp) t -> part:int -> idx:int -> ('req, 'resp) Replica.t
 val replicas : ('req, 'resp) t -> ('req, 'resp) Replica.t array array
 
 val multicast :
-  ('req, 'resp) t -> ('req, 'resp) Replica.request Heron_multicast.Ramcast.t
-(** The underlying multicast system (tests, monitoring). *)
+  ('req, 'resp) t -> ('req, 'resp) Replica.msg Heron_multicast.Ramcast.t
+(** The underlying multicast system (tests, monitoring, and the
+    migration orchestrator, which multicasts [Migrate] commands). *)
+
+val directory : ('req, 'resp) t -> Placement.t
+(** The deployment's authoritative placement directory: epoch 0 with no
+    overrides until migrations commit ({!Heron_reconfig.Migration}).
+    Clients cache views of it and refresh on wrong-epoch redirects. *)
 
 val new_client_node : ('req, 'resp) t -> name:string -> Heron_rdma.Fabric.node
 (** Add a client machine to the fabric. *)
@@ -49,7 +55,10 @@ val submit : ('req, 'resp) t -> from:Heron_rdma.Fabric.node -> 'req -> (int * 'r
     multicast it to the partitions derived from its read set and write
     sketch, then block until one replica of each destination partition
     replied. Returns the responses as [(partition, response)] pairs in
-    partition order. *)
+    partition order. Under live repartitioning the destinations come
+    from the client's cached placement view; on a wrong-epoch redirect
+    the client refreshes the view from {!directory}, recomputes the
+    destinations and retries transparently. *)
 
 val restart_replica : ('req, 'resp) t -> part:int -> idx:int -> unit
 (** Recover a crashed replica (paper Section V-E's worst case): bring

@@ -28,7 +28,6 @@ let finish ~measure ~latency ~single ~multi ~completed =
 let run_system ?(warmup = default_warmup) ?(measure = default_measure) ~sys ~clients
     ~gen () =
   let eng = System.engine sys in
-  let partitions = (System.config sys).Config.partitions in
   let latency = Sample_set.create () in
   let single = Sample_set.create () in
   let multi = Sample_set.create () in
@@ -40,18 +39,22 @@ let run_system ?(warmup = default_warmup) ?(measure = default_measure) ~sys ~cli
     Fabric.spawn_on node (fun () ->
         let rec loop () =
           let req, dst_override = gen ~client:c rng in
-          let dst =
-            match dst_override with
-            | Some dst -> dst
-            | None -> App.destinations (System.app sys) ~partitions req
-          in
           let t0 = Engine.self_now () in
-          ignore (System.submit_to sys ~from:node ~dst req);
+          (* [submit] routes through the client's cached placement view
+             under live repartitioning (and retries redirects); pinned
+             destinations bypass it. *)
+          let resps =
+            match dst_override with
+            | Some dst -> System.submit_to sys ~from:node ~dst req
+            | None -> System.submit sys ~from:node req
+          in
           let t1 = Engine.self_now () in
           if !measuring then begin
             incr completed;
             Sample_set.add latency (t1 - t0);
-            Sample_set.add (if List.length dst = 1 then single else multi) (t1 - t0)
+            Sample_set.add
+              (if List.length resps = 1 then single else multi)
+              (t1 - t0)
           end;
           loop ()
         in

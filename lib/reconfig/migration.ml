@@ -1,0 +1,102 @@
+open Heron_sim
+open Heron_rdma
+open Heron_multicast
+open Heron_core
+
+let current_partition sys oid =
+  match Placement.lookup (System.directory sys) oid with
+  | Some p -> Some p
+  | None -> (
+      match (System.app sys).App.placement_of oid with
+      | App.Partition p -> Some p
+      | App.Replicated -> None)
+
+(* Cell capacity of each object, read off a live source replica's store
+   (the cell layout is [32 + 2*cap] bytes). *)
+let caps_from_source sys ~src oids =
+  let replicas = System.replicas sys in
+  let rec pick i =
+    if i >= Array.length replicas.(src) then None
+    else
+      let r = replicas.(src).(i) in
+      if
+        Fabric.is_alive (Replica.node r)
+        && List.for_all (fun oid -> Versioned_store.mem (Replica.store r) oid) oids
+      then Some r
+      else pick (i + 1)
+  in
+  match pick 0 with
+  | None -> None
+  | Some r ->
+      Some
+        (List.map
+           (fun oid ->
+             (oid, (Versioned_store.cell_len (Replica.store r) oid - 32) / 2))
+           oids)
+
+let validate sys ~oids ~dst =
+  let cfg = System.config sys in
+  let app = System.app sys in
+  if not cfg.Config.reconfig.Config.enabled then
+    Error "reconfiguration is disabled (Config.reconfig)"
+  else if oids = [] then Error "empty migration batch"
+  else if dst < 0 || dst >= cfg.Config.partitions then
+    Error (Printf.sprintf "destination partition %d out of range" dst)
+  else if
+    List.exists (fun oid -> app.App.klass_of oid <> Versioned_store.Registered) oids
+  then Error "only Registered objects can migrate"
+  else
+    let homes = List.map (current_partition sys) oids in
+    match homes with
+    | Some src :: rest ->
+        if List.exists (fun h -> h <> Some src) rest then
+          Error "migration batch spans several source partitions"
+        else if src = dst then Error "source and destination coincide"
+        else Ok src
+    | _ -> Error "replicated objects cannot migrate"
+
+let migrate sys ~from ~oids ~dst =
+  match validate sys ~oids ~dst with
+  | Error _ as e -> e
+  | Ok src -> (
+      let dir = System.directory sys in
+      if not (Placement.begin_exclusive dir) then
+        Error "another migration is in flight"
+      else
+        Fun.protect
+          ~finally:(fun () -> Placement.end_exclusive dir)
+          (fun () ->
+            match caps_from_source sys ~src oids with
+            | None -> Error "no live source replica holds the batch"
+            | Some oids_caps ->
+                let cfg = System.config sys in
+                let parts = List.init cfg.Config.partitions Fun.id in
+                let acks = List.map (fun p -> (p, Ivar.create ())) parts in
+                let epoch = Placement.epoch dir + 1 in
+                let mg =
+                  {
+                    Replica.mg_epoch = epoch;
+                    mg_src = src;
+                    mg_dst = dst;
+                    mg_oids = oids_caps;
+                    mg_client_node = from;
+                    mg_done =
+                      (fun ~part ->
+                        match List.assoc_opt part acks with
+                        | Some iv -> ignore (Ivar.try_fill iv ())
+                        | None -> ());
+                  }
+                in
+                ignore
+                  (Ramcast.multicast (System.multicast sys) ~from ~dst:parts
+                     (Replica.Migrate mg));
+                List.iter (fun (_, iv) -> Ivar.read iv) acks;
+                Placement.commit dir ~epoch
+                  ~moves:(List.map (fun oid -> (oid, dst)) oids);
+                let reg = cfg.Config.metrics in
+                Heron_obs.Metrics.incr
+                  (Heron_obs.Metrics.counter reg "reconfig.migrations");
+                Heron_obs.Metrics.add
+                  (Heron_obs.Metrics.counter reg "reconfig.objects_moved")
+                  (List.length oids);
+                Ok ()))

@@ -1,0 +1,39 @@
+(** Online object migration (DESIGN.md §10, migration layer).
+
+    [migrate] moves a batch of registered objects from their current
+    partition to another while the system serves requests: it multicasts
+    a [Replica.Migrate] command through the ordinary atomic multicast to
+    {e every} partition — so any concurrent request shares a relative
+    delivery order with the migration at all of its destinations and the
+    keep-or-redirect routing decision is uniform — waits for each
+    partition to acknowledge, and then commits the move to the
+    deployment's placement directory. Requests ordered before the
+    migration execute under the old placement; requests routed under a
+    stale view after it are redirected and retried by the client.
+
+    Migrations are serialized through the directory's exclusive slot:
+    a second concurrent [migrate] returns [Error] instead of queueing.
+
+    Must be called from a fiber on a client node (it blocks on the
+    per-partition acknowledgements). *)
+
+open Heron_core
+
+val current_partition : ('req, 'resp) System.t -> Oid.t -> int option
+(** The partition an object is currently homed at: the directory's
+    override if it ever migrated, its static placement otherwise;
+    [None] for replicated objects (they never migrate). *)
+
+val migrate :
+  ('req, 'resp) System.t ->
+  from:Heron_rdma.Fabric.node ->
+  oids:Oid.t list ->
+  dst:int ->
+  (unit, string) result
+(** Move [oids] — registered, partition-placed objects all currently
+    homed at one common source partition — to [dst]. Blocks until every
+    partition acknowledged the command and the directory committed the
+    new epoch. [Error] (with a reason) if reconfiguration is disabled,
+    the batch is empty or heterogeneous, [dst] is out of range or equal
+    to the source, no live source replica holds the objects, or another
+    migration is in flight. *)

@@ -1,0 +1,129 @@
+open Heron_sim
+open Heron_rdma
+open Heron_core
+
+type policy = {
+  period_ns : int;
+  imbalance_x100 : int;
+  min_accesses : int;
+  max_moves : int;
+}
+
+let default_policy =
+  { period_ns = 1_000_000; imbalance_x100 = 150; min_accesses = 64; max_moves = 8 }
+
+type t = {
+  rb_policy : policy;
+  rb_node : Fabric.node;
+  mutable rb_stop : bool;
+  mutable rb_rounds : int;
+  mutable rb_moves : int;
+}
+
+let rounds t = t.rb_rounds
+let moves t = t.rb_moves
+let stop t = t.rb_stop <- true
+
+(* Per-object demand over the last window: drain every live replica and
+   take the per-object maximum — replicas of one partition see the same
+   deliveries, and for a multi-partition request each destination counts
+   the object once, so the maximum is one request's worth, not a sum
+   over redundant observers. *)
+let collect_counts sys =
+  let tbl : (Oid.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun r ->
+          if Fabric.is_alive (Replica.node r) then
+            List.iter
+              (fun (oid, n) ->
+                let prev = Option.value ~default:0 (Hashtbl.find_opt tbl oid) in
+                if n > prev then Hashtbl.replace tbl oid n)
+              (Replica.drain_access_counts r))
+        row)
+    (System.replicas sys);
+  (* Deterministic order for everything downstream. *)
+  List.sort
+    (fun (o1, n1) (o2, n2) ->
+      if n1 <> n2 then compare n2 n1 else compare (Oid.to_int o1) (Oid.to_int o2))
+    (Hashtbl.fold (fun oid n acc -> (oid, n) :: acc) tbl [])
+
+(* One load check; returns the objects to move (hottest first) and the
+   destination, or None when balanced. *)
+let plan sys policy counts ~gauge =
+  let app = System.app sys in
+  let partitions = (System.config sys).Config.partitions in
+  let load = Array.make partitions 0 in
+  let placed =
+    List.filter_map
+      (fun (oid, n) ->
+        match Migration.current_partition sys oid with
+        | Some p ->
+            load.(p) <- load.(p) + n;
+            (* Only registered, partition-placed objects can move. *)
+            if app.App.klass_of oid = Versioned_store.Registered then
+              Some (oid, n, p)
+            else None
+        | None -> None)
+      counts
+  in
+  let total = Array.fold_left ( + ) 0 load in
+  if total < policy.min_accesses then None
+  else begin
+    let hot = ref 0 and cold = ref 0 in
+    Array.iteri
+      (fun p l ->
+        if l > load.(!hot) then hot := p;
+        if l < load.(!cold) then cold := p)
+      load;
+    let avg = max 1 (total / partitions) in
+    Heron_obs.Metrics.set_gauge gauge (100 * load.(!hot) / avg);
+    if 100 * load.(!hot) / avg < policy.imbalance_x100 || !hot = !cold then None
+    else begin
+      (* Move at most enough load to bring the hot partition down to —
+         and the cold one up to — the average. *)
+      let budget = ref (min (load.(!hot) - avg) (avg - load.(!cold))) in
+      let picked = ref [] in
+      let n_picked = ref 0 in
+      List.iter
+        (fun (oid, n, p) ->
+          if p = !hot && n > 0 && n <= !budget && !n_picked < policy.max_moves
+          then begin
+            picked := oid :: !picked;
+            incr n_picked;
+            budget := !budget - n
+          end)
+        placed;
+      match List.rev !picked with [] -> None | oids -> Some (oids, !cold)
+    end
+  end
+
+let start ?(policy = default_policy) sys =
+  let node = System.new_client_node sys ~name:"rebalancer" in
+  let t =
+    { rb_policy = policy; rb_node = node; rb_stop = false; rb_rounds = 0;
+      rb_moves = 0 }
+  in
+  let cfg = System.config sys in
+  let gauge =
+    Heron_obs.Metrics.gauge cfg.Config.metrics "reconfig.imbalance_x100"
+  in
+  if cfg.Config.reconfig.Config.enabled && cfg.Config.partitions > 1 then
+    Fabric.spawn_on t.rb_node (fun () ->
+        let rec loop () =
+          Engine.sleep policy.period_ns;
+          if not t.rb_stop then begin
+            t.rb_rounds <- t.rb_rounds + 1;
+            let counts = collect_counts sys in
+            (match plan sys policy counts ~gauge with
+            | None -> ()
+            | Some (oids, dst) -> (
+                match Migration.migrate sys ~from:t.rb_node ~oids ~dst with
+                | Ok () -> t.rb_moves <- t.rb_moves + List.length oids
+                | Error _ -> ()));
+            loop ()
+          end
+        in
+        loop ());
+  t

@@ -1,0 +1,44 @@
+(** Load-driven rebalancer (DESIGN.md §10, policy layer).
+
+    A policy fiber that periodically drains the replicas' per-object
+    access counters, computes per-partition load under the current
+    placement, and — when the hottest partition's load exceeds the
+    average by the configured factor — migrates the hottest objects,
+    greedily, to the coldest partition. Each round moves at most enough
+    load to bring the hottest partition down to (and the coldest up to)
+    the average, so a concentrated hotspot spreads over a few rounds
+    instead of sloshing between two partitions.
+
+    The imbalance it observes is published as the
+    [reconfig.imbalance_x100] gauge (100 = perfectly balanced). *)
+
+open Heron_core
+
+type policy = {
+  period_ns : int;  (** time between load checks *)
+  imbalance_x100 : int;
+      (** trigger threshold: migrate when [100 * max/avg] exceeds this *)
+  min_accesses : int;
+      (** ignore windows with fewer total accesses (no signal) *)
+  max_moves : int;  (** objects migrated per round at most *)
+}
+
+val default_policy : policy
+(** 1 ms period, trigger at 150 (hottest 1.5x the average), 64 minimum
+    accesses, 8 moves per round. *)
+
+type t
+
+val start : ?policy:policy -> ('req, 'resp) System.t -> t
+(** Spawn the policy fiber on its own client node. Requires
+    [Config.reconfig.enabled] and at least two partitions (otherwise the
+    fiber exits immediately). *)
+
+val stop : t -> unit
+(** The fiber exits at its next wakeup; in-flight migrations finish. *)
+
+val rounds : t -> int
+(** Load checks performed so far. *)
+
+val moves : t -> int
+(** Objects migrated so far. *)

@@ -11,6 +11,13 @@ type resp = Y_value of { counter : int; size : int } | Y_ok | Y_scanned of int
 let partition_of_key ~partitions k = k mod partitions
 let oid_of_key k = Oid.of_int k
 
+(* The [rank]-th key homed (at directory epoch 0) on partition [hot]:
+   ranks index the per-partition stripe, so a popularity distribution
+   over ranks concentrates traffic on one partition — the shape the
+   rebalancer bench shifts mid-run. *)
+let hotspot_key ~records ~partitions ~hot rank =
+  (rank mod (records / partitions)) * partitions + hot
+
 (* Record layout: [counter : int64][payload]. *)
 let encode ~value_bytes ~counter ~seed =
   let b = Bytes.make (8 + value_bytes) (Char.chr (33 + (seed mod 90))) in

@@ -31,6 +31,14 @@ val app :
 
 val partition_of_key : partitions:int -> int -> int
 
+val oid_of_key : int -> Oid.t
+
+val hotspot_key : records:int -> partitions:int -> hot:int -> int -> int
+(** [hotspot_key ~records ~partitions ~hot rank] is the [rank]-th key
+    whose static home is partition [hot] — sampling ranks from a
+    popularity distribution concentrates load on that partition (until
+    live repartitioning moves the keys). *)
+
 type profile = { read_pct : int; update_pct : int; rmw_pct : int; scan_pct : int }
 (** Operation mix in percent; must sum to 100. *)
 

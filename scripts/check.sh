@@ -35,10 +35,21 @@ echo "== chaos smoke sweep =="
 # and pin under test/corpus/ so they can be committed as regressions.
 dune exec bin/probe.exe -- chaos --seeds 0..119 --shrink --corpus test/corpus
 
+echo "== reconfig chaos sweep =="
+# Live-repartitioning schedules: migrations timed into crash/restart
+# windows (DESIGN.md §10), same shrink-and-pin flow.
+dune exec bin/probe.exe -- chaos --seeds 0..99 --reconfig --shrink --corpus test/corpus
+
 echo "== bench coord smoke =="
 # Quick coordination bench: multi-partition p50/p99 latency,
 # single-partition throughput and doorbell charges -> BENCH_coord.json.
 dune exec bench/main.exe -- quick coord
 dune exec bin/probe.exe -- jsonlint BENCH_coord.json
+
+echo "== bench reconfig smoke =="
+# Shifting-hotspot bench: static placement vs the live rebalancer ->
+# BENCH_reconfig.json (the rebalanced run must win post-shift).
+dune exec bench/main.exe -- quick reconfig
+dune exec bin/probe.exe -- jsonlint BENCH_reconfig.json
 
 echo "all checks passed"

@@ -66,6 +66,57 @@ let json_roundtrip_prop =
       | Ok sc' -> sc' = Schedule.normalize sc
       | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
 
+(* The reconfig generator keeps the same liveness envelope and always
+   produces migrations timed into the crash/restart windows. *)
+let reconfig_generator_prop =
+  QCheck.Test.make ~name:"reconfig schedules validate and roundtrip" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sc = Schedule.generate_reconfig ~seed in
+      match Schedule.validate sc with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg
+      | Ok () -> (
+          match Schedule.of_json (Schedule.to_json sc) with
+          | Ok sc' -> sc' = Schedule.normalize sc
+          | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg))
+
+let test_reconfig_generator_overlap () =
+  for seed = 0 to 199 do
+    let sc = Schedule.generate_reconfig ~seed in
+    let migrations =
+      List.filter
+        (function Schedule.Migrate _ -> true | _ -> false)
+        sc.Schedule.sc_events
+    in
+    if migrations = [] then Alcotest.failf "seed %d has no migrations" seed;
+    (* Every migration sits inside some crash..restart window (with the
+       generator's slop on both sides). *)
+    let windows =
+      let rec pair acc = function
+        | Schedule.Crash { at = c; _ } :: rest -> (
+            match
+              List.find_opt (function Schedule.Restart _ -> true | _ -> false) rest
+            with
+            | Some (Schedule.Restart { at = r; _ }) -> pair ((c, r) :: acc) rest
+            | _ -> acc)
+        | _ :: rest -> pair acc rest
+        | [] -> acc
+      in
+      pair [] sc.Schedule.sc_events
+    in
+    List.iter
+      (function
+        | Schedule.Migrate { at; _ } ->
+            if
+              not
+                (List.exists
+                   (fun (c, r) -> at >= c - 200_000 && at <= r + 300_000)
+                   windows)
+            then Alcotest.failf "seed %d: migration outside every crash window" seed
+        | _ -> ())
+      sc.Schedule.sc_events
+  done
+
 let test_file_roundtrip () =
   let sc = Schedule.generate ~seed:7 in
   let file = Filename.temp_file "chaos_sched" ".json" in
@@ -259,6 +310,8 @@ let suite =
         tc "generation is deterministic" test_generate_deterministic;
         tc "generated envelope: sequential follower faults" test_generate_envelope;
         qc json_roundtrip_prop;
+        qc reconfig_generator_prop;
+        tc "reconfig migrations overlap crash windows" test_reconfig_generator_overlap;
         tc "save/load roundtrip" test_file_roundtrip;
         tc "malformed JSON rejected" test_json_rejects_garbage;
         tc "validate catches bad schedules" test_validate_catches;

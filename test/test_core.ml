@@ -356,6 +356,71 @@ let test_log_gap_spanning_truncation () =
   Alcotest.(check (list int)) "tail range still answered" [ 5 ]
     (Update_log.oids_in_range log ~from:(tmp 5) ~upto:(tmp 5))
 
+(* Property: [oids_in_range] returns the distinct oids of the range in
+   first-update order — exactly what a reference scan over the append
+   sequence produces (duplicates coalesced onto their first update). *)
+let log_range_model_prop =
+  QCheck.Test.make ~name:"oids_in_range = first-update-order dedup (vs model)"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (pair (int_range 1 20) (int_bound 9)))
+        (pair (int_range 1 20) (int_range 1 20)))
+    (fun (entries, (a, b)) ->
+      let from = min a b and upto = max a b in
+      let log = Update_log.create ~capacity:1000 in
+      List.iter (fun (t, oid) -> Update_log.append log (tmp t) oid) entries;
+      let model =
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun (t, oid) ->
+            if t >= from && t <= upto && not (Hashtbl.mem seen oid) then begin
+              Hashtbl.add seen oid ();
+              Some oid
+            end
+            else None)
+          entries
+      in
+      Update_log.oids_in_range log ~from:(tmp from) ~upto:(tmp upto) = model)
+
+(* Property: a migration-shipped prefix composes with [note_gap] the
+   way the replica uses it — the dst poisons the log up to the
+   migration's cut (shipped cells stand in for every earlier update it
+   never executed), then appends the migrated-in objects and later
+   traffic above the cut. Ranges above the cut answer from the model;
+   anything reaching the cut is refused, forcing donors to a full
+   transfer. *)
+let log_gap_migration_prop =
+  QCheck.Test.make ~name:"note_gap composes with a migration-shipped prefix"
+    ~count:300
+    QCheck.(
+      triple (int_range 1 15)
+        (list_of_size Gen.(int_range 0 20) (pair (int_range 1 15) (int_bound 9)))
+        (list_of_size Gen.(int_range 1 20) (pair (int_range 16 30) (int_bound 9))))
+    (fun (cut, pre, post) ->
+      let log = Update_log.create ~capacity:1000 in
+      List.iter (fun (t, oid) -> Update_log.append log (tmp t) oid) pre;
+      Update_log.note_gap log ~upto:(tmp cut);
+      List.iter (fun (t, oid) -> Update_log.append log (tmp t) oid) post;
+      let model =
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun (t, oid) ->
+            if t >= 16 && not (Hashtbl.mem seen oid) then begin
+              Hashtbl.add seen oid ();
+              Some oid
+            end
+            else None)
+          (pre @ post)
+      in
+      Update_log.covers log ~from:(tmp 16)
+      && (not (Update_log.covers log ~from:(tmp cut)))
+      && Update_log.oids_in_range log ~from:(tmp 16) ~upto:(tmp 30) = model
+      && try
+           ignore (Update_log.oids_in_range log ~from:(tmp cut) ~upto:(tmp 30));
+           false
+         with Invalid_argument _ -> true)
+
 (* {1 Coord_mem / Statesync_mem} *)
 
 let test_coord_mem () =
@@ -1147,6 +1212,8 @@ let suite =
         tc "note_gap: hole at log head" test_log_note_gap_head;
         tc "note_gap: monotone across transfers" test_log_note_gap_monotone;
         tc "note_gap: gap spanning truncation" test_log_gap_spanning_truncation;
+        qc log_range_model_prop;
+        qc log_gap_migration_prop;
       ] );
     ( "core.memories",
       [ tc "coord_mem" test_coord_mem; tc "statesync_mem" test_statesync_mem ] );

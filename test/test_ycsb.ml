@@ -44,6 +44,75 @@ let test_zipf_validation () =
     (try ignore (Zipf.create ~theta:1.5 ~n:10 ()); false
      with Invalid_argument _ -> true)
 
+(* Statistical checks against the ideal zipf pmf
+   p(k) = (1/(k+1)^theta) / H_{n,theta}. The sampler is Gray et al.'s
+   inversion approximation: ranks 0 and 1 are exact by construction and
+   the tail is a continuous approximation, so the head gets a tight
+   relative bound and aggregates (cumulative mass, mean rank) a looser
+   one. Deterministic rng; the draw count keeps sampling noise well
+   under the tolerances. *)
+
+let ideal_pmf ~n ~theta =
+  let h = ref 0. in
+  for k = 1 to n do
+    h := !h +. (1. /. (float_of_int k ** theta))
+  done;
+  Array.init n (fun k -> 1. /. (float_of_int (k + 1) ** theta) /. !h)
+
+let empirical ~n ~theta ~draws ~seed =
+  let z = Zipf.create ~theta ~n () in
+  let rng = Random.State.make [| seed |] in
+  let hits = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Zipf.sample z rng in
+    hits.(k) <- hits.(k) + 1
+  done;
+  Array.map (fun h -> float_of_int h /. float_of_int draws) hits
+
+let test_zipf_pmf_frequencies () =
+  let n = 50 and theta = 0.99 and draws = 200_000 in
+  let ideal = ideal_pmf ~n ~theta in
+  let emp = empirical ~n ~theta ~draws ~seed:41 in
+  (* Head: exact construction, so empirical error is sampling noise. *)
+  List.iter
+    (fun k ->
+      let rel = abs_float (emp.(k) -. ideal.(k)) /. ideal.(k) in
+      if rel > 0.05 then
+        Alcotest.failf "rank %d: empirical %.4f vs ideal %.4f (rel %.3f)" k emp.(k)
+          ideal.(k) rel)
+    [ 0; 1 ];
+  (* Top-10 cumulative mass: approximation + noise, 10%% band. *)
+  let mass a lo hi =
+    let s = ref 0. in
+    for k = lo to hi do s := !s +. a.(k) done;
+    !s
+  in
+  let top_emp = mass emp 0 9 and top_ideal = mass ideal 0 9 in
+  if abs_float (top_emp -. top_ideal) /. top_ideal > 0.10 then
+    Alcotest.failf "top-10 mass: empirical %.3f vs ideal %.3f" top_emp top_ideal;
+  (* Tail mass likewise (catches an approximation that dumps weight on
+     the clamped last rank). *)
+  let tail_emp = mass emp (n / 2) (n - 1) and tail_ideal = mass ideal (n / 2) (n - 1) in
+  if abs_float (tail_emp -. tail_ideal) > 0.05 then
+    Alcotest.failf "tail mass: empirical %.3f vs ideal %.3f" tail_emp tail_ideal
+
+let test_zipf_mean_rank () =
+  let n = 50 and theta = 0.99 and draws = 200_000 in
+  let ideal = ideal_pmf ~n ~theta in
+  let emp = empirical ~n ~theta ~draws ~seed:42 in
+  let mean a =
+    let s = ref 0. in
+    Array.iteri (fun k p -> s := !s +. (float_of_int k *. p)) a;
+    !s
+  in
+  let m_emp = mean emp and m_ideal = mean ideal in
+  if abs_float (m_emp -. m_ideal) /. m_ideal > 0.15 then
+    Alcotest.failf "mean rank: empirical %.2f vs ideal %.2f" m_emp m_ideal;
+  (* And the ranking itself: rank 0 strictly dominates rank 1, which
+     dominates the median rank. *)
+  check_bool "rank 0 > rank 1" true (emp.(0) > emp.(1));
+  check_bool "rank 1 > median rank" true (emp.(1) > emp.(n / 2))
+
 (* {1 Application semantics} *)
 
 let make_ycsb ?(seed = 1) ~records ~value_bytes ~partitions () =
@@ -147,6 +216,8 @@ let suite =
         tc "range" test_zipf_range;
         tc "skew" test_zipf_skew;
         tc "validation" test_zipf_validation;
+        tc "empirical pmf vs ideal" test_zipf_pmf_frequencies;
+        tc "mean rank vs ideal" test_zipf_mean_rank;
       ] );
     ( "ycsb.app",
       [ tc "operation semantics" test_ycsb_ops; tc "generator mix" test_ycsb_gen_mix ] );

@@ -70,19 +70,31 @@ let run_micro_kv ~quick =
    charge counts, written to BENCH_coord.json in the current
    directory. *)
 
-let run_coord ~quick =
+let run_coord ~quick ~breakdown ~trace_file =
   timed "coord" (fun () ->
       let open Heron_sim in
       let open Heron_core in
       let t0 = Unix.gettimeofday () in
       let warmup = Time_ns.ms (if quick then 2 else 5) in
       let measure = Time_ns.ms (if quick then 8 else 20) in
-      let run ~coord_batching ~clients ~gen_dst =
+      (* Every run carries a request-trace collector (DESIGN.md §11):
+         span recording spends no virtual time, so the reported latency
+         and throughput ARE the traced numbers; the untraced control run
+         below demonstrates the (zero) regression explicitly. *)
+      let run ?(traced = true) ~coord_batching ~clients ~gen_dst () =
         let reg = Heron_obs.Metrics.create () in
+        let col =
+          if traced then begin
+            let col = Heron_obs.Reqtrace.create ~ring:2048 () in
+            Heron_obs.Reqtrace.attach_metrics col reg;
+            Some col
+          end
+          else None
+        in
         let eng = Engine.create ~seed:12 () in
         let cfg =
           let c = Config.default ~partitions:2 ~replicas:3 in
-          { c with Config.coord_batching; metrics = reg }
+          { c with Config.coord_batching; metrics = reg; reqtrace = col }
         in
         let sys = System.create eng ~cfg ~app:Heron_harness.Driver.null_app in
         System.start sys;
@@ -94,19 +106,25 @@ let run_coord ~quick =
                 Some (gen_dst rng) ))
             ()
         in
-        (rs, reg)
+        (rs, reg, col)
       in
       (* Low load for the latency probe (coordination-dominated, not
          queueing-dominated); saturation for throughput. *)
-      let multi_on, reg_on =
-        run ~coord_batching:true ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ])
+      let multi_on, reg_on, col_on =
+        run ~coord_batching:true ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ]) ()
       in
-      let multi_off, reg_off =
-        run ~coord_batching:false ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ])
+      let multi_off, reg_off, _ =
+        run ~coord_batching:false ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ]) ()
       in
-      let single, _ =
-        run ~coord_batching:true ~clients:16 ~gen_dst:(fun rng ->
-            [ Random.State.int rng 2 ])
+      let single, _, _ =
+        run ~coord_batching:true ~clients:16
+          ~gen_dst:(fun rng -> [ Random.State.int rng 2 ])
+          ()
+      in
+      let single_untraced, _, _ =
+        run ~traced:false ~coord_batching:true ~clients:16
+          ~gen_dst:(fun rng -> [ Random.State.int rng 2 ])
+          ()
       in
       let p rs q =
         float_of_int (Sample_set.percentile rs.Heron_harness.Driver.rs_latency q)
@@ -114,6 +132,79 @@ let run_coord ~quick =
       in
       let posts_on = Experiments.write_post_charges reg_on in
       let posts_off = Experiments.write_post_charges reg_off in
+      let tput rs = rs.Heron_harness.Driver.rs_throughput_tps in
+      let trace_delta_pct =
+        if tput single_untraced = 0. then 0.
+        else (tput single -. tput single_untraced) /. tput single_untraced *. 100.
+      in
+      (* Per-stage critical-path breakdown of the batched multi run:
+         the stage histograms and req.e2e_ns are fed from the same
+         population (every finished trace), so per-request attributions
+         sum exactly to end-to-end latency and the per-stage p50s sum
+         to the e2e p50 within histogram bucket slack. *)
+      let snap_on = Heron_obs.Metrics.snapshot reg_on in
+      let stages =
+        List.filter_map
+          (fun e ->
+            match (e.Heron_obs.Metrics.e_name, e.Heron_obs.Metrics.e_value) with
+            | "req.stage_ns", Heron_obs.Metrics.Histogram_v h ->
+                Some (List.assoc "stage" e.Heron_obs.Metrics.e_labels, h)
+            | _ -> None)
+          snap_on
+      in
+      let e2e =
+        match Heron_obs.Metrics.find snap_on "req.e2e_ns" with
+        | Some (Heron_obs.Metrics.Histogram_v h) -> Some h
+        | _ -> None
+      in
+      let us ns = float_of_int ns /. 1e3 in
+      let stage_p50_sum =
+        List.fold_left
+          (fun acc (_, h) -> acc +. us h.Heron_obs.Metrics.hs_p50)
+          0. stages
+      in
+      let e2e_p50 =
+        match e2e with Some h -> us h.Heron_obs.Metrics.hs_p50 | None -> 0.
+      in
+      if breakdown then begin
+        say "coord breakdown (multi-partition, batched; traced requests):\n";
+        List.iter
+          (fun (stage, h) ->
+            say "  %-14s p50 %7.2f us  p99 %7.2f us  (n=%d)\n" stage
+              (us h.Heron_obs.Metrics.hs_p50)
+              (us h.Heron_obs.Metrics.hs_p99)
+              h.Heron_obs.Metrics.hs_count)
+          (List.sort
+             (fun (_, a) (_, b) ->
+               compare b.Heron_obs.Metrics.hs_p50 a.Heron_obs.Metrics.hs_p50)
+             stages);
+        say "  %-14s p50 %7.2f us (stage p50 sum %.2f us)\n" "end-to-end"
+          e2e_p50 stage_p50_sum
+      end;
+      (match trace_file with
+      | None -> ()
+      | Some file ->
+          let requests =
+            match col_on with
+            | Some col -> Heron_obs.Reqtrace.export_trees col
+            | None -> []
+          in
+          Heron_obs.Trace_export.write_file ~requests file [];
+          say "request trace written to %s (%d trees)\n" file
+            (List.length requests));
+      let stage_json =
+        Heron_obs.Json.Obj
+          (List.map
+             (fun (stage, h) ->
+               ( stage,
+                 Heron_obs.Json.Obj
+                   [
+                     ("p50_us", Heron_obs.Json.Float (us h.Heron_obs.Metrics.hs_p50));
+                     ("p99_us", Heron_obs.Json.Float (us h.Heron_obs.Metrics.hs_p99));
+                     ("count", Heron_obs.Json.Int h.Heron_obs.Metrics.hs_count);
+                   ] ))
+             stages)
+      in
       let json =
         Heron_obs.Json.Obj
           [
@@ -123,10 +214,20 @@ let run_coord ~quick =
             ("multi_p99_us", Heron_obs.Json.Float (p multi_on 99.));
             ("multi_p50_us_unbatched", Heron_obs.Json.Float (p multi_off 50.));
             ("multi_p99_us_unbatched", Heron_obs.Json.Float (p multi_off 99.));
-            ( "single_partition_tput_tps",
-              Heron_obs.Json.Float single.Heron_harness.Driver.rs_throughput_tps );
+            ("single_partition_tput_tps", Heron_obs.Json.Float (tput single));
+            ( "single_partition_tput_tps_untraced",
+              Heron_obs.Json.Float (tput single_untraced) );
+            ("tracing_tput_delta_pct", Heron_obs.Json.Float trace_delta_pct);
             ("write_post_charges_batched", Heron_obs.Json.Int posts_on);
             ("write_post_charges_unbatched", Heron_obs.Json.Int posts_off);
+            ( "traced_requests",
+              Heron_obs.Json.Int
+                (match col_on with
+                | Some col -> Heron_obs.Reqtrace.finished col
+                | None -> 0) );
+            ("e2e_p50_us", Heron_obs.Json.Float e2e_p50);
+            ("stage_p50_sum_us", Heron_obs.Json.Float stage_p50_sum);
+            ("stages", stage_json);
             ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
           ]
       in
@@ -138,9 +239,10 @@ let run_coord ~quick =
           output_char oc '\n');
       say
         "coord: multi p50 %.1f us / p99 %.1f us batched (%.1f / %.1f unbatched), \
-         single-partition %.0f tps, doorbells %d vs %d -> BENCH_coord.json\n"
+         single-partition %.0f tps (untraced %.0f, delta %+.2f%%), doorbells %d \
+         vs %d -> BENCH_coord.json\n"
         (p multi_on 50.) (p multi_on 99.) (p multi_off 50.) (p multi_off 99.)
-        single.Heron_harness.Driver.rs_throughput_tps posts_on posts_off)
+        (tput single) (tput single_untraced) trace_delta_pct posts_on posts_off)
 
 (* {1 Shifting-hotspot reconfiguration bench}
 
@@ -362,18 +464,22 @@ let run_micro () =
       List.iter benchmark (micro_tests ());
       print_newline ())
 
-(* Extract [--metrics FILE] before experiment selection: the remaining
-   args drive the [wants] logic below. *)
-let split_metrics args =
+(* Extract [--metrics FILE] / [--trace FILE] / [--breakdown] before
+   experiment selection: the remaining args drive the [wants] logic
+   below. [--trace] and [--breakdown] apply to the coord bench. *)
+let split_opt flag args =
   let rec go acc = function
-    | "--metrics" :: file :: rest -> (Some file, List.rev_append acc rest)
-    | "--metrics" :: [] ->
-        prerr_endline "bench: --metrics requires a FILE argument";
+    | f :: file :: rest when f = flag -> (Some file, List.rev_append acc rest)
+    | [ f ] when f = flag ->
+        Printf.eprintf "bench: %s requires a FILE argument\n" flag;
         exit 2
     | a :: rest -> go (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
   go [] args
+
+let split_flag flag args =
+  (List.mem flag args, List.filter (fun a -> a <> flag) args)
 
 let dump_metrics file =
   let snap = Heron_obs.Metrics.(snapshot default) in
@@ -386,7 +492,9 @@ let dump_metrics file =
   say "metrics written to %s (%d series)\n" file (List.length snap)
 
 let () =
-  let metrics_file, args = split_metrics (List.tl (Array.to_list Sys.argv)) in
+  let metrics_file, args = split_opt "--metrics" (List.tl (Array.to_list Sys.argv)) in
+  let trace_file, args = split_opt "--trace" args in
+  let breakdown, args = split_flag "--breakdown" args in
   let quick = List.mem "quick" args in
   let wants name = args = [] || args = [ "quick" ] || List.mem name args in
   let t0 = Unix.gettimeofday () in
@@ -398,7 +506,7 @@ let () =
   if wants "fig8" then run_fig8 ~quick;
   if wants "ablations" then run_ablations ~quick;
   if wants "micro_kv" then run_micro_kv ~quick;
-  if List.mem "coord" args then run_coord ~quick;
+  if List.mem "coord" args then run_coord ~quick ~breakdown ~trace_file;
   if List.mem "reconfig" args then run_reconfig ~quick;
   if wants "micro" then run_micro ();
   Option.iter dump_metrics metrics_file;

@@ -4,6 +4,10 @@
      dune exec bin/probe.exe                    -- calibration run
      dune exec bin/probe.exe -- trace FILE      -- Perfetto trace of a
                                                    small simulated run
+     dune exec bin/probe.exe -- explain FILE [--top K]
+                                                -- critical paths of the K
+                                                   slowest requests in a
+                                                   Perfetto dump
      dune exec bin/probe.exe -- jsonlint FILE   -- validate a JSON file
                                                    (exit 0/1)
      dune exec bin/probe.exe -- chaos --seeds 0..500 [--shrink]
@@ -100,15 +104,19 @@ let run_calibration () =
   pr "wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)
 
 (* [probe trace FILE]: run a small 2-partition x 3-replica KV workload
-   with a span ring attached to every replica and export the result as
-   Chrome trace_event JSON (open at https://ui.perfetto.dev). *)
+   with a span ring attached to every replica and request-scoped
+   tracing attached to the deployment, and export both as Chrome
+   trace_event JSON (open at https://ui.perfetto.dev, or feed to
+   [probe explain]). *)
 let run_trace file =
   let open Heron_sim in
   let open Heron_core in
   let eng = Engine.create ~seed:7 () in
+  let reqtrace = Heron_obs.Reqtrace.create () in
   let cfg =
     { (Config.default ~partitions:2 ~replicas:3) with
-      Config.metrics = Heron_obs.Metrics.create () }
+      Config.metrics = Heron_obs.Metrics.create ();
+      reqtrace = Some reqtrace }
   in
   let app = Heron_kv.Kv_app.app ~keys:8 ~partitions:2 ~init:0L in
   let sys = System.create eng ~cfg ~app in
@@ -135,11 +143,69 @@ let run_trace file =
         ignore (System.submit sys ~from:client req)
       done);
   Engine.run_until eng (Time_ns.ms 100);
-  Heron_obs.Trace_export.write_file file traces;
+  let requests = Heron_obs.Reqtrace.export_trees reqtrace in
+  Heron_obs.Trace_export.write_file ~requests file traces;
   let spans =
     List.fold_left (fun acc (_, tr) -> acc + List.length (Trace.spans tr)) 0 traces
   in
-  pr "trace written to %s (%d replicas, %d spans)\n" file (List.length traces) spans
+  pr "trace written to %s (%d replicas, %d spans, %d request trees)\n" file
+    (List.length traces) spans (List.length requests)
+
+(* [probe explain FILE [--top K]]: re-read the request trees embedded
+   in a Perfetto dump written by [probe trace] or [bench --trace] and
+   print the critical paths of the K slowest requests. *)
+let run_explain args =
+  let file = ref None in
+  let top = ref 5 in
+  let usage () =
+    Printf.eprintf "usage: probe explain FILE [--top K]\n";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--top" :: k :: rest ->
+        (match int_of_string_opt k with
+        | Some k when k > 0 -> top := k
+        | Some _ | None -> usage ());
+        parse rest
+    | f :: rest when !file = None ->
+        file := Some f;
+        parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let file = match !file with Some f -> f | None -> usage () in
+  let ic =
+    try open_in_bin file
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Heron_obs.Json.parse s with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  | Ok doc -> (
+      let spans = Heron_obs.Trace_export.request_spans_of_json doc in
+      match Heron_obs.Reqtrace.trees_of_spans spans with
+      | [] ->
+          Printf.eprintf
+            "%s: no request spans (written without request tracing?)\n" file;
+          exit 1
+      | trees ->
+          let shown = ref 0 in
+          pr "%d request trees in %s; %d slowest:\n\n" (List.length trees) file
+            (min !top (List.length trees));
+          List.iter
+            (fun tree ->
+              if !shown < !top then begin
+                incr shown;
+                pr "%s\n" (Heron_obs.Reqtrace.render_tree tree)
+              end)
+            trees)
 
 (* [probe chaos]: sweep generated fault schedules (and/or replay pinned
    ones) against the simulator; see DESIGN.md's chaos section. *)
@@ -334,11 +400,12 @@ let () =
   match List.tl (Array.to_list Sys.argv) with
   | [] -> run_calibration ()
   | [ "trace"; file ] -> run_trace file
+  | "explain" :: rest -> run_explain rest
   | [ "jsonlint"; file ] -> run_jsonlint file
   | "chaos" :: rest -> run_chaos rest
   | [ "reconfig" ] -> run_reconfig ()
   | _ ->
       Printf.eprintf
-        "usage: probe [trace FILE | jsonlint FILE | chaos ... | reconfig]  (no args: \
-         calibration)\n";
+        "usage: probe [trace FILE | explain FILE [--top K] | jsonlint FILE | \
+         chaos ... | reconfig]  (no args: calibration)\n";
       exit 2

@@ -31,6 +31,7 @@ type t = {
   coord_batching : bool;
   reconfig : reconfig;
   metrics : Heron_obs.Metrics.t;
+  reqtrace : Heron_obs.Reqtrace.t option;
 }
 
 let default_costs =
@@ -69,4 +70,5 @@ let default ~partitions ~replicas =
     coord_batching = true;
     reconfig = default_reconfig;
     metrics = Heron_obs.Metrics.default;
+    reqtrace = None;
   }

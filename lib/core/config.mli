@@ -96,6 +96,13 @@ type t = {
           deployments in one process aggregate; substitute a fresh
           registry ([{ cfg with metrics = Metrics.create () }]) to
           isolate a run. *)
+  reqtrace : Heron_obs.Reqtrace.t option;
+      (** request-scoped causal tracing (DESIGN.md §11): when set,
+          clients mint a trace per request, the protocol layers emit
+          parent-linked spans into the collector, and finished trees
+          feed the [req.stage_ns{stage=...}] critical-path histograms
+          in [metrics]. [None] (the default) records nothing and adds
+          no cost. *)
 }
 
 val default_costs : costs

@@ -10,6 +10,8 @@ type ('req, 'resp) request = {
   rq_submitted : Time_ns.t;
   rq_client_node : Fabric.node;
   rq_reply : part:int -> 'resp reply -> unit;
+  rq_trace : int;
+  rq_parent : int;
 }
 
 type migration = {
@@ -269,6 +271,23 @@ let trace r ~name ~tmp ~start stop =
       Trace.record tr ~name
         ~attrs:[ ("tmp", Format.asprintf "%a" Tstamp.pp tmp) ]
         ~start stop
+
+(* Request-scoped causal span (DESIGN.md §11): recorded against the
+   trace the client minted at submit, parented to its root span —
+   containment nesting sorts overlapping stages out at analysis time,
+   so stages need not thread each other's span ids. No-op for untraced
+   requests and untraced deployments. *)
+let req_span r req ~stage ~start stop =
+  if req.rq_trace <> 0 then
+    match r.r_cfg.Config.reqtrace with
+    | None -> ()
+    | Some col ->
+        ignore
+          (Heron_obs.Reqtrace.add_span col ~trace:req.rq_trace
+             ~parent:req.rq_parent ~stage
+             ~attrs:
+               [ ("part", string_of_int r.r_part); ("idx", string_of_int r.r_idx) ]
+             ~start stop)
 
 let qp_to r dst_node =
   let key = Fabric.node_id dst_node in
@@ -891,12 +910,15 @@ let exec_single r req ~tmp ~on_applied =
   | resp ->
       on_applied ();
       trace r ~name:"execute" ~tmp ~start:t0 (Engine.now r.r_eng);
+      req_span r req ~stage:"execute" ~start:t0 (Engine.now r.r_eng);
       Heron_stats.Sample_set.add r.r_stats.st_exec (Engine.now r.r_eng - t0);
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
       Heron_obs.Metrics.incr r.r_obs.ob_executed;
       send_reply r req (Reply resp)
   | exception Lagging ->
+      let ts0 = Engine.now r.r_eng in
       initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
+      req_span r req ~stage:"state-transfer" ~start:ts0 (Engine.now r.r_eng);
       on_applied ()
 
 (* Multi-partition request: Phase 2, execute, Phase 4, reply — or, on a
@@ -906,14 +928,17 @@ let exec_multi r req ~tmp ~dst ~on_applied =
   coordinate r ~tmp ~dst ~stage:1 ~wait:r.r_cfg.Config.wait_phase2;
   let t1 = Engine.now r.r_eng in
   trace r ~name:"phase2" ~tmp ~start:t0 t1;
+  req_span r req ~stage:"phase2" ~start:t0 t1;
   match execute r req ~tmp with
   | resp ->
       on_applied ();
       let t2 = Engine.now r.r_eng in
       trace r ~name:"execute" ~tmp ~start:t1 t2;
+      req_span r req ~stage:"execute" ~start:t1 t2;
       coordinate r ~tmp ~dst ~stage:2 ~wait:r.r_cfg.Config.wait_phase4;
       let t3 = Engine.now r.r_eng in
       trace r ~name:"phase4" ~tmp ~start:t2 t3;
+      req_span r req ~stage:"phase4" ~start:t2 t3;
       Heron_stats.Sample_set.add r.r_stats.st_coord (t1 - t0 + (t3 - t2));
       Heron_stats.Sample_set.add r.r_stats.st_exec (t2 - t1);
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
@@ -924,7 +949,9 @@ let exec_multi r req ~tmp ~dst ~on_applied =
       (* Algorithm 2 lines 23-25: synchronise and skip. The request only
          counts as applied once the transferred state (which covers it)
          has arrived. *)
+      let ts0 = Engine.now r.r_eng in
       initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
+      req_span r req ~stage:"state-transfer" ~start:ts0 (Engine.now r.r_eng);
       on_applied ()
 
 (* {1 Migration (DESIGN.md §10)}
@@ -1029,6 +1056,8 @@ let handle_delivery r (dv : ('req, 'resp) msg Ramcast.delivery) =
     | Migrate mg -> exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst ~on_applied
     | Req req ->
         trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
+        req_span r req ~stage:"ordering" ~start:req.rq_submitted
+          (Engine.now r.r_eng);
         Heron_stats.Sample_set.add r.r_stats.st_ordering
           (Engine.now r.r_eng - req.rq_submitted);
         if stale_routed r req then begin
@@ -1119,6 +1148,8 @@ let parallel_loop r =
            exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
              ~on_applied:(mark_applied tmp)
        | Req req -> (
+           req_span r req ~stage:"ordering" ~start:req.rq_submitted
+             (Engine.now r.r_eng);
            Heron_stats.Sample_set.add r.r_stats.st_ordering
              (Engine.now r.r_eng - req.rq_submitted);
            (* Routing decision before any suspension point: admission
@@ -1140,11 +1171,16 @@ let parallel_loop r =
                     (the only event that can unblock it), never spinning over
                     the in-flight set. *)
                  let blocked = ref false in
+                 let adm0 = Engine.now r.r_eng in
                  Signal.wait_until done_sig (fun () ->
                      let ok = !inflight < workers && Conflict_index.can_admit cidx fp in
                      if not ok then blocked := true;
                      ok);
-                 if !blocked then Heron_obs.Metrics.incr blocked_ctr;
+                 if !blocked then begin
+                   Heron_obs.Metrics.incr blocked_ctr;
+                   req_span r req ~stage:"conflict-wait" ~start:adm0
+                     (Engine.now r.r_eng)
+                 end;
                  Conflict_index.admit cidx fp;
                  incr inflight;
                  Queue.push tmp order;

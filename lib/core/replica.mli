@@ -29,6 +29,10 @@ type ('req, 'resp) request = {
   rq_reply : part:int -> 'resp reply -> unit;
       (** invoked (on a replica fiber, after the reply transfer) at most
           once per partition *)
+  rq_trace : int;
+      (** request-scoped trace id minted by the client at submit
+          (DESIGN.md §11); 0 when the deployment does not trace *)
+  rq_parent : int;  (** the trace's root span id; 0 when untraced *)
 }
 
 type migration = {

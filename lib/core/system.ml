@@ -82,8 +82,20 @@ let create eng ~cfg ~app =
       Array.iter (fun r -> load_partition_catalog ~specs ~part (Replica.store r)) row)
     sys_replicas;
   let groups = Array.map (Array.map Replica.node) sys_replicas in
+  (* The ordering layer reads (trace id, root span id) straight out of
+     the request payload, so the Skeen rounds need no side channel. *)
+  let tracing =
+    Option.map
+      (fun col ->
+        ( col,
+          function
+          | Replica.Req rq when rq.Replica.rq_trace <> 0 ->
+              Some (rq.Replica.rq_trace, rq.Replica.rq_parent)
+          | Replica.Req _ | Replica.Migrate _ -> None ))
+      cfg.Config.reqtrace
+  in
   let sys_mcast =
-    Ramcast.create ~config:cfg.Config.mcast fab
+    Ramcast.create ~config:cfg.Config.mcast ?tracing fab
       ~size_of:(fun m -> msg_size app m)
       ~groups
   in
@@ -157,8 +169,10 @@ let client_view t node =
       v
 
 (* One multicast round: returns the per-partition replies (first reply
-   per partition wins, replicas answer redundantly). *)
-let submit_round t ~from ~dst payload =
+   per partition wins, replicas answer redundantly). [trace]/[parent]
+   are the request-scoped trace id and root span id (0 when the
+   deployment does not trace). *)
+let submit_round t ~from ~dst ~trace ~parent payload =
   let replies = List.map (fun p -> (p, Ivar.create ())) dst in
   let rq =
     {
@@ -171,6 +185,8 @@ let submit_round t ~from ~dst payload =
           match List.assoc_opt part replies with
           | Some iv -> ignore (Ivar.try_fill iv resp)
           | None -> ());
+      rq_trace = trace;
+      rq_parent = parent;
     }
   in
   ignore (Ramcast.multicast t.sys_mcast ~from ~dst (Replica.Req rq));
@@ -181,36 +197,66 @@ let submit_round t ~from ~dst payload =
    replicas' decision is uniform (all destinations redirect or none
    does), so a mixed outcome is impossible; if the refresh observed no
    new epoch — the migration that redirected us has not committed to
-   the directory yet — back off briefly before retrying. *)
-let rec submit_loop t ~from ~dst payload =
-  let replies = submit_round t ~from ~dst payload in
-  let redirected =
-    List.exists (function _, Replica.Redirect _ -> true | _ -> false) replies
+   the directory yet — back off briefly before retrying.
+
+   With tracing on, the whole retry chain is one trace: each redirected
+   round gets a [redirect] span covering the wasted round plus the view
+   refresh and backoff (the round's ordering spans nest inside it), and
+   the trace finishes when the replies of the successful round are in. *)
+let submit_loop t ~from ~dst payload =
+  let col = t.sys_cfg.Config.reqtrace in
+  let trace, parent =
+    match col with
+    | None -> (0, 0)
+    | Some col ->
+        Heron_obs.Reqtrace.start_trace col
+          ~attrs:[ ("client", Fabric.node_name from) ]
+          ~now:(Engine.now t.sys_eng) ()
   in
-  if not redirected then
-    List.map
-      (fun (p, rep) ->
-        match rep with
-        | Replica.Reply resp -> (p, resp)
-        | Replica.Redirect _ -> assert false)
-      replies
-  else begin
-    Heron_obs.Metrics.incr t.sys_retries;
-    let view = client_view t from in
-    let before = Placement.view_epoch view in
-    Placement.refresh view t.sys_dir;
-    if Placement.view_epoch view = before then
-      Engine.sleep t.sys_cfg.Config.costs.Config.redirect_backoff_ns;
-    let dst' =
-      match
-        Placement.destinations view t.sys_app
-          ~partitions:t.sys_cfg.Config.partitions payload
-      with
-      | d -> d
-      | exception Invalid_argument _ -> dst
+  let rec go ~dst =
+    let round_start = Engine.now t.sys_eng in
+    let replies = submit_round t ~from ~dst ~trace ~parent payload in
+    let redirected =
+      List.exists (function _, Replica.Redirect _ -> true | _ -> false) replies
     in
-    submit_loop t ~from ~dst:dst' payload
-  end
+    if not redirected then begin
+      (match col with
+      | Some col when trace <> 0 ->
+          Heron_obs.Reqtrace.finish col ~trace ~now:(Engine.now t.sys_eng)
+      | _ -> ());
+      List.map
+        (fun (p, rep) ->
+          match rep with
+          | Replica.Reply resp -> (p, resp)
+          | Replica.Redirect _ -> assert false)
+        replies
+    end
+    else begin
+      Heron_obs.Metrics.incr t.sys_retries;
+      let view = client_view t from in
+      let before = Placement.view_epoch view in
+      Placement.refresh view t.sys_dir;
+      if Placement.view_epoch view = before then
+        Engine.sleep t.sys_cfg.Config.costs.Config.redirect_backoff_ns;
+      let dst' =
+        match
+          Placement.destinations view t.sys_app
+            ~partitions:t.sys_cfg.Config.partitions payload
+        with
+        | d -> d
+        | exception Invalid_argument _ -> dst
+      in
+      (match col with
+      | Some col when trace <> 0 ->
+          ignore
+            (Heron_obs.Reqtrace.add_span col ~trace ~parent ~stage:"redirect"
+               ~attrs:[ ("epoch", string_of_int (Placement.view_epoch view)) ]
+               ~start:round_start (Engine.now t.sys_eng))
+      | _ -> ());
+      go ~dst:dst'
+    end
+  in
+  go ~dst
 
 let submit_to t ~from ~dst payload = submit_loop t ~from ~dst payload
 

@@ -49,9 +49,14 @@ type 'a pending = {
   mutable pn_ts : int;  (* current max proposal *)
   mutable pn_heard : int list;  (* gids whose proposal we have *)
   mutable pn_final : bool;
+  pn_arrived : Time_ns.t;  (* when this leader started proposing *)
 }
 
-type 'a commit = { cm_entries : 'a delivery list; mutable cm_acks : int }
+type 'a commit = {
+  cm_entries : 'a delivery list;
+  mutable cm_acks : int;
+  cm_decided : Time_ns.t;  (* when the entries left the pending set *)
+}
 
 type 'a member = {
   m_gid : int;
@@ -90,8 +95,27 @@ type 'a t = {
   groups : 'a group array;
   links : (int * int, Qp.t) Hashtbl.t;
   obs : obs;
+  trc : (Heron_obs.Reqtrace.t * ('a -> (int * int) option)) option;
+      (* request-scoped tracing: collector plus a projection reading
+         (trace id, parent span id) out of a payload *)
   mutable next_uid : int;
 }
+
+let now t = Engine.now (Fabric.engine t.fab)
+
+(* Emit an ordering-layer span against the payload's request trace, if
+   this deployment traces and the payload carries a trace id. *)
+let req_span t ~stage ~gid ~start ~stop payload =
+  match t.trc with
+  | None -> ()
+  | Some (col, proj) -> (
+      match proj payload with
+      | Some (trace, parent) when trace <> 0 ->
+          ignore
+            (Heron_obs.Reqtrace.add_span col ~trace ~parent ~stage
+               ~attrs:[ ("gid", string_of_int gid) ]
+               ~start stop)
+      | Some _ | None -> ())
 
 (* {1 Control links}
 
@@ -206,6 +230,12 @@ let drain_commits t (m : 'a member) =
     match Queue.peek_opt m.m_commits with
     | Some c when c.cm_acks >= f ->
         ignore (Queue.pop m.m_commits);
+        (* Majority replication: decision until the leader's delivery. *)
+        List.iter
+          (fun e ->
+            req_span t ~stage:"mcast.commit" ~gid:m.m_gid ~start:c.cm_decided
+              ~stop:(now t) e.d_payload)
+          c.cm_entries;
         List.iter (deliver_local m) c.cm_entries;
         (* Followers deliver on this notification, so the leader
            delivers first (as in RamCast). *)
@@ -227,7 +257,7 @@ let drain_commits t (m : 'a member) =
   loop ()
 
 (* Turn a decided pending message into a log entry at the leader. *)
-let decide (m : 'a member) (p : 'a pending) =
+let decide t (m : 'a member) (p : 'a pending) =
   let entry =
     {
       d_tmp = Tstamp.make ~clock:p.pn_ts ~uid:p.pn_msg.mi_uid;
@@ -236,6 +266,10 @@ let decide (m : 'a member) (p : 'a pending) =
       d_payload = p.pn_msg.mi_payload;
     }
   in
+  (* Skeen timestamp agreement: submit arrival at this leader until the
+     message left the pending set with its final timestamp. *)
+  req_span t ~stage:"mcast.order" ~gid:m.m_gid ~start:p.pn_arrived
+    ~stop:(now t) entry.d_payload;
   Hashtbl.replace m.m_seen entry.d_uid ();
   Hashtbl.remove m.m_pending entry.d_uid;
   Hashtbl.remove m.m_early entry.d_uid;
@@ -263,10 +297,13 @@ let replicate t (m : 'a member) entries =
         entries
   in
   Array.iter (fun fo -> if fo.m_idx <> m.m_idx then send fo) g.g_members;
-  if t.cfg.batching then Queue.push { cm_entries = entries; cm_acks = 0 } m.m_commits
+  let decided = now t in
+  if t.cfg.batching then
+    Queue.push { cm_entries = entries; cm_acks = 0; cm_decided = decided } m.m_commits
   else
     List.iter
-      (fun e -> Queue.push { cm_entries = [ e ]; cm_acks = 0 } m.m_commits)
+      (fun e ->
+        Queue.push { cm_entries = [ e ]; cm_acks = 0; cm_decided = decided } m.m_commits)
       entries;
   drain_commits t m
 
@@ -288,7 +325,7 @@ let try_dispatch t (m : 'a member) =
   in
   let rec gather acc =
     match min_pending () with
-    | Some p when p.pn_final -> gather (decide m p :: acc)
+    | Some p when p.pn_final -> gather (decide t m p :: acc)
     | Some _ | None -> List.rev acc
   in
   match gather [] with [] -> () | entries -> replicate t m entries
@@ -320,7 +357,10 @@ let propose t (m : 'a member) (mi : 'a msg_info) ~reuse =
         m.m_clock
   in
   m.m_clock <- max m.m_clock ts;
-  let p = { pn_msg = mi; pn_ts = ts; pn_heard = [ m.m_gid ]; pn_final = false } in
+  let p =
+    { pn_msg = mi; pn_ts = ts; pn_heard = [ m.m_gid ]; pn_final = false;
+      pn_arrived = now t }
+  in
   Hashtbl.replace m.m_pending mi.mi_uid p;
   (* Merge proposals that arrived before the submit. *)
   (match Hashtbl.find_opt m.m_early mi.mi_uid with
@@ -498,7 +538,7 @@ let monitor_leader t (m : 'a member) =
 
 (* {1 Construction and client API} *)
 
-let create ?(config = default_config) fab ~size_of ~groups =
+let create ?(config = default_config) ?tracing fab ~size_of ~groups =
   if Array.length groups = 0 then invalid_arg "Ramcast.create: no groups";
   let reg = Fabric.metrics fab in
   let deliveries = Heron_obs.Metrics.counter reg "mcast.deliveries" in
@@ -534,6 +574,7 @@ let create ?(config = default_config) fab ~size_of ~groups =
     size_of;
     groups = Array.mapi mk_group groups;
     links = Hashtbl.create 64;
+    trc = tracing;
     obs =
       {
         ob_submits = Heron_obs.Metrics.counter reg "mcast.submits";

@@ -62,6 +62,7 @@ type 'a t
 
 val create :
   ?config:config ->
+  ?tracing:Heron_obs.Reqtrace.t * ('a -> (int * int) option) ->
   Heron_rdma.Fabric.t ->
   size_of:('a -> int) ->
   groups:Heron_rdma.Fabric.node array array ->
@@ -69,7 +70,14 @@ val create :
 (** [create fab ~size_of ~groups] builds a multicast system whose group
     [g] has members [groups.(g)] (index 0 is the initial leader). Nodes
     must be distinct; each group must be non-empty and of odd size.
-    [size_of] gives the serialized payload size used for timing. *)
+    [size_of] gives the serialized payload size used for timing.
+
+    [tracing] enables request-scoped causal tracing (DESIGN.md §11):
+    the projection reads [(trace id, parent span id)] out of a payload
+    — [None] or a zero trace id for untraced messages — and each
+    destination group's leader emits [mcast.order] (submit arrival to
+    final-timestamp decision) and [mcast.commit] (decision to majority
+    replication and delivery) spans into the collector. *)
 
 val set_deliver : 'a t -> gid:int -> idx:int -> ('a delivery -> unit) -> unit
 (** Install the delivery callback of member [idx] of group [gid]. The

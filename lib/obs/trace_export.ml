@@ -56,21 +56,124 @@ let process_events ~pid name tr =
   let spans = List.map span_event (Trace.spans tr) in
   (meta :: List.rev !tid_meta) @ spans
 
-let perfetto traces =
+(* Request-scoped trees (DESIGN.md §11): one dedicated process, one
+   track per request, one "X" event per span. The args carry the exact
+   causal structure — trace id, span id, parent id and nanosecond
+   endpoints — so [request_spans_of_json] (and [probe explain]) can
+   rebuild the trees from a dump without precision loss. *)
+let request_pid = 1000
+
+let request_events trees =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int request_pid);
+        ("args", Json.Obj [ ("name", Json.String "requests") ]);
+      ]
+  in
+  let track tree =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int request_pid);
+        ("tid", Json.Int tree.Reqtrace.tr_trace);
+        ( "args",
+          Json.Obj
+            [ ("name", Json.String (Printf.sprintf "req %d" tree.Reqtrace.tr_trace)) ]
+        );
+      ]
+  in
+  let span_event (s : Reqtrace.span) =
+    Json.Obj
+      [
+        ("name", Json.String s.Reqtrace.rs_stage);
+        ("ph", Json.String "X");
+        ("pid", Json.Int request_pid);
+        ("tid", Json.Int s.Reqtrace.rs_trace);
+        ("ts", us_of_ns s.Reqtrace.rs_start);
+        ("dur", us_of_ns (s.Reqtrace.rs_end - s.Reqtrace.rs_start));
+        ( "args",
+          Json.Obj
+            ([
+               ("trace", Json.Int s.Reqtrace.rs_trace);
+               ("span", Json.Int s.Reqtrace.rs_id);
+               ("parent", Json.Int s.Reqtrace.rs_parent);
+               ("start_ns", Json.Int s.Reqtrace.rs_start);
+               ("end_ns", Json.Int s.Reqtrace.rs_end);
+             ]
+            @ List.map (fun (k, v) -> (k, Json.String v)) s.Reqtrace.rs_attrs) );
+      ]
+  in
+  meta
+  :: List.map track trees
+  @ List.concat_map
+      (fun tree -> List.map span_event tree.Reqtrace.tr_spans)
+      trees
+
+let perfetto ?(requests = []) traces =
   let events =
     List.concat (List.mapi (fun i (name, tr) -> process_events ~pid:(i + 1) name tr) traces)
+    @ (if requests = [] then [] else request_events requests)
   in
   Json.Obj
     [
       ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ns");
     ]
 
-let perfetto_string traces = Json.to_string (perfetto traces)
+let perfetto_string ?requests traces = Json.to_string (perfetto ?requests traces)
 
-let write_file path traces =
+let write_file ?requests path traces =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Json.to_channel oc (perfetto traces);
+      Json.to_channel oc (perfetto ?requests traces);
       output_char oc '\n')
+
+let request_spans_of_json doc =
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> l
+    | _ -> []
+  in
+  let int_arg args key =
+    match Json.member key args with Some (Json.Int i) -> Some i | _ -> None
+  in
+  List.filter_map
+    (fun ev ->
+      match (Json.member "ph" ev, Json.member "args" ev) with
+      | Some (Json.String "X"), Some (Json.Obj fields as args) -> (
+          match
+            ( int_arg args "trace",
+              int_arg args "span",
+              int_arg args "parent",
+              int_arg args "start_ns",
+              int_arg args "end_ns" )
+          with
+          | Some trace, Some id, Some parent, Some start, Some stop ->
+              let stage =
+                match Json.member "name" ev with
+                | Some (Json.String s) -> s
+                | _ -> "?"
+              in
+              let attrs =
+                List.filter_map
+                  (function k, Json.String v -> Some (k, v) | _ -> None)
+                  fields
+              in
+              Some
+                {
+                  Reqtrace.rs_trace = trace;
+                  rs_id = id;
+                  rs_parent = parent;
+                  rs_stage = stage;
+                  rs_start = start;
+                  rs_end = stop;
+                  rs_attrs = attrs;
+                }
+          | _ -> None)
+      | _ -> None)
+    events

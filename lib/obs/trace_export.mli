@@ -6,16 +6,31 @@
     [execute], [phase4], [state-transfer] each get their own row — and
     one complete ("X") event per span, with the span attributes as event
     [args]. Timestamps are virtual nanoseconds rendered in the format's
-    microsecond unit, so durations read directly in the UI. *)
+    microsecond unit, so durations read directly in the UI.
+
+    Request-scoped trees ({!Reqtrace}) export into the same document as
+    a dedicated "requests" process with one track per request, so a
+    request's whole causal history reads as one row of the UI next to
+    the per-replica component rows. Each request span's [args] carry
+    its exact causal identity ([trace], [span], [parent]) and exact
+    nanosecond endpoints, making the dump self-describing:
+    {!request_spans_of_json} rebuilds the trees from it, which is how
+    [probe explain] re-derives critical paths offline. *)
 
 open Heron_sim
 
-val perfetto : (string * Trace.t) list -> Json.t
+val perfetto : ?requests:Reqtrace.tree list -> (string * Trace.t) list -> Json.t
 (** [perfetto [(replica_name, trace); ...]] builds the trace document.
     Processes are numbered in list order; dropped span counts are
-    reported in the process metadata args. *)
+    reported in the process metadata args. [requests] (e.g.
+    {!Reqtrace.export_trees}) adds the per-request process. *)
 
-val perfetto_string : (string * Trace.t) list -> string
+val perfetto_string : ?requests:Reqtrace.tree list -> (string * Trace.t) list -> string
 
-val write_file : string -> (string * Trace.t) list -> unit
+val write_file : ?requests:Reqtrace.tree list -> string -> (string * Trace.t) list -> unit
 (** Write the document to a file (truncating). *)
+
+val request_spans_of_json : Json.t -> Reqtrace.span list
+(** Recover the request spans embedded in a trace document produced
+    with [requests]; other events are ignored. Feed the result to
+    {!Reqtrace.trees_of_spans}. *)

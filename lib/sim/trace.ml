@@ -43,7 +43,18 @@ let dropped t = max 0 (t.count - t.capacity)
 let render_timeline ?(width = 60) t =
   match spans t with
   | [] -> ""
-  | all ->
+  | unsorted ->
+      (* Deterministic row order regardless of recording interleaving:
+         by start, then end, then name (stable, so full ties keep
+         insertion order). *)
+      let all =
+        List.stable_sort
+          (fun a b ->
+            compare
+              (a.sp_start, a.sp_end, a.sp_name)
+              (b.sp_start, b.sp_end, b.sp_name))
+          unsorted
+      in
       let t0 = List.fold_left (fun acc s -> min acc s.sp_start) max_int all in
       let t1 = List.fold_left (fun acc s -> max acc s.sp_end) min_int all in
       let range = max 1 (t1 - t0) in
@@ -53,12 +64,16 @@ let render_timeline ?(width = 60) t =
       let buf = Buffer.create 1024 in
       List.iter
         (fun s ->
-          let lead = (s.sp_start - t0) * width / range in
+          (* Clamp so every span occupies at least one cell — in
+             particular an instantaneous span at the window's right
+             edge, whose unclamped lead equals [width]. *)
+          let lead = min (width - 1) ((s.sp_start - t0) * width / range) in
           let len = max 1 ((s.sp_end - s.sp_start) * width / range) in
           let len = min len (width - lead) in
           Buffer.add_string buf (Printf.sprintf "%-*s |" name_w s.sp_name);
           Buffer.add_string buf (String.make lead ' ');
-          Buffer.add_string buf (String.make len '#');
+          Buffer.add_string buf
+            (if s.sp_end = s.sp_start then "+" else String.make len '#');
           Buffer.add_string buf (String.make (max 0 (width - lead - len)) ' ');
           Buffer.add_string buf
             (Printf.sprintf "| %s" (Format.asprintf "%a" Time_ns.pp (s.sp_end - s.sp_start)));

@@ -37,6 +37,9 @@ val dropped : t -> int
 val render_timeline : ?width:int -> t -> string
 (** An ASCII timeline: one line per span, bars proportional to duration
     and aligned on the trace's time range, [width] columns of bar area
-    (default 60). Spans lost to the capacity wrap are reported in a
-    trailing line so a wrapped trace never reads as complete. Returns
-    [""] for an empty trace. *)
+    (default 60). Rows are ordered by (start, end, name) — stable across
+    recording interleavings — and an instantaneous span renders as a
+    ["+"] tick (clamped inside the bar area) rather than vanishing.
+    Spans lost to the capacity wrap are reported in a trailing line so a
+    wrapped trace never reads as complete. Returns [""] for an empty
+    trace. *)

@@ -3,6 +3,11 @@
 # (metrics dump + Perfetto trace must be valid JSON).
 #
 #   ./scripts/check.sh
+#   ARTIFACTS=artifacts ./scripts/check.sh   # keep the JSON outputs
+#
+# With ARTIFACTS set, the metrics dump and trace files are written
+# there (and kept) instead of into throwaway tempfiles — CI uploads
+# that directory as the workflow artifact.
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -18,17 +23,29 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench --metrics =="
-metrics=$(mktemp /tmp/heron_metrics.XXXXXX.json)
-trace=$(mktemp /tmp/heron_trace.XXXXXX.json)
-trap 'rm -f "$metrics" "$trace"' EXIT
+if [ -n "${ARTIFACTS:-}" ]; then
+  mkdir -p "$ARTIFACTS"
+  metrics="$ARTIFACTS/bench_smoke_metrics.json"
+  trace="$ARTIFACTS/probe_trace.json"
+  bench_trace="$ARTIFACTS/bench_coord_trace.json"
+else
+  metrics=$(mktemp /tmp/heron_metrics.XXXXXX.json)
+  trace=$(mktemp /tmp/heron_trace.XXXXXX.json)
+  bench_trace=$(mktemp /tmp/heron_bench_trace.XXXXXX.json)
+  trap 'rm -f "$metrics" "$trace" "$bench_trace"' EXIT
+fi
 
+echo "== bench --metrics =="
 dune exec bench/main.exe -- fig8 quick --metrics "$metrics" > /dev/null
 dune exec bin/probe.exe -- jsonlint "$metrics"
 
 echo "== probe trace =="
 dune exec bin/probe.exe -- trace "$trace" > /dev/null
 dune exec bin/probe.exe -- jsonlint "$trace"
+
+echo "== probe explain =="
+# Critical paths of the slowest traced requests, re-read from the dump.
+dune exec bin/probe.exe -- explain "$trace" --top 3
 
 echo "== chaos smoke sweep =="
 # 120 generated fault schedules against the full stack; failures shrink
@@ -42,14 +59,21 @@ dune exec bin/probe.exe -- chaos --seeds 0..99 --reconfig --shrink --corpus test
 
 echo "== bench coord smoke =="
 # Quick coordination bench: multi-partition p50/p99 latency,
-# single-partition throughput and doorbell charges -> BENCH_coord.json.
-dune exec bench/main.exe -- quick coord
+# single-partition throughput, doorbell charges and the per-stage
+# critical-path breakdown (DESIGN.md §11) -> BENCH_coord.json.
+dune exec bench/main.exe -- quick coord --breakdown --trace "$bench_trace"
 dune exec bin/probe.exe -- jsonlint BENCH_coord.json
+dune exec bin/probe.exe -- jsonlint "$bench_trace"
+dune exec bin/probe.exe -- explain "$bench_trace" --top 1 > /dev/null
 
 echo "== bench reconfig smoke =="
 # Shifting-hotspot bench: static placement vs the live rebalancer ->
 # BENCH_reconfig.json (the rebalanced run must win post-shift).
 dune exec bench/main.exe -- quick reconfig
 dune exec bin/probe.exe -- jsonlint BENCH_reconfig.json
+
+if [ -n "${ARTIFACTS:-}" ]; then
+  cp BENCH_coord.json BENCH_reconfig.json "$ARTIFACTS/"
+fi
 
 echo "all checks passed"

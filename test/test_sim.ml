@@ -324,6 +324,50 @@ let test_trace_render () =
   Alcotest.(check string) "empty trace renders empty" ""
     (Trace.render_timeline (Trace.create ()))
 
+let test_trace_render_deterministic_order () =
+  (* Spans recorded in different interleavings render identically: rows
+     are sorted by (start, end, name), not insertion order. *)
+  let fill names =
+    let tr = Trace.create () in
+    List.iter
+      (fun name -> Trace.record tr ~name ~start:(Time_ns.us 5) (Time_ns.us 9))
+      names;
+    Trace.record tr ~name:"later" ~start:(Time_ns.us 9) (Time_ns.us 12);
+    Trace.render_timeline ~width:30 tr
+  in
+  Alcotest.(check string) "equal starts sort by name"
+    (fill [ "alpha"; "beta"; "gamma" ])
+    (fill [ "gamma"; "alpha"; "beta" ]);
+  let first_line = List.hd (String.split_on_char '\n' (fill [ "beta"; "alpha"; "gamma" ])) in
+  check_bool "alphabetical first row" true
+    (String.length first_line >= 5 && String.sub first_line 0 5 = "alpha")
+
+let test_trace_render_zero_duration () =
+  (* An instantaneous span renders as a "+" tick — including at the far
+     right edge of the window, where the unclamped lead equals the bar
+     width. *)
+  let tr = Trace.create () in
+  Trace.record tr ~name:"work" ~start:0 (Time_ns.us 10);
+  Trace.record tr ~name:"tick" ~start:(Time_ns.us 10) (Time_ns.us 10);
+  let out = Trace.render_timeline ~width:20 tr in
+  let tick_line =
+    List.find (fun l -> String.length l >= 4 && String.sub l 0 4 = "tick")
+      (String.split_on_char '\n' out)
+  in
+  check_bool "tick visible at right edge" true (String.contains tick_line '+');
+  check_bool "tick has no bar chars" true (not (String.contains tick_line '#'));
+  (* All rows frame the same bar-area width despite the clamping. *)
+  let widths =
+    List.filter_map
+      (fun l ->
+        match (String.index_opt l '|', String.rindex_opt l '|') with
+        | Some i, Some j when j > i -> Some (j - i)
+        | _ -> None)
+      (String.split_on_char '\n' out)
+  in
+  check_bool "rows equally framed" true
+    (widths <> [] && List.for_all (fun w -> w = List.hd widths) widths)
+
 let tc name f = Alcotest.test_case name `Quick f
 let qc t = QCheck_alcotest.to_alcotest t
 
@@ -365,6 +409,8 @@ let suite =
         tc "ring buffer" test_trace_basics;
         tc "validation" test_trace_validation;
         tc "timeline rendering" test_trace_render;
+        tc "deterministic row order" test_trace_render_deterministic_order;
+        tc "zero-duration tick" test_trace_render_zero_duration;
       ] );
     ( "sim.signal",
       [

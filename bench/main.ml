@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- quick   -- shortened windows/sweeps
      dune exec bench/main.exe -- fig4    -- one experiment
      (also: fig5 fig6 fig7 table1 fig8 ablations micro_kv micro;
-    `coord' and `reconfig' are opt-in only and write BENCH_coord.json /
-    BENCH_reconfig.json)
+    `coord', `pipeline' and `reconfig' are opt-in only and write
+    BENCH_coord.json / BENCH_pipeline.json / BENCH_reconfig.json)
 
    Absolute numbers come from the calibrated simulation (DESIGN.md);
    EXPERIMENTS.md records the paper-vs-measured comparison. *)
@@ -243,6 +243,153 @@ let run_coord ~quick ~breakdown ~trace_file =
          vs %d -> BENCH_coord.json\n"
         (p multi_on 50.) (p multi_on 99.) (p multi_off 50.) (p multi_off 99.)
         (tput single) (tput single_untraced) trace_delta_pct posts_on posts_off)
+
+(* {1 Pipeline ablation bench}
+
+   The compartmentalized replica pipeline (DESIGN.md §12) swept over
+   pipelining on/off × executor pool size × batch size, all on the same
+   2-partition/3-replica deployment and workload as the coord bench so
+   the off cell is directly comparable to BENCH_coord.json's
+   single-partition throughput. Writes BENCH_pipeline.json; scripts/
+   check.sh guards the committed quick-mode baseline against >10%
+   regressions. *)
+
+let run_pipeline ~quick =
+  timed "pipeline" (fun () ->
+      let open Heron_sim in
+      let open Heron_core in
+      let t0 = Unix.gettimeofday () in
+      let warmup = Time_ns.ms (if quick then 2 else 5) in
+      let measure = Time_ns.ms (if quick then 8 else 20) in
+      let run ~pipe ~clients ~gen_dst () =
+        let reg = Heron_obs.Metrics.create () in
+        let eng = Engine.create ~seed:12 () in
+        let cfg =
+          let c = Config.default ~partitions:2 ~replicas:3 in
+          { c with Config.metrics = reg; pipeline = pipe }
+        in
+        let sys = System.create eng ~cfg ~app:Heron_harness.Driver.null_app in
+        System.start sys;
+        let rs =
+          Heron_harness.Driver.run_system ~warmup ~measure ~sys ~clients
+            ~gen:(fun ~client rng ->
+              ignore client;
+              ( { Heron_harness.Driver.nr_dst = []; nr_bytes = 200 },
+                Some (gen_dst rng) ))
+            ()
+        in
+        (rs, reg)
+      in
+      let single rng = [ Random.State.int rng 2 ] in
+      let off = Config.default_pipeline in
+      let on ~executors ~batch =
+        {
+          Config.default_pipeline with
+          Config.pipe_enabled = true;
+          pipe_executors = executors;
+          pipe_batch_size = batch;
+        }
+      in
+      let tput rs = rs.Heron_harness.Driver.rs_throughput_tps in
+      let p rs q =
+        float_of_int (Sample_set.percentile rs.Heron_harness.Driver.rs_latency q)
+        /. 1e3
+      in
+      (* 16 closed-loop clients saturate the monolithic loop (the coord
+         bench's operating point); the pipelined cells also get 64 so
+         batches actually fill. The off64 cell shows the off-pipeline
+         path at the same offered load. *)
+      let rs_off, _ = run ~pipe:off ~clients:16 ~gen_dst:single () in
+      let rs_off64, _ = run ~pipe:off ~clients:64 ~gen_dst:single () in
+      let grid =
+        List.concat_map
+          (fun executors ->
+            List.map
+              (fun batch ->
+                let rs, reg =
+                  run ~pipe:(on ~executors ~batch) ~clients:64 ~gen_dst:single ()
+                in
+                let occ_mean, occ_max =
+                  match
+                    Heron_obs.Metrics.find
+                      (Heron_obs.Metrics.snapshot reg)
+                      "pipeline.batch_occupancy"
+                  with
+                  | Some (Heron_obs.Metrics.Histogram_v h)
+                    when h.Heron_obs.Metrics.hs_count > 0 ->
+                      ( float_of_int h.Heron_obs.Metrics.hs_sum
+                        /. float_of_int h.Heron_obs.Metrics.hs_count,
+                        h.Heron_obs.Metrics.hs_max )
+                  | _ -> (0., 0)
+                in
+                say "  pipeline exec=%d batch=%-2d  %9.0f tps  p50 %6.1f us  \
+                     p99 %6.1f us  occ %.1f/%d\n%!"
+                  executors batch (tput rs) (p rs 50.) (p rs 99.) occ_mean occ_max;
+                (executors, batch, rs, occ_mean, occ_max))
+              [ 1; 8; 32 ])
+          [ 1; 2; 4; 8 ]
+      in
+      (* Multi-partition latency probe: the batcher must not tax the
+         cross-partition path (multi requests bypass it). *)
+      let rs_multi_off, _ = run ~pipe:off ~clients:2 ~gen_dst:(fun _ -> [ 0; 1 ]) () in
+      let rs_multi_on, _ =
+        run
+          ~pipe:(on ~executors:4 ~batch:8)
+          ~clients:2
+          ~gen_dst:(fun _ -> [ 0; 1 ])
+          ()
+      in
+      let best =
+        List.fold_left
+          (fun best cell ->
+            let _, _, rs, _, _ = cell and _, _, brs, _, _ = best in
+            if tput rs > tput brs then cell else best)
+          (List.hd grid) (List.tl grid)
+      in
+      let best_e, best_b, best_rs, _, _ = best in
+      let speedup = if tput rs_off = 0. then 0. else tput best_rs /. tput rs_off in
+      let cell_json (e, b, rs, occ_mean, occ_max) =
+        Heron_obs.Json.Obj
+          [
+            ("executors", Heron_obs.Json.Int e);
+            ("batch", Heron_obs.Json.Int b);
+            ("tput_tps", Heron_obs.Json.Float (tput rs));
+            ("p50_us", Heron_obs.Json.Float (p rs 50.));
+            ("p99_us", Heron_obs.Json.Float (p rs 99.));
+            ("batch_occupancy_mean", Heron_obs.Json.Float occ_mean);
+            ("batch_occupancy_max", Heron_obs.Json.Int occ_max);
+          ]
+      in
+      let json =
+        Heron_obs.Json.Obj
+          [
+            ("bench", Heron_obs.Json.String "pipeline");
+            ("quick", Heron_obs.Json.Bool quick);
+            ("off_tput_tps", Heron_obs.Json.Float (tput rs_off));
+            ("off64_tput_tps", Heron_obs.Json.Float (tput rs_off64));
+            ("best_pipeline_tput_tps", Heron_obs.Json.Float (tput best_rs));
+            ("best_executors", Heron_obs.Json.Int best_e);
+            ("best_batch", Heron_obs.Json.Int best_b);
+            ("speedup_vs_off", Heron_obs.Json.Float speedup);
+            ("multi_p50_us_off", Heron_obs.Json.Float (p rs_multi_off 50.));
+            ("multi_p99_us_off", Heron_obs.Json.Float (p rs_multi_off 99.));
+            ("multi_p50_us_on", Heron_obs.Json.Float (p rs_multi_on 50.));
+            ("multi_p99_us_on", Heron_obs.Json.Float (p rs_multi_on 99.));
+            ("grid", Heron_obs.Json.List (List.map cell_json grid));
+            ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
+          ]
+      in
+      let oc = open_out "BENCH_pipeline.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Heron_obs.Json.to_channel oc json;
+          output_char oc '\n');
+      say
+        "pipeline: off %.0f tps (64c %.0f), best %.0f tps at exec=%d batch=%d \
+         (%.2fx), multi p50 %.1f us off -> %.1f us on -> BENCH_pipeline.json\n"
+        (tput rs_off) (tput rs_off64) (tput best_rs) best_e best_b speedup
+        (p rs_multi_off 50.) (p rs_multi_on 50.))
 
 (* {1 Shifting-hotspot reconfiguration bench}
 
@@ -507,6 +654,7 @@ let () =
   if wants "ablations" then run_ablations ~quick;
   if wants "micro_kv" then run_micro_kv ~quick;
   if List.mem "coord" args then run_coord ~quick ~breakdown ~trace_file;
+  if List.mem "pipeline" args then run_pipeline ~quick;
   if List.mem "reconfig" args then run_reconfig ~quick;
   if wants "micro" then run_micro ();
   Option.iter dump_metrics metrics_file;

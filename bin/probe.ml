@@ -12,9 +12,14 @@
                                                    (exit 0/1)
      dune exec bin/probe.exe -- chaos --seeds 0..500 [--shrink]
                                                 [--corpus DIR] [--reconfig]
+                                                [--pipeline]
                                                 [--replay FILE-OR-DIR]...
                                                 -- chaos-schedule sweep /
                                                    corpus replay (exit 0/1)
+     dune exec bin/probe.exe -- benchguard CURRENT BASELINE --keys a,b
+                                                [--max-regression-pct N]
+                                                -- deterministic bench
+                                                   regression guard (exit 0/1)
      dune exec bin/probe.exe -- reconfig        -- live-repartitioning demo:
                                                    manual migration, then the
                                                    rebalancer spreads a hotspot *)
@@ -216,12 +221,13 @@ let run_chaos args =
   let seed_lo = ref 0 and seed_hi = ref 100 in
   let shrink = ref false in
   let reconfig = ref false in
+  let pipeline = ref false in
   let corpus = ref None in
   let replays = ref [] in
   let usage () =
     Printf.eprintf
       "usage: probe chaos [--seeds A..B] [--shrink] [--corpus DIR] [--reconfig] \
-       [--replay FILE-OR-DIR]...\n";
+       [--pipeline] [--replay FILE-OR-DIR]...\n";
     exit 2
   in
   (* A --replay directory means every *.json inside it, in name order —
@@ -249,6 +255,9 @@ let run_chaos args =
     | "--reconfig" :: rest ->
         reconfig := true;
         parse rest
+    | "--pipeline" :: rest ->
+        pipeline := true;
+        parse rest
     | "--corpus" :: dir :: rest ->
         corpus := Some dir;
         parse rest
@@ -271,7 +280,9 @@ let run_chaos args =
         pr "seed %d FAILED (%s): %s\n" sc.Sched.sc_seed (Cdriver.failure_kind f)
           (Format.asprintf "%a" Cdriver.pp_failure f);
         if !shrink then begin
-          let small = Shrink.minimize sc ~kind:(Cdriver.failure_kind f) in
+          let small =
+            Shrink.minimize ~pipeline:!pipeline sc ~kind:(Cdriver.failure_kind f)
+          in
           pr "  shrunk to %d events:\n%s\n"
             (List.length small.Sched.sc_events)
             (Format.asprintf "    %a" Sched.pp small);
@@ -280,8 +291,14 @@ let run_chaos args =
           | Some dir ->
               (try Unix.mkdir dir 0o755
                with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              (* Pipeline-discovered failures get their own prefix so a
+                 pipeline pin never overwrites a classic-loop pin for
+                 the same seed. *)
               let file =
-                Filename.concat dir (Printf.sprintf "chaos_seed_%d.json" sc.Sched.sc_seed)
+                Filename.concat dir
+                  (Printf.sprintf "chaos_%sseed_%d.json"
+                     (if !pipeline then "pipeline_" else "")
+                     sc.Sched.sc_seed)
               in
               Sched.save small ~file;
               pr "  pinned as %s\n" file
@@ -295,7 +312,7 @@ let run_chaos args =
           exit 2
       | Ok sc ->
           pr "replay %s: %!" file;
-          let outcome = Cdriver.run sc in
+          let outcome = Cdriver.run ~pipeline:!pipeline sc in
           pr "%s\n" (Format.asprintf "%a" Cdriver.pp_outcome outcome);
           report sc outcome)
     (List.rev !replays);
@@ -304,11 +321,12 @@ let run_chaos args =
     let gen = if !reconfig then Sched.generate_reconfig else Sched.generate in
     for seed = !seed_lo to !seed_hi do
       let sc = gen ~seed in
-      report sc (Cdriver.run sc)
+      report sc (Cdriver.run ~pipeline:!pipeline sc)
     done;
-    pr "%d %sschedules (seeds %d..%d), %d failed, %.1fs\n"
+    pr "%d %s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
       (!seed_hi - !seed_lo + 1)
       (if !reconfig then "reconfig " else "")
+      (if !pipeline then "pipelined " else "")
       !seed_lo !seed_hi !failures
       (Unix.gettimeofday () -. t0)
   end;
@@ -378,6 +396,82 @@ let run_reconfig () =
     (c "reconfig.migrations") (c "reconfig.objects_moved")
     (c "reconfig.wrong_epoch_retries")
 
+(* [probe benchguard CURRENT BASELINE --keys a,b [--max-regression-pct N]]:
+   deterministic-regression guard for CI. The simulator is bit-exact
+   per seed, so a committed quick-mode baseline JSON admits an exact
+   comparison: for each listed top-level key (higher-is-better
+   numbers), fail if CURRENT has fallen more than N% (default 10)
+   below BASELINE. Exit 0 when every key holds, 1 on any regression or
+   missing key, 2 on usage errors. *)
+let run_benchguard args =
+  let usage () =
+    Printf.eprintf
+      "usage: probe benchguard CURRENT BASELINE --keys a,b \
+       [--max-regression-pct N]\n";
+    exit 2
+  in
+  let files = ref [] in
+  let keys = ref [] in
+  let max_pct = ref 10.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--keys" :: spec :: rest ->
+        keys := String.split_on_char ',' spec |> List.filter (fun k -> k <> "");
+        parse rest
+    | "--max-regression-pct" :: n :: rest ->
+        (match float_of_string_opt n with
+        | Some f when f >= 0. -> max_pct := f
+        | Some _ | None -> usage ());
+        parse rest
+    | f :: rest when List.length !files < 2 ->
+        files := f :: !files;
+        parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let current, baseline =
+    match List.rev !files with [ c; b ] -> (c, b) | _ -> usage ()
+  in
+  if !keys = [] then usage ();
+  let load file =
+    let ic =
+      try open_in_bin file
+      with Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Heron_obs.Json.parse s with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+  in
+  let cur = load current and base = load baseline in
+  let number file doc key =
+    match Heron_obs.Json.member key doc with
+    | Some (Heron_obs.Json.Float f) -> f
+    | Some (Heron_obs.Json.Int i) -> float_of_int i
+    | Some _ | None ->
+        Printf.eprintf "%s: key %S missing or not a number\n" file key;
+        exit 1
+  in
+  let regressed = ref false in
+  List.iter
+    (fun key ->
+      let c = number current cur key and b = number baseline base key in
+      let floor = b *. (1. -. (!max_pct /. 100.)) in
+      if c < floor then begin
+        regressed := true;
+        pr "benchguard: %s REGRESSED: %.1f < %.1f (baseline %.1f, max -%.1f%%)\n"
+          key c floor b !max_pct
+      end
+      else pr "benchguard: %s ok: %.1f vs baseline %.1f (floor %.1f)\n" key c b floor)
+    !keys;
+  exit (if !regressed then 1 else 0)
+
 let run_jsonlint file =
   let ic =
     try open_in_bin file
@@ -403,9 +497,10 @@ let () =
   | "explain" :: rest -> run_explain rest
   | [ "jsonlint"; file ] -> run_jsonlint file
   | "chaos" :: rest -> run_chaos rest
+  | "benchguard" :: rest -> run_benchguard rest
   | [ "reconfig" ] -> run_reconfig ()
   | _ ->
       Printf.eprintf
         "usage: probe [trace FILE | explain FILE [--top K] | jsonlint FILE | \
-         chaos ... | reconfig]  (no args: calibration)\n";
+         chaos ... | benchguard ... | reconfig]  (no args: calibration)\n";
       exit 2

@@ -147,13 +147,20 @@ let divergence sys =
     (System.replicas sys);
   !problem
 
-let run_exn sc =
+let run_exn ?(pipeline = false) sc =
   let eng = Engine.create ~seed:sc.S.sc_seed () in
   let cfg =
     {
       (Config.default ~partitions:sc.S.sc_partitions ~replicas:sc.S.sc_replicas)
       with
       reconfig = { Config.enabled = true };
+      (* Schedules are config-agnostic: the same pinned JSON replays
+         under both the classic loop and the compartmentalized pipeline
+         (DESIGN.md §12), so the corpus doubles as a pipeline corpus. *)
+      pipeline =
+        (if pipeline then
+           { Config.default_pipeline with Config.pipe_enabled = true }
+         else Config.default_pipeline);
     }
   in
   let sys =
@@ -254,13 +261,14 @@ let run_exn sc =
               | Error detail -> Failed (Not_linearizable { detail })))
   end
 
-let run sc =
+let run ?(pipeline = false) sc =
   Metrics.incr m_runs;
   let verdict =
     (* An exception out of the event loop is protocol code breaking (an
        assert, an array bound), not the harness: capture it as a
        failure so it can be shrunk and pinned like any other. *)
-    try run_exn sc with e -> Failed (Crashed { detail = Printexc.to_string e })
+    try run_exn ~pipeline sc
+    with e -> Failed (Crashed { detail = Printexc.to_string e })
   in
   (match verdict with Failed _ -> Metrics.incr m_failures | Completed _ -> ());
   verdict

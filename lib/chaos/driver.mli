@@ -44,7 +44,12 @@ val failure_kind : failure -> string
     [not_linearizable], [crashed]) — the shrinker's notion of "the same
     bug". *)
 
-val run : Schedule.t -> outcome
+val run : ?pipeline:bool -> Schedule.t -> outcome
+(** [run sc] interprets the schedule against a fresh deployment.
+    [pipeline] (default false) enables the compartmentalized replica
+    pipeline ({!Heron_core.Config.pipeline}, DESIGN.md §12) for the
+    run; schedules themselves are config-agnostic, so the same pinned
+    corpus replays under both configurations. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

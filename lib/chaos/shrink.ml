@@ -2,9 +2,9 @@ module Metrics = Heron_obs.Metrics
 
 let m_steps = Metrics.counter Metrics.default "chaos.shrink_steps"
 
-let reproduces sc events ~kind =
+let reproduces ~pipeline sc events ~kind =
   Metrics.incr m_steps;
-  match Driver.run { sc with Schedule.sc_events = events } with
+  match Driver.run ~pipeline { sc with Schedule.sc_events = events } with
   | Driver.Failed f -> String.equal (Driver.failure_kind f) kind
   | Driver.Completed _ -> false
 
@@ -25,7 +25,7 @@ let chunks n l =
   in
   go 0 l []
 
-let minimize sc ~kind =
+let minimize ?(pipeline = false) sc ~kind =
   let rec ddmin events n =
     let len = List.length events in
     if len <= 1 then events
@@ -37,7 +37,8 @@ let minimize sc ~kind =
         | [] -> None
         | chunk :: after ->
             let complement = List.concat (List.rev_append before after) in
-            if complement <> [] && reproduces sc complement ~kind then Some complement
+            if complement <> [] && reproduces ~pipeline sc complement ~kind then
+              Some complement
             else try_complements (chunk :: before) after
       in
       match try_complements [] parts with
@@ -45,5 +46,5 @@ let minimize sc ~kind =
       | None -> if n >= len then events else ddmin events (min len (2 * n))
   in
   let events = sc.Schedule.sc_events in
-  if events = [] || not (reproduces sc events ~kind) then sc
+  if events = [] || not (reproduces ~pipeline sc events ~kind) then sc
   else { sc with Schedule.sc_events = ddmin events 2 }

@@ -16,6 +16,16 @@ type costs = {
 
 type reconfig = { enabled : bool }
 
+type pipeline = {
+  pipe_enabled : bool;
+  pipe_batching : bool;
+  pipe_batch_size : int;
+  pipe_flush_timeout_ns : int;
+  pipe_executors : int;
+  pipe_queue_cap : int;
+  pipe_coord_writer : bool;
+}
+
 type t = {
   partitions : int;
   replicas : int;
@@ -30,6 +40,7 @@ type t = {
   addr_query_ns : int;
   coord_batching : bool;
   reconfig : reconfig;
+  pipeline : pipeline;
   metrics : Heron_obs.Metrics.t;
   reqtrace : Heron_obs.Reqtrace.t option;
 }
@@ -51,6 +62,17 @@ let default_costs =
 
 let default_reconfig = { enabled = false }
 
+let default_pipeline =
+  {
+    pipe_enabled = false;
+    pipe_batching = true;
+    pipe_batch_size = 8;
+    pipe_flush_timeout_ns = 15_000;
+    pipe_executors = 4;
+    pipe_queue_cap = 64;
+    pipe_coord_writer = true;
+  }
+
 let default ~partitions ~replicas =
   if partitions <= 0 then invalid_arg "Config.default: partitions must be positive";
   if replicas <= 0 || replicas mod 2 = 0 then
@@ -69,6 +91,7 @@ let default ~partitions ~replicas =
     addr_query_ns = 4_000;
     coord_batching = true;
     reconfig = default_reconfig;
+    pipeline = default_pipeline;
     metrics = Heron_obs.Metrics.default;
     reqtrace = None;
   }

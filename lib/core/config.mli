@@ -56,6 +56,39 @@ type reconfig = {
           system: no redirects, no counters, per-partition regions. *)
 }
 
+type pipeline = {
+  pipe_enabled : bool;
+      (** master switch for the compartmentalized replica pipeline
+          (DESIGN.md §12): client-side batcher, replica sequencer with a
+          bounded execution queue, executor-fiber pool and asynchronous
+          coordination writer. Off (the default) preserves the
+          monolithic delivery loop byte-for-byte. *)
+  pipe_batching : bool;
+      (** accumulate single-partition client requests per destination
+          partition and submit them as one multicast entry ([Replica.Batch])
+          — one Skeen round, one log replication write and one commit per
+          batch instead of per command. Multi-partition requests always
+          bypass the batcher: they barrier every destination's pipeline,
+          so queueing them for a batch window only adds latency. *)
+  pipe_batch_size : int;  (** flush a destination's batch at this many requests *)
+  pipe_flush_timeout_ns : int;
+      (** flush an incomplete batch this many virtual ns after its first
+          request arrived, bounding queueing delay at low load *)
+  pipe_executors : int;
+      (** executor fibers per replica draining the admitted-request
+          queue; like [workers], only non-conflicting single-partition
+          requests overlap — multi-partition requests, serial-hint
+          payloads and migrations are barriers *)
+  pipe_queue_cap : int;
+      (** bound on the sequencer→executor queue; the sequencer stalls
+          admission (backpressure into the multicast inbox) when full *)
+  pipe_coord_writer : bool;
+      (** route outbound coordination [announce] fan-outs through a
+          dedicated writer fiber so the sequencer and executors never
+          serialize on QP post charges; safe because coordination writes
+          to dead peers are dropped, never raised *)
+}
+
 type t = {
   partitions : int;
   replicas : int;  (** per partition; odd *)
@@ -88,6 +121,9 @@ type t = {
           cost model (the ablation in EXPERIMENTS.md compares both). *)
   reconfig : reconfig;
       (** live repartitioning (DESIGN.md §10); disabled by default *)
+  pipeline : pipeline;
+      (** compartmentalized replica pipeline (DESIGN.md §12); disabled
+          by default *)
   metrics : Heron_obs.Metrics.t;
       (** registry the whole deployment records into: the fabric's RDMA
           verb series, the multicast counters and the replicas'
@@ -107,6 +143,11 @@ type t = {
 
 val default_costs : costs
 val default_reconfig : reconfig
+
+val default_pipeline : pipeline
+(** Disabled; when [pipe_enabled] is flipped on, the defaults are
+    batching with size 8 / 15us flush, 4 executors, a 64-entry queue
+    and the asynchronous coordination writer. *)
 
 val default : partitions:int -> replicas:int -> t
 (** Grace-based phase-4 coordination, majority phase-2, calibrated

@@ -23,7 +23,22 @@ type migration = {
   mg_done : part:int -> unit;
 }
 
-type ('req, 'resp) msg = Req of ('req, 'resp) request | Migrate of migration
+type ('req, 'resp) msg =
+  | Req of ('req, 'resp) request
+  | Migrate of migration
+  | Batch of ('req, 'resp) request array
+      (* one multicast entry carrying several same-destination requests
+         (the pipeline batcher, DESIGN.md §12): ordered once, expanded
+         into per-request timestamps (base uid + slot) at delivery *)
+
+(* Slot [i] of a batch entry executes at the entry's clock with the
+   i-th uid of the contiguous range the submitter reserved
+   (Ramcast.multicast ~slots): distinct per request — dual versioning
+   needs distinct tags — and identically ordered at every delivering
+   group. *)
+let batch_slot_tmp (base : Tstamp.t) i =
+  if i = 0 then base
+  else Tstamp.make ~clock:base.Tstamp.clock ~uid:(base.Tstamp.uid + i)
 
 (* Registry handles (resolved once per replica at creation; replicas of
    one deployment share the config's registry, so these accumulate
@@ -83,6 +98,10 @@ let make_stats () =
     st_transfers_served = 0;
   }
 
+(* One outbound coordination fan-out, queued to the coordination-writer
+   fiber when Config.pipeline.pipe_coord_writer is on. *)
+type coord_job = { cj_tmp : Tstamp.t; cj_dst : int list; cj_stage : int }
+
 type ('req, 'resp) t = {
   r_cfg : Config.t;
   r_app : ('req, 'resp) App.t;
@@ -120,6 +139,9 @@ type ('req, 'resp) t = {
   mutable r_recovering : int;  (* state transfers currently in flight *)
   mutable r_exec_delay : Time_ns.t;  (* failure injection: extra exec cost *)
   mutable r_tracer : Trace.t option;
+  mutable r_coord_mb : coord_job Mailbox.t option;
+      (* when set, [announce] hands fan-outs to the coordination-writer
+         fiber instead of posting inline (pipeline mode) *)
   r_eng : Engine.t;
 }
 
@@ -162,6 +184,7 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_recovering = 0;
     r_exec_delay = 0;
     r_tracer = None;
+    r_coord_mb = None;
     r_eng = Fabric.engine (Fabric.fabric_of node);
   }
 
@@ -329,7 +352,7 @@ let wait_mem_deadline r pred ~deadline =
    list — one [post_ns] per coalesce group plus one [coord_post_ns]
    WQE-preparation charge per fan-out — instead of one full post per
    destination replica. *)
-let announce r ~tmp ~dst ~stage =
+let announce_now r ~tmp ~dst ~stage =
   let payload = Coord_mem.encode_slot tmp ~stage in
   if r.r_cfg.Config.coord_batching then begin
     let batch = Qp.Doorbell.create () in
@@ -365,6 +388,32 @@ let announce r ~tmp ~dst ~stage =
           end
         done)
       dst
+
+(* With the pipeline's coordination writer running, hand the fan-out to
+   it; otherwise post inline. Delegation is safe because the writer is a
+   single fiber draining a FIFO — per-replica slot announcements stay in
+   submission order, which the [Coord_mem.reached] monotonicity argument
+   relies on — and because coordination posts to dead peers are dropped,
+   never raised, so the writer cannot die on a crash. *)
+let announce r ~tmp ~dst ~stage =
+  match r.r_coord_mb with
+  | Some mb -> Mailbox.send mb { cj_tmp = tmp; cj_dst = dst; cj_stage = stage }
+  | None -> announce_now r ~tmp ~dst ~stage
+
+(* Coordination-writer stage (DESIGN.md §12): owns every outbound
+   announce so the sequencer and executors never pay [coord_post_ns] or
+   doorbell charges on their own critical path. After each fan-out it
+   broadcasts this node's memory signal: the local slot write in
+   [announce_now] is a raw store, and the fiber inside [coordinate] that
+   queued the job may already be waiting on its own slot. *)
+let coord_writer_loop r mb =
+  let rec loop () =
+    let job = Mailbox.recv mb in
+    announce_now r ~tmp:job.cj_tmp ~dst:job.cj_dst ~stage:job.cj_stage;
+    Signal.broadcast (Fabric.mem_signal r.r_node);
+    loop ()
+  in
+  loop ()
 
 (* One coordination phase: announce, wait for a majority per involved
    partition, then apply the configured tail policy. Wait_all feeds the
@@ -1036,39 +1085,57 @@ let redirect r req =
   Heron_obs.Metrics.incr r.r_obs.ob_redirects;
   send_reply r req (Redirect { epoch = Placement.view_epoch r.r_view })
 
-let handle_delivery r (dv : ('req, 'resp) msg Ramcast.delivery) =
-  let tmp = dv.Ramcast.d_tmp in
+(* Record a delivery unit as covered by a state transfer (Algorithm 1
+   line 3). Batches check per slot: a transfer can cover a prefix of a
+   batch's uid range while the replica still owes the suffix. *)
+let skip_unit r ~tmp =
+  if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
+  r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
+  Heron_obs.Metrics.incr r.r_obs.ob_skipped
+
+let handle_req r req ~tmp ~dst =
+  if Tstamp.(tmp <= r.r_last_req) then skip_unit r ~tmp
+  else begin
+    r.r_last_req <- tmp;
+    let on_applied () =
+      if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp
+    in
+    trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
+    req_span r req ~stage:"ordering" ~start:req.rq_submitted (Engine.now r.r_eng);
+    Heron_stats.Sample_set.add r.r_stats.st_ordering
+      (Engine.now r.r_eng - req.rq_submitted);
+    if stale_routed r req then begin
+      on_applied ();
+      redirect r req
+    end
+    else
+      match dst with
+      | [ _ ] -> exec_single r req ~tmp ~on_applied
+      | dst -> exec_multi r req ~tmp ~dst ~on_applied
+  end
+
+let handle_mig r mg ~tmp ~dst =
   if Tstamp.(tmp <= r.r_last_req) then begin
-    (* Covered by a state transfer (Algorithm 1 line 3). *)
-    if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
-    r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
-    Heron_obs.Metrics.incr r.r_obs.ob_skipped;
-    match dv.Ramcast.d_payload with
-    | Migrate mg -> notify_migration_done r mg
-    | Req _ -> ()
+    skip_unit r ~tmp;
+    notify_migration_done r mg
   end
   else begin
     r.r_last_req <- tmp;
     let on_applied () =
       if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp
     in
-    match dv.Ramcast.d_payload with
-    | Migrate mg -> exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst ~on_applied
-    | Req req ->
-        trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
-        req_span r req ~stage:"ordering" ~start:req.rq_submitted
-          (Engine.now r.r_eng);
-        Heron_stats.Sample_set.add r.r_stats.st_ordering
-          (Engine.now r.r_eng - req.rq_submitted);
-        if stale_routed r req then begin
-          on_applied ();
-          redirect r req
-        end
-        else
-          (match dv.Ramcast.d_dst with
-          | [ _ ] -> exec_single r req ~tmp ~on_applied
-          | dst -> exec_multi r req ~tmp ~dst ~on_applied)
+    exec_migration r mg ~tmp ~dst ~on_applied
   end
+
+let handle_delivery r (dv : ('req, 'resp) msg Ramcast.delivery) =
+  let dst = dv.Ramcast.d_dst in
+  match dv.Ramcast.d_payload with
+  | Req req -> handle_req r req ~tmp:dv.Ramcast.d_tmp ~dst
+  | Migrate mg -> handle_mig r mg ~tmp:dv.Ramcast.d_tmp ~dst
+  | Batch reqs ->
+      Array.iteri
+        (fun i req -> handle_req r req ~tmp:(batch_slot_tmp dv.Ramcast.d_tmp i) ~dst)
+        reqs
 
 (* {1 Parallel execution of single-partition requests (Section III-D.1)}
 
@@ -1125,79 +1192,252 @@ let parallel_loop r =
     Hashtbl.replace completed tmp ();
     advance_frontier ()
   in
+  let skip tmp mg_opt =
+    Queue.push tmp order;
+    mark_applied tmp ();
+    r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
+    Heron_obs.Metrics.incr r.r_obs.ob_skipped;
+    match mg_opt with Some mg -> notify_migration_done r mg | None -> ()
+  in
+  let sequence_req tmp dst req =
+    if Tstamp.(tmp <= r.r_last_req) then skip tmp None
+    else begin
+      r.r_last_req <- tmp;
+      req_span r req ~stage:"ordering" ~start:req.rq_submitted
+        (Engine.now r.r_eng);
+      Heron_stats.Sample_set.add r.r_stats.st_ordering
+        (Engine.now r.r_eng - req.rq_submitted);
+      (* Routing decision before any suspension point: admission
+         waits must not let a concurrently adopted placement view
+         change the verdict peers reached at this position of the
+         order. *)
+      if stale_routed r req then begin
+        Queue.push tmp order;
+        mark_applied tmp ();
+        redirect r req
+      end
+      else
+        match dst with
+        | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
+            let fp = footprint_of r req in
+            (* Admission: capacity first (O(1)), then the conflict index
+               — O(own footprint) regardless of how many requests are in
+               flight. A blocked request re-checks once per completion
+               (the only event that can unblock it), never spinning over
+               the in-flight set. *)
+            let blocked = ref false in
+            let adm0 = Engine.now r.r_eng in
+            Signal.wait_until done_sig (fun () ->
+                let ok = !inflight < workers && Conflict_index.can_admit cidx fp in
+                if not ok then blocked := true;
+                ok);
+            if !blocked then begin
+              Heron_obs.Metrics.incr blocked_ctr;
+              req_span r req ~stage:"conflict-wait" ~start:adm0
+                (Engine.now r.r_eng)
+            end;
+            Conflict_index.admit cidx fp;
+            incr inflight;
+            Queue.push tmp order;
+            Fabric.spawn_on r.r_node (fun () ->
+                exec_single r req ~tmp ~on_applied:(mark_applied tmp);
+                Conflict_index.retire cidx fp;
+                decr inflight;
+                Signal.broadcast done_sig)
+        | dst ->
+            (* Barrier: multi-partition and serial-hinted requests run
+               alone. *)
+            Signal.wait_until done_sig (fun () -> !inflight = 0);
+            Queue.push tmp order;
+            (match dst with
+            | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)
+            | _ -> exec_multi r req ~tmp ~dst ~on_applied:(mark_applied tmp))
+    end
+  in
   let rec loop () =
     let dv = Mailbox.recv r.r_inbox in
     let tmp = dv.Ramcast.d_tmp in
-    (if Tstamp.(tmp <= r.r_last_req) then begin
-       Queue.push tmp order;
-       mark_applied tmp ();
-       r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
-       Heron_obs.Metrics.incr r.r_obs.ob_skipped;
-       match dv.Ramcast.d_payload with
-       | Migrate mg -> notify_migration_done r mg
-       | Req _ -> ()
-     end
-     else begin
-       r.r_last_req <- tmp;
-       match dv.Ramcast.d_payload with
-       | Migrate mg ->
-           (* Migrations act as barriers, like multi-partition
-              requests. *)
-           Signal.wait_until done_sig (fun () -> !inflight = 0);
-           Queue.push tmp order;
-           exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
-             ~on_applied:(mark_applied tmp)
-       | Req req -> (
-           req_span r req ~stage:"ordering" ~start:req.rq_submitted
-             (Engine.now r.r_eng);
-           Heron_stats.Sample_set.add r.r_stats.st_ordering
-             (Engine.now r.r_eng - req.rq_submitted);
-           (* Routing decision before any suspension point: admission
-              waits must not let a concurrently adopted placement view
-              change the verdict peers reached at this position of the
-              order. *)
-           if stale_routed r req then begin
-             Queue.push tmp order;
-             mark_applied tmp ();
-             redirect r req
-           end
-           else
-             match dv.Ramcast.d_dst with
-             | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
-                 let fp = footprint_of r req in
-                 (* Admission: capacity first (O(1)), then the conflict index
-                    — O(own footprint) regardless of how many requests are in
-                    flight. A blocked request re-checks once per completion
-                    (the only event that can unblock it), never spinning over
-                    the in-flight set. *)
-                 let blocked = ref false in
-                 let adm0 = Engine.now r.r_eng in
-                 Signal.wait_until done_sig (fun () ->
-                     let ok = !inflight < workers && Conflict_index.can_admit cidx fp in
-                     if not ok then blocked := true;
-                     ok);
-                 if !blocked then begin
-                   Heron_obs.Metrics.incr blocked_ctr;
-                   req_span r req ~stage:"conflict-wait" ~start:adm0
-                     (Engine.now r.r_eng)
-                 end;
-                 Conflict_index.admit cidx fp;
-                 incr inflight;
-                 Queue.push tmp order;
-                 Fabric.spawn_on r.r_node (fun () ->
-                     exec_single r req ~tmp ~on_applied:(mark_applied tmp);
-                     Conflict_index.retire cidx fp;
-                     decr inflight;
-                     Signal.broadcast done_sig)
-             | dst ->
-                 (* Barrier: multi-partition and serial-hinted requests run
-                    alone. *)
-                 Signal.wait_until done_sig (fun () -> !inflight = 0);
-                 Queue.push tmp order;
-                 (match dst with
-                 | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)
-                 | _ -> exec_multi r req ~tmp ~dst ~on_applied:(mark_applied tmp)))
-     end);
+    (match dv.Ramcast.d_payload with
+    | Migrate mg ->
+        if Tstamp.(tmp <= r.r_last_req) then skip tmp (Some mg)
+        else begin
+          r.r_last_req <- tmp;
+          (* Migrations act as barriers, like multi-partition
+             requests. *)
+          Signal.wait_until done_sig (fun () -> !inflight = 0);
+          Queue.push tmp order;
+          exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
+            ~on_applied:(mark_applied tmp)
+        end
+    | Req req -> sequence_req tmp dv.Ramcast.d_dst req
+    | Batch reqs ->
+        Array.iteri
+          (fun i req -> sequence_req (batch_slot_tmp tmp i) dv.Ramcast.d_dst req)
+          reqs);
+    loop ()
+  in
+  loop ()
+
+(* {1 Compartmentalized pipeline (DESIGN.md §12)}
+
+   The delivery path split into stages connected by bounded queues: the
+   {e sequencer} (this loop) drains committed deliveries in order,
+   expands batches and admits non-conflicting single-partition requests
+   into a bounded execution queue; a pool of {e executor} fibers drains
+   that queue concurrently; the {e coordination writer} (spawned here,
+   see [coord_writer_loop]) owns outbound announce traffic. The
+   [order]/[completed] frontier is the same as [parallel_loop]'s:
+   [r_last_applied] only advances over a prefix of the delivery order no
+   matter how executors interleave. Multi-partition requests,
+   serial-hinted payloads and migrations remain barriers — concurrent
+   Phase-2/4 announcements from different executors could regress a
+   replica's single coordination slot (peers rely on slot monotonicity),
+   and a migration must observe a frozen executor pool so the Phase-2
+   cut it fixes is request-boundary consistent. *)
+
+type exec_job = {
+  ej_tmp : Tstamp.t;
+  ej_fp : Conflict_index.footprint;
+  ej_enq : Time_ns.t;  (* admission instant, for exec.queue spans *)
+}
+
+let pipeline_loop r =
+  let pl = r.r_cfg.Config.pipeline in
+  let reg = r.r_cfg.Config.metrics in
+  let qcap = max 1 pl.Config.pipe_queue_cap in
+  let cidx = Conflict_index.create () in
+  Conflict_index.attach_metrics cidx reg;
+  let blocked_ctr = Heron_obs.Metrics.counter reg "sched.conflict_blocked" in
+  let q_depth = Heron_obs.Metrics.histogram reg "pipeline.exec_queue_depth" in
+  let q_wait = Heron_obs.Metrics.histogram reg "pipeline.exec_queue_wait_ns" in
+  if pl.Config.pipe_coord_writer then begin
+    let mb = Mailbox.create () in
+    r.r_coord_mb <- Some mb;
+    Fabric.spawn_on r.r_node (fun () -> coord_writer_loop r mb)
+  end;
+  let inflight = ref 0 in
+  (* admitted (queued or executing) jobs; barriers wait for 0 *)
+  let done_sig = Signal.create () in
+  let job_sig = Signal.create () in
+  let jobs = Queue.create () in
+  let order : Tstamp.t Queue.t = Queue.create () in
+  let completed : (Tstamp.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let advance_frontier () =
+    let rec go () =
+      match Queue.peek_opt order with
+      | Some tmp when Hashtbl.mem completed tmp ->
+          Hashtbl.remove completed tmp;
+          ignore (Queue.pop order);
+          if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  let mark_applied tmp () =
+    Hashtbl.replace completed tmp ();
+    advance_frontier ()
+  in
+  let executor () =
+    let rec run () =
+      Signal.wait_until job_sig (fun () -> not (Queue.is_empty jobs));
+      let req, j = Queue.pop jobs in
+      (* A queue slot freed: the sequencer may be blocked on capacity. *)
+      Signal.broadcast done_sig;
+      let t_deq = Engine.now r.r_eng in
+      Heron_obs.Metrics.observe q_wait (t_deq - j.ej_enq);
+      if t_deq > j.ej_enq then
+        req_span r req ~stage:"exec.queue" ~start:j.ej_enq t_deq;
+      exec_single r req ~tmp:j.ej_tmp ~on_applied:(mark_applied j.ej_tmp);
+      Conflict_index.retire cidx j.ej_fp;
+      decr inflight;
+      Signal.broadcast done_sig;
+      run ()
+    in
+    run ()
+  in
+  for _ = 1 to max 1 pl.Config.pipe_executors do
+    Fabric.spawn_on r.r_node executor
+  done;
+  let skip tmp mg_opt =
+    Queue.push tmp order;
+    mark_applied tmp ();
+    r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
+    Heron_obs.Metrics.incr r.r_obs.ob_skipped;
+    match mg_opt with Some mg -> notify_migration_done r mg | None -> ()
+  in
+  let barrier () = Signal.wait_until done_sig (fun () -> !inflight = 0) in
+  let sequence_req tmp dst req =
+    if Tstamp.(tmp <= r.r_last_req) then skip tmp None
+    else begin
+      r.r_last_req <- tmp;
+      req_span r req ~stage:"ordering" ~start:req.rq_submitted
+        (Engine.now r.r_eng);
+      Heron_stats.Sample_set.add r.r_stats.st_ordering
+        (Engine.now r.r_eng - req.rq_submitted);
+      (* Routing decision before any suspension point, as in
+         [parallel_loop]. *)
+      if stale_routed r req then begin
+        Queue.push tmp order;
+        mark_applied tmp ();
+        redirect r req
+      end
+      else
+        match dst with
+        | [ _ ] when not (r.r_app.App.serial_hint req.rq_payload) ->
+            let fp = footprint_of r req in
+            (* Admission: queue capacity (backpressure into the
+               multicast inbox), then the conflict index. Executor
+               concurrency is bounded by the pool size itself. *)
+            let blocked = ref false in
+            let adm0 = Engine.now r.r_eng in
+            Signal.wait_until done_sig (fun () ->
+                let ok =
+                  Queue.length jobs < qcap && Conflict_index.can_admit cidx fp
+                in
+                if not ok then blocked := true;
+                ok);
+            if !blocked then begin
+              Heron_obs.Metrics.incr blocked_ctr;
+              req_span r req ~stage:"conflict-wait" ~start:adm0
+                (Engine.now r.r_eng)
+            end;
+            Conflict_index.admit cidx fp;
+            incr inflight;
+            Queue.push tmp order;
+            Queue.push
+              (req, { ej_tmp = tmp; ej_fp = fp; ej_enq = Engine.now r.r_eng })
+              jobs;
+            Heron_obs.Metrics.observe q_depth (Queue.length jobs);
+            Signal.broadcast job_sig
+        | dst ->
+            barrier ();
+            Queue.push tmp order;
+            (match dst with
+            | [ _ ] -> exec_single r req ~tmp ~on_applied:(mark_applied tmp)
+            | _ -> exec_multi r req ~tmp ~dst ~on_applied:(mark_applied tmp))
+    end
+  in
+  let rec loop () =
+    let dv = Mailbox.recv r.r_inbox in
+    let tmp = dv.Ramcast.d_tmp in
+    (match dv.Ramcast.d_payload with
+    | Migrate mg ->
+        if Tstamp.(tmp <= r.r_last_req) then skip tmp (Some mg)
+        else begin
+          r.r_last_req <- tmp;
+          (* Migration freeze: drain the executor pool before fixing the
+             Phase-2 cut. *)
+          barrier ();
+          Queue.push tmp order;
+          exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
+            ~on_applied:(mark_applied tmp)
+        end
+    | Req req -> sequence_req tmp dv.Ramcast.d_dst req
+    | Batch reqs ->
+        Array.iteri
+          (fun i req -> sequence_req (batch_slot_tmp tmp i) dv.Ramcast.d_dst req)
+          reqs);
     loop ()
   in
   loop ()
@@ -1208,7 +1448,8 @@ let start r =
   if r.r_cfg.Config.workers < 1 then
     invalid_arg "Replica.start: workers must be at least 1";
   Fabric.spawn_on r.r_node (fun () ->
-      if r.r_cfg.Config.workers = 1 then begin
+      if r.r_cfg.Config.pipeline.Config.pipe_enabled then pipeline_loop r
+      else if r.r_cfg.Config.workers = 1 then begin
         let rec loop () =
           let dv = Mailbox.recv r.r_inbox in
           handle_delivery r dv;

@@ -50,7 +50,18 @@ type migration = {
     each replica installs [mg_epoch] at the command's position in the
     delivery order. Built by {!Heron_reconfig.Migration}. *)
 
-type ('req, 'resp) msg = Req of ('req, 'resp) request | Migrate of migration
+type ('req, 'resp) msg =
+  | Req of ('req, 'resp) request
+  | Migrate of migration
+  | Batch of ('req, 'resp) request array
+      (** several same-destination single-partition requests submitted
+          as one multicast entry by the pipeline batcher (DESIGN.md
+          §12): one Skeen round per batch. The submitter must reserve
+          one uid per request ([Ramcast.multicast ~slots]); delivery
+          expands slot [i] to timestamp [(clock, uid + i)], so every
+          request keeps a distinct timestamp (dual versioning requires
+          it) and every destination group expands identically. *)
+
 (** What travels the atomic multicast. *)
 
 type stats = {

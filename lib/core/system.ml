@@ -2,6 +2,25 @@ open Heron_sim
 open Heron_rdma
 open Heron_multicast
 
+(* One destination partition's open batch (pipeline batcher, DESIGN.md
+   §12): requests stack newest-first with their enqueue instants until a
+   size or timeout flush submits them as one multicast entry. *)
+type ('req, 'resp) batch_acc = {
+  mutable bb_reqs : (('req, 'resp) Replica.request * Time_ns.t) list;
+  mutable bb_n : int;
+  mutable bb_gen : int;  (* flush generation; invalidates stale timers *)
+}
+
+type ('req, 'resp) batcher = {
+  ba_node : Fabric.node;
+  ba_qps : (int, Qp.t) Hashtbl.t;  (* by client node id *)
+  ba_accs : (int, ('req, 'resp) batch_acc) Hashtbl.t;  (* by partition *)
+  ba_occupancy : Heron_obs.Metrics.histogram;  (* pipeline.batch_occupancy *)
+  ba_wait : Heron_obs.Metrics.histogram;  (* pipeline.batch_wait_ns *)
+  ba_full : Heron_obs.Metrics.counter;  (* pipeline.batch_flush_full *)
+  ba_timeout : Heron_obs.Metrics.counter;  (* pipeline.batch_flush_timeout *)
+}
+
 type ('req, 'resp) t = {
   sys_eng : Engine.t;
   sys_fab : Fabric.t;
@@ -12,6 +31,7 @@ type ('req, 'resp) t = {
   sys_dir : Placement.t;
   sys_views : (int, Placement.view) Hashtbl.t;  (* per client node id *)
   sys_retries : Heron_obs.Metrics.counter;  (* reconfig.wrong_epoch_retries *)
+  sys_batcher : ('req, 'resp) batcher option;
   mutable sys_clients : int;
 }
 
@@ -30,6 +50,11 @@ let directory t = t.sys_dir
 let msg_size app = function
   | Replica.Req rq -> app.App.req_size rq.Replica.rq_payload + 32
   | Replica.Migrate mg -> 48 + (16 * List.length mg.Replica.mg_oids)
+  | Replica.Batch reqs ->
+      (* Per-request payloads and headers plus one batch header. *)
+      Array.fold_left
+        (fun acc rq -> acc + app.App.req_size rq.Replica.rq_payload + 32)
+        16 reqs
 
 (* Registered-store region size needed by one partition: cells of all
    registered objects homed (or replicated) there. Under live
@@ -90,8 +115,15 @@ let create eng ~cfg ~app =
         ( col,
           function
           | Replica.Req rq when rq.Replica.rq_trace <> 0 ->
-              Some (rq.Replica.rq_trace, rq.Replica.rq_parent)
-          | Replica.Req _ | Replica.Migrate _ -> None ))
+              [ (rq.Replica.rq_trace, rq.Replica.rq_parent) ]
+          | Replica.Batch reqs ->
+              Array.fold_right
+                (fun rq acc ->
+                  if rq.Replica.rq_trace <> 0 then
+                    (rq.Replica.rq_trace, rq.Replica.rq_parent) :: acc
+                  else acc)
+                reqs []
+          | Replica.Req _ | Replica.Migrate _ -> [] ))
       cfg.Config.reqtrace
   in
   let sys_mcast =
@@ -111,11 +143,28 @@ let create eng ~cfg ~app =
   let sys_dir = Placement.create () in
   if cfg.Config.reconfig.Config.enabled then
     Placement.attach_metrics sys_dir cfg.Config.metrics;
+  let sys_batcher =
+    let pl = cfg.Config.pipeline in
+    if pl.Config.pipe_enabled && pl.Config.pipe_batching then begin
+      let reg = cfg.Config.metrics in
+      Some
+        {
+          ba_node = Fabric.add_node fab ~name:"batcher";
+          ba_qps = Hashtbl.create 16;
+          ba_accs = Hashtbl.create 8;
+          ba_occupancy = Heron_obs.Metrics.histogram reg "pipeline.batch_occupancy";
+          ba_wait = Heron_obs.Metrics.histogram reg "pipeline.batch_wait_ns";
+          ba_full = Heron_obs.Metrics.counter reg "pipeline.batch_flush_full";
+          ba_timeout = Heron_obs.Metrics.counter reg "pipeline.batch_flush_timeout";
+        }
+    end
+    else None
+  in
   { sys_eng = eng; sys_fab = fab; sys_cfg = cfg; sys_app = app; sys_replicas;
     sys_mcast; sys_dir; sys_views = Hashtbl.create 8;
     sys_retries =
       Heron_obs.Metrics.counter cfg.Config.metrics "reconfig.wrong_epoch_retries";
-    sys_clients = 0 }
+    sys_batcher; sys_clients = 0 }
 
 let start t =
   Ramcast.start t.sys_mcast;
@@ -168,6 +217,91 @@ let client_view t node =
       Hashtbl.replace t.sys_views key v;
       v
 
+(* {1 Pipeline batcher (DESIGN.md §12)}
+
+   Single-partition requests accumulate per destination partition and go
+   out as one [Replica.Batch] multicast entry — one Skeen round, one
+   replication write and one commit per batch instead of per command. A
+   batch flushes when it reaches [pipe_batch_size] or [pipe_flush_timeout_ns]
+   after its first request arrived, whichever comes first; the timer
+   bounds queueing delay at low load. Multi-partition requests bypass
+   the batcher entirely (see Config.pipeline). *)
+
+let batcher_qp b ~from =
+  let key = Fabric.node_id from in
+  match Hashtbl.find_opt b.ba_qps key with
+  | Some qp -> qp
+  | None ->
+      let qp = Qp.connect ~src:from ~dst:b.ba_node in
+      Hashtbl.replace b.ba_qps key qp;
+      qp
+
+let batcher_flush t b ~part acc ~cause =
+  if acc.bb_n > 0 then begin
+    let items = Array.of_list (List.rev acc.bb_reqs) in
+    acc.bb_reqs <- [];
+    acc.bb_n <- 0;
+    acc.bb_gen <- acc.bb_gen + 1;
+    let n = Array.length items in
+    Heron_obs.Metrics.observe b.ba_occupancy n;
+    (match cause with
+    | `Full -> Heron_obs.Metrics.incr b.ba_full
+    | `Timeout -> Heron_obs.Metrics.incr b.ba_timeout);
+    let now = Engine.now t.sys_eng in
+    let col = t.sys_cfg.Config.reqtrace in
+    Array.iter
+      (fun ((rq : _ Replica.request), enq) ->
+        Heron_obs.Metrics.observe b.ba_wait (now - enq);
+        match col with
+        | Some col when rq.Replica.rq_trace <> 0 ->
+            ignore
+              (Heron_obs.Reqtrace.add_span col ~trace:rq.Replica.rq_trace
+                 ~parent:rq.Replica.rq_parent ~stage:"batch.wait"
+                 ~attrs:[ ("part", string_of_int part) ]
+                 ~start:enq now)
+        | _ -> ())
+      items;
+    let reqs = Array.map fst items in
+    ignore
+      (Ramcast.multicast t.sys_mcast ~slots:n ~from:b.ba_node ~dst:[ part ]
+         (Replica.Batch reqs))
+  end
+
+(* Runs on the client's fiber: the request hops to the batcher node (a
+   modelled transfer, so the wire cost stays) and joins the open batch;
+   the client then blocks on its reply ivars as usual. Flushes run on
+   the batcher's own fibers — [Engine.schedule] callbacks must not
+   block, and a full-triggered flush must not charge its multicast round
+   to the enqueueing client. *)
+let batcher_enqueue t b ~from ~part rq =
+  Qp.transfer (batcher_qp b ~from)
+    ~bytes_len:(t.sys_app.App.req_size rq.Replica.rq_payload + 32);
+  let pl = t.sys_cfg.Config.pipeline in
+  let acc =
+    match Hashtbl.find_opt b.ba_accs part with
+    | Some a -> a
+    | None ->
+        let a = { bb_reqs = []; bb_n = 0; bb_gen = 0 } in
+        Hashtbl.replace b.ba_accs part a;
+        a
+  in
+  acc.bb_reqs <- (rq, Engine.now t.sys_eng) :: acc.bb_reqs;
+  acc.bb_n <- acc.bb_n + 1;
+  if acc.bb_n = pl.Config.pipe_batch_size then
+    (* Exactly-once per fill: counts pass through the threshold one
+       increment at a time. Arrivals between this spawn and the flush
+       running join the same batch. *)
+    Fabric.spawn_on b.ba_node (fun () -> batcher_flush t b ~part acc ~cause:`Full)
+  else if acc.bb_n = 1 then begin
+    let gen = acc.bb_gen in
+    Engine.schedule ~delay:pl.Config.pipe_flush_timeout_ns t.sys_eng (fun () ->
+        if acc.bb_gen = gen then
+          Fabric.spawn_on b.ba_node (fun () ->
+              (* Re-check: a size flush may have won between the timer
+                 firing and this fiber running. *)
+              if acc.bb_gen = gen then batcher_flush t b ~part acc ~cause:`Timeout))
+  end
+
 (* One multicast round: returns the per-partition replies (first reply
    per partition wins, replicas answer redundantly). [trace]/[parent]
    are the request-scoped trace id and root span id (0 when the
@@ -189,7 +323,9 @@ let submit_round t ~from ~dst ~trace ~parent payload =
       rq_parent = parent;
     }
   in
-  ignore (Ramcast.multicast t.sys_mcast ~from ~dst (Replica.Req rq));
+  (match (t.sys_batcher, dst) with
+  | Some b, [ part ] -> batcher_enqueue t b ~from ~part rq
+  | _ -> ignore (Ramcast.multicast t.sys_mcast ~from ~dst (Replica.Req rq)));
   List.map (fun (p, iv) -> (p, Ivar.read iv)) replies
 
 (* Submit and retry on wrong-epoch redirects: refresh the cached view

@@ -95,9 +95,10 @@ type 'a t = {
   groups : 'a group array;
   links : (int * int, Qp.t) Hashtbl.t;
   obs : obs;
-  trc : (Heron_obs.Reqtrace.t * ('a -> (int * int) option)) option;
+  trc : (Heron_obs.Reqtrace.t * ('a -> (int * int) list)) option;
       (* request-scoped tracing: collector plus a projection reading
-         (trace id, parent span id) out of a payload *)
+         (trace id, parent span id) pairs out of a payload — one pair
+         per traced request the payload carries (batches carry many) *)
   mutable next_uid : int;
 }
 
@@ -108,14 +109,15 @@ let now t = Engine.now (Fabric.engine t.fab)
 let req_span t ~stage ~gid ~start ~stop payload =
   match t.trc with
   | None -> ()
-  | Some (col, proj) -> (
-      match proj payload with
-      | Some (trace, parent) when trace <> 0 ->
-          ignore
-            (Heron_obs.Reqtrace.add_span col ~trace ~parent ~stage
-               ~attrs:[ ("gid", string_of_int gid) ]
-               ~start stop)
-      | Some _ | None -> ())
+  | Some (col, proj) ->
+      List.iter
+        (fun (trace, parent) ->
+          if trace <> 0 then
+            ignore
+              (Heron_obs.Reqtrace.add_span col ~trace ~parent ~stage
+                 ~attrs:[ ("gid", string_of_int gid) ]
+                 ~start stop))
+        (proj payload)
 
 (* {1 Control links}
 
@@ -659,11 +661,15 @@ let normalize_dst dst =
   | [] -> invalid_arg "Ramcast.multicast: empty destination"
   | l -> l
 
-let multicast t ~from ~dst payload =
+let multicast ?(slots = 1) t ~from ~dst payload =
+  if slots < 1 then invalid_arg "Ramcast.multicast: slots must be positive";
   let dst = normalize_dst dst in
   Heron_obs.Metrics.incr t.obs.ob_submits;
   let uid = t.next_uid in
-  t.next_uid <- uid + 1;
+  (* Reserve a contiguous uid range so a batched payload can expand into
+     [slots] distinct per-request timestamps (base uid + slot index) at
+     delivery without colliding with any later entry's uid. *)
+  t.next_uid <- uid + slots;
   let mi =
     { mi_uid = uid; mi_dst = dst; mi_payload = payload; mi_size = t.size_of payload }
   in

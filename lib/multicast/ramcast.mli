@@ -62,7 +62,7 @@ type 'a t
 
 val create :
   ?config:config ->
-  ?tracing:Heron_obs.Reqtrace.t * ('a -> (int * int) option) ->
+  ?tracing:Heron_obs.Reqtrace.t * ('a -> (int * int) list) ->
   Heron_rdma.Fabric.t ->
   size_of:('a -> int) ->
   groups:Heron_rdma.Fabric.node array array ->
@@ -73,11 +73,12 @@ val create :
     [size_of] gives the serialized payload size used for timing.
 
     [tracing] enables request-scoped causal tracing (DESIGN.md §11):
-    the projection reads [(trace id, parent span id)] out of a payload
-    — [None] or a zero trace id for untraced messages — and each
+    the projection reads [(trace id, parent span id)] pairs out of a
+    payload — an empty list or zero trace ids for untraced messages,
+    one pair per traced request for batched payloads — and each
     destination group's leader emits [mcast.order] (submit arrival to
     final-timestamp decision) and [mcast.commit] (decision to majority
-    replication and delivery) spans into the collector. *)
+    replication and delivery) spans into the collector, one per pair. *)
 
 val set_deliver : 'a t -> gid:int -> idx:int -> ('a delivery -> unit) -> unit
 (** Install the delivery callback of member [idx] of group [gid]. The
@@ -87,11 +88,18 @@ val set_deliver : 'a t -> gid:int -> idx:int -> ('a delivery -> unit) -> unit
 val start : 'a t -> unit
 (** Spawn every member's protocol process. *)
 
-val multicast : 'a t -> from:Heron_rdma.Fabric.node -> dst:int list -> 'a -> int
+val multicast :
+  ?slots:int -> 'a t -> from:Heron_rdma.Fabric.node -> dst:int list -> 'a -> int
 (** [multicast t ~from ~dst payload] submits a message to the groups in
     [dst] from a fiber running on node [from], blocking until the
     submission reached the (current) leader of every destination group;
-    retries through leader changes. Returns the message uid. *)
+    retries through leader changes. Returns the message uid.
+
+    [slots] (default 1) reserves that many consecutive uids for the
+    entry: a batched payload carrying [n] requests passes [~slots:n] so
+    delivery can mint [n] distinct per-request timestamps
+    [(clock, uid + i)] that no other entry can collide with, and that
+    sort identically at every destination group. *)
 
 val group_count : 'a t -> int
 val members : 'a t -> gid:int -> Heron_rdma.Fabric.node array

@@ -19,7 +19,10 @@
     Stage taxonomy (DESIGN.md §11): [request] (the root; its own
     critical-path share is reply transfer + client wakeup), [ordering],
     [mcast.order], [mcast.commit], [phase2], [conflict-wait], [execute],
-    [phase4], [state-transfer], [redirect]. *)
+    [phase4], [state-transfer], [redirect]. With the compartmentalized
+    pipeline (DESIGN.md §12) additionally [batch.wait] (batcher enqueue
+    to flush) and [exec.queue] (executor-pool admission to dequeue,
+    emitted only when the wait is nonzero). *)
 
 open Heron_sim
 

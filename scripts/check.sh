@@ -52,6 +52,13 @@ echo "== chaos smoke sweep =="
 # and pin under test/corpus/ so they can be committed as regressions.
 dune exec bin/probe.exe -- chaos --seeds 0..119 --shrink --corpus test/corpus
 
+echo "== pipelined chaos sweep =="
+# The same schedule space with the compartmentalized pipeline on
+# (DESIGN.md §12), plus the pinned corpus replayed under pipelining —
+# schedules are config-agnostic, so every pin guards both loops.
+dune exec bin/probe.exe -- chaos --seeds 0..200 --pipeline --shrink --corpus test/corpus
+dune exec bin/probe.exe -- chaos --replay test/corpus --pipeline
+
 echo "== reconfig chaos sweep =="
 # Live-repartitioning schedules: migrations timed into crash/restart
 # windows (DESIGN.md §10), same shrink-and-pin flow.
@@ -66,6 +73,17 @@ dune exec bin/probe.exe -- jsonlint BENCH_coord.json
 dune exec bin/probe.exe -- jsonlint "$bench_trace"
 dune exec bin/probe.exe -- explain "$bench_trace" --top 1 > /dev/null
 
+echo "== bench pipeline smoke =="
+# Pipeline ablation grid: on/off x executors x batch size ->
+# BENCH_pipeline.json; then the deterministic regression guard — the
+# sim is bit-exact per seed, so the committed quick-mode baseline
+# admits an exact >10%-drop check on throughput.
+dune exec bench/main.exe -- quick pipeline
+dune exec bin/probe.exe -- jsonlint BENCH_pipeline.json
+dune exec bin/probe.exe -- benchguard BENCH_pipeline.json \
+  scripts/bench_pipeline_baseline.json \
+  --keys best_pipeline_tput_tps,off_tput_tps --max-regression-pct 10
+
 echo "== bench reconfig smoke =="
 # Shifting-hotspot bench: static placement vs the live rebalancer ->
 # BENCH_reconfig.json (the rebalanced run must win post-shift).
@@ -73,7 +91,7 @@ dune exec bench/main.exe -- quick reconfig
 dune exec bin/probe.exe -- jsonlint BENCH_reconfig.json
 
 if [ -n "${ARTIFACTS:-}" ]; then
-  cp BENCH_coord.json BENCH_reconfig.json "$ARTIFACTS/"
+  cp BENCH_coord.json BENCH_reconfig.json BENCH_pipeline.json "$ARTIFACTS/"
 fi
 
 echo "all checks passed"

@@ -1184,6 +1184,127 @@ let test_batching_onoff_equivalence () =
     true
     (posts_on > 0 && posts_off >= 4 * posts_on)
 
+(* {1 Compartmentalized pipeline (DESIGN.md §12)} *)
+
+let pipe_cfg ?(batch = 4) ?(flush = 10_000) ?(executors = 4) () =
+  {
+    Config.default_pipeline with
+    Config.pipe_enabled = true;
+    pipe_batch_size = batch;
+    pipe_flush_timeout_ns = flush;
+    pipe_executors = executors;
+  }
+
+let test_pipeline_onoff_equivalence () =
+  (* The pipeline (batcher + sequencer + executor pool + coordination
+     writer) changes scheduling and cost, never outcomes: an
+     increment-only workload (order-independent final state, mixing
+     batched single-partition Adds with barrier multi-partition
+     Incr_alls) must complete fully and converge to byte-identical
+     stores with pipelining on and off, while batching cuts the number
+     of multicast submissions. *)
+  let run pipe =
+    let reg = Heron_obs.Metrics.create () in
+    let w =
+      make_kv ~seed:37 ~keys:4 ~partitions:2 ~init:0L
+        ~tweak:(fun c -> { c with Config.pipeline = pipe; metrics = reg })
+        ()
+    in
+    let completed = ref 0 in
+    for c = 0 to 2 do
+      on_client w (Printf.sprintf "c%d" c) (fun node ->
+          for i = 1 to 25 do
+            let op =
+              if i mod 5 = 0 then Kv_app.Incr_all [ 0; 1 ]
+              else Kv_app.Add ((c + i) mod 4, 1L)
+            in
+            ignore (System.submit w.sys ~from:node op);
+            incr completed
+          done)
+    done;
+    Engine.run_until w.eng (Time_ns.s 5);
+    assert_replicas_converged w;
+    let state =
+      List.concat_map
+        (fun part ->
+          let st = Replica.store (System.replica w.sys ~part ~idx:0) in
+          List.map
+            (fun oid ->
+              (part, Oid.to_int oid, Bytes.to_string (fst (Versioned_store.get st oid))))
+            (Versioned_store.registered_oids st))
+        [ 0; 1 ]
+    in
+    let submits =
+      Heron_obs.Metrics.counter_value
+        (Heron_obs.Metrics.counter reg "mcast.submits")
+    in
+    (!completed, state, submits)
+  in
+  let c_on, s_on, submits_on = run (pipe_cfg ()) in
+  let c_off, s_off, submits_off = run Config.default_pipeline in
+  check_int "all ops completed (pipeline on)" 75 c_on;
+  check_int "all ops completed (pipeline off)" 75 c_off;
+  check_bool "identical final state" true (s_on = s_off);
+  check_bool
+    (Printf.sprintf "batching cuts multicast submissions (%d on vs %d off)"
+       submits_on submits_off)
+    true
+    (submits_on > 0 && submits_on < submits_off)
+
+let pipeline_flush_timeout_prop =
+  QCheck.Test.make
+    ~name:"batcher flushes every request within flush_timeout at low load"
+    ~count:6
+    QCheck.(int_range 2_000 40_000)
+    (fun timeout_ns ->
+      (* One closed-loop client can never fill a size-8 batch, so every
+         flush is timeout-driven: the recorded batch wait (enqueue to
+         flush) must never exceed the configured timeout — the
+         no-starvation bound. *)
+      let reg = Heron_obs.Metrics.create () in
+      let w =
+        make_kv ~seed:17 ~keys:4 ~partitions:2 ~init:0L
+          ~tweak:(fun c ->
+            {
+              c with
+              Config.pipeline = pipe_cfg ~batch:8 ~flush:timeout_ns ();
+              metrics = reg;
+            })
+          ()
+      in
+      let completed = ref 0 in
+      on_client w "c0" (fun node ->
+          for i = 1 to 12 do
+            ignore (System.submit w.sys ~from:node (Kv_app.Put (i mod 4, 1L)));
+            incr completed
+          done);
+      Engine.run_until w.eng (Time_ns.s 2);
+      let h = Heron_obs.Metrics.histogram reg "pipeline.batch_wait_ns" in
+      !completed = 12
+      && Heron_obs.Metrics.hist_count h > 0
+      && Heron_obs.Metrics.hist_max h <= timeout_ns)
+
+let test_pipeline_conflicts_serialize () =
+  (* All clients hammer one key through the full pipeline: conflict
+     admission must serialize them and lose nothing. *)
+  let w =
+    make_kv ~seed:11 ~keys:2 ~partitions:1 ~init:0L
+      ~tweak:(fun c -> { c with Config.pipeline = pipe_cfg ~executors:8 () })
+      ()
+  in
+  let per_client = 25 in
+  for c = 0 to 3 do
+    on_client w (Printf.sprintf "c%d" c) (fun node ->
+        for _ = 1 to per_client do
+          ignore (System.submit w.sys ~from:node (Kv_app.Add (0, 1L)))
+        done)
+  done;
+  Engine.run_until w.eng (Time_ns.s 3);
+  let st = Replica.store (System.replica w.sys ~part:0 ~idx:0) in
+  check_i64 "all increments applied in order" (Int64.of_int (4 * per_client))
+    (Bytes.get_int64_le (fst (Versioned_store.get st (Kv_app.oid_of_key 0))) 0);
+  assert_replicas_converged w
+
 let tc name f = Alcotest.test_case name `Quick f
 let qc t = QCheck_alcotest.to_alcotest t
 
@@ -1254,6 +1375,12 @@ let suite =
       ] );
     ( "core.coordination",
       [ tc "coord batching on/off equivalence" test_batching_onoff_equivalence ] );
+    ( "core.pipeline",
+      [
+        tc "pipeline on/off equivalence" test_pipeline_onoff_equivalence;
+        tc "conflicting requests serialize" test_pipeline_conflicts_serialize;
+        qc pipeline_flush_timeout_prop;
+      ] );
   ]
 
 let () = Alcotest.run "heron_core" suite

@@ -256,6 +256,58 @@ let test_batching_onoff_linearizable () =
   check_bool "batching off linearizes" true (Lincheck.check (kv_spec ~keys ~init:0L) off);
   Alcotest.(check int) "same op count" (List.length off) (List.length on_)
 
+let test_pipeline_onoff_linearizable () =
+  (* The compartmentalized pipeline (batcher + executor pool +
+     coordination writer, DESIGN.md §12) must not change correctness:
+     the same mixed workload linearizes with pipelining on and off, and
+     every client op completes in both runs. A small batch size and a
+     short flush timeout force real batches at this op rate. *)
+  let keys = 4 in
+  let pipe_on c =
+    {
+      c with
+      Config.pipeline =
+        {
+          Config.default_pipeline with
+          Config.pipe_enabled = true;
+          pipe_batch_size = 4;
+          pipe_flush_timeout_ns = 10_000;
+          pipe_executors = 4;
+        };
+    }
+  in
+  let run tweak =
+    record_heron_history ~seed:43 ~keys ~partitions:2 ~clients:4 ~ops_per_client:10
+      ~tweak ~gen_op:(mixed_op ~keys) ()
+  in
+  let on_ = run pipe_on and off = run (fun c -> c) in
+  check_bool "pipeline on linearizes" true (Lincheck.check (kv_spec ~keys ~init:0L) on_);
+  check_bool "pipeline off linearizes" true (Lincheck.check (kv_spec ~keys ~init:0L) off);
+  Alcotest.(check int) "same op count" (List.length off) (List.length on_)
+
+let pipeline_linearizable_prop =
+  QCheck.Test.make ~name:"pipelined KV histories linearize (random seeds)"
+    ~count:4
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let keys = 3 in
+      let events =
+        record_heron_history ~seed ~keys ~partitions:2 ~clients:3 ~ops_per_client:10
+          ~tweak:(fun c ->
+            {
+              c with
+              Config.pipeline =
+                {
+                  Config.default_pipeline with
+                  Config.pipe_enabled = true;
+                  pipe_batch_size = 3;
+                  pipe_flush_timeout_ns = 8_000;
+                };
+            })
+          ~gen_op:(mixed_op ~keys) ()
+      in
+      Lincheck.check (kv_spec ~keys ~init:0L) events)
+
 let tc name f = Alcotest.test_case name `Quick f
 let qc t = QCheck_alcotest.to_alcotest t
 
@@ -277,7 +329,9 @@ let suite =
         tc "mixed KV history is linearizable" test_heron_history_linearizable;
         tc "corrupted history rejected" test_corrupted_history_rejected;
         tc "coord batching on/off verdicts agree" test_batching_onoff_linearizable;
+        tc "pipeline on/off verdicts agree" test_pipeline_onoff_linearizable;
         qc heron_linearizable_prop;
+        qc pipeline_linearizable_prop;
       ] );
   ]
 

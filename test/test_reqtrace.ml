@@ -140,7 +140,11 @@ let gen_case =
     list_size (int_range 0 25) (triple (int_range 0 2000) (int_range 0 2000) nat)
     >>= fun raw -> return (dur, raw))
 
-let stages = [| "ordering"; "mcast.order"; "phase2"; "execute"; "phase4" |]
+let stages =
+  [|
+    "ordering"; "mcast.order"; "phase2"; "execute"; "phase4"; "batch.wait";
+    "exec.queue";
+  |]
 
 let spans_of_case (dur, raw) =
   let root = span ~id:1 ~parent:0 ~stage:"request" 0 dur in
@@ -308,6 +312,63 @@ let test_system_end_to_end () =
     in
     contains 0)
 
+(* Same deployment with the compartmentalized pipeline on: batched
+   requests must additionally carry [batch.wait] (enqueue to flush) and
+   [exec.queue] (admission to dequeue) spans, and attribution must still
+   partition each request exactly. One executor per replica guarantees
+   observable queueing. *)
+let test_system_pipeline_stages () =
+  let open Heron_core in
+  let eng = Engine.create ~seed:5 () in
+  let col = Reqtrace.create () in
+  let cfg =
+    let c = Config.default ~partitions:2 ~replicas:3 in
+    {
+      c with
+      Config.reqtrace = Some col;
+      pipeline =
+        {
+          Config.default_pipeline with
+          Config.pipe_enabled = true;
+          pipe_batch_size = 2;
+          pipe_flush_timeout_ns = 10_000;
+          pipe_executors = 1;
+        };
+    }
+  in
+  let sys =
+    System.create eng ~cfg ~app:(Heron_kv.Kv_app.app ~keys:4 ~partitions:2 ~init:0L)
+  in
+  System.start sys;
+  for c = 0 to 3 do
+    let client = System.new_client_node sys ~name:(Printf.sprintf "c%d" c) in
+    Heron_rdma.Fabric.spawn_on client (fun () ->
+        for i = 1 to 3 do
+          ignore
+            (System.submit sys ~from:client (Heron_kv.Kv_app.Put (c, Int64.of_int i)))
+        done)
+  done;
+  Engine.run_until eng (Time_ns.ms 5);
+  check_int "twelve requests traced" 12 (Reqtrace.finished col);
+  let trees = Reqtrace.export_trees col in
+  let all_stages =
+    List.concat_map
+      (fun t -> List.map (fun s -> s.Reqtrace.rs_stage) t.Reqtrace.tr_spans)
+      trees
+  in
+  List.iter
+    (fun stage ->
+      check_bool (stage ^ " stage present") true (List.mem stage all_stages))
+    [ "request"; "batch.wait"; "ordering"; "exec.queue"; "execute" ];
+  List.iter
+    (fun tree ->
+      match Reqtrace.nest tree.Reqtrace.tr_spans with
+      | None -> Alcotest.fail "traced request has no tree"
+      | Some node ->
+          check_int "attribution sums to latency" (Reqtrace.duration tree)
+            (sum_segs (Reqtrace.critical_segments node)))
+    trees
+
 (* {1 Perfetto roundtrip} *)
 
 let test_perfetto_roundtrip () =
@@ -386,7 +447,11 @@ let () =
             test_collector_span_cap_and_discard;
         ] );
       ( "system",
-        [ Alcotest.test_case "traced KV requests" `Quick test_system_end_to_end ] );
+        [
+          Alcotest.test_case "traced KV requests" `Quick test_system_end_to_end;
+          Alcotest.test_case "pipelined stages traced" `Quick
+            test_system_pipeline_stages;
+        ] );
       ( "export",
         [ Alcotest.test_case "perfetto roundtrip" `Quick test_perfetto_roundtrip ] );
     ]

@@ -6,8 +6,9 @@
      dune exec bench/main.exe -- quick   -- shortened windows/sweeps
      dune exec bench/main.exe -- fig4    -- one experiment
      (also: fig5 fig6 fig7 table1 fig8 ablations micro_kv micro;
-    `coord', `pipeline' and `reconfig' are opt-in only and write
-    BENCH_coord.json / BENCH_pipeline.json / BENCH_reconfig.json)
+    `coord', `pipeline', `reconfig' and `longhaul' are opt-in only and
+    write BENCH_coord.json / BENCH_pipeline.json / BENCH_reconfig.json
+    / BENCH_longhaul.json)
 
    Absolute numbers come from the calibrated simulation (DESIGN.md);
    EXPERIMENTS.md records the paper-vs-measured comparison. *)
@@ -523,6 +524,126 @@ let run_reconfig ~quick =
          BENCH_reconfig.json\n"
         s_post r_post s_pre r_pre migrations moved epoch)
 
+(* {1 Long-horizon durability bench}
+
+   Continuous increment traffic over a multi-second virtual horizon
+   with two follower bounces — one early (short history) and one late
+   (long history). Compares checkpointing on vs off (DESIGN.md §13):
+   the update log stays flat under compaction but grows with history
+   without it, and rejoin cost is O(delta) under checkpointing (late
+   bounce costs about the same as the early one) while the baseline's
+   grows with the history replayed. Writes BENCH_longhaul.json;
+   check.sh guards the durable throughput and the compaction factor
+   against the committed quick-mode baseline. *)
+
+let run_longhaul ~quick =
+  timed "longhaul" (fun () ->
+      let open Heron_sim in
+      let open Heron_core in
+      let t0 = Unix.gettimeofday () in
+      let partitions = 2 and replicas = 3 in
+      let clients = 3 in
+      let horizon = if quick then Time_ns.s 1 else Time_ns.s 8 in
+      let run ~durable =
+        let reg = Heron_obs.Metrics.create () in
+        let eng = Engine.create ~seed:47 () in
+        let cfg =
+          {
+            (Config.default ~partitions ~replicas) with
+            Config.metrics = reg;
+            durability =
+              { Config.dur_enabled = durable; dur_interval_ns = Time_ns.ms 2 };
+          }
+        in
+        let sys =
+          System.create eng ~cfg
+            ~app:(Heron_kv.Kv_app.app ~keys:8 ~partitions ~init:0L)
+        in
+        System.start sys;
+        let completed = ref 0 in
+        for c = 0 to clients - 1 do
+          let node = System.new_client_node sys ~name:(Printf.sprintf "lh-%d" c) in
+          Heron_rdma.Fabric.spawn_on node (fun () ->
+              let rec loop () =
+                ignore (System.submit sys ~from:node (Heron_kv.Kv_app.Incr_all [ 0; 1 ]));
+                incr completed;
+                loop ()
+              in
+              loop ())
+        done;
+        (* Sample the reference replica's retained update-log length:
+           the flat-vs-linear signal, straight from the source. *)
+        let series = ref [] in
+        let sampler = Heron_rdma.Fabric.add_node (System.fabric sys) ~name:"sampler" in
+        Heron_rdma.Fabric.spawn_on sampler (fun () ->
+            let rec loop () =
+              Engine.sleep (horizon / 16);
+              series :=
+                Update_log.length
+                  (Replica.update_log (System.replica sys ~part:0 ~idx:0))
+                :: !series;
+              loop ()
+            in
+            loop ());
+        let c name = Heron_obs.Metrics.counter_value (Heron_obs.Metrics.counter reg name) in
+        (* Rejoin cost: every byte the bounced follower pulls to catch
+           up — state-transfer cells plus replayed multicast backlog. *)
+        let rejoin_cost () = c "coord.state_transfer_bytes" + c "mcast.rejoin_replay_bytes" in
+        let bounce () =
+          Heron_rdma.Fabric.crash (Replica.node (System.replica sys ~part:0 ~idx:2));
+          Engine.run_until eng (Engine.now eng + (horizon / 16));
+          let before = rejoin_cost () in
+          System.restart_replica sys ~part:0 ~idx:2;
+          Engine.run_until eng (Engine.now eng + (horizon / 8));
+          rejoin_cost () - before
+        in
+        Engine.run_until eng (Engine.now eng + (horizon / 8));
+        let rejoin_early = bounce () in
+        Engine.run_until eng (Engine.now eng + (horizon / 2));
+        let rejoin_late = bounce () in
+        let elapsed = Engine.now eng in
+        let tput = float_of_int !completed /. Time_ns.to_s_f elapsed in
+        let samples = List.rev !series in
+        let max_len = List.fold_left max 0 samples in
+        (tput, samples, max_len, rejoin_early, rejoin_late, c "durability.checkpoints")
+      in
+      let d_tput, d_series, d_max, d_early, d_late, ckpts = run ~durable:true in
+      let b_tput, _, b_max, b_early, b_late, _ = run ~durable:false in
+      let factor_x100 = if d_max > 0 then 100 * b_max / d_max else 0 in
+      let json =
+        Heron_obs.Json.Obj
+          [
+            ("bench", Heron_obs.Json.String "longhaul");
+            ("quick", Heron_obs.Json.Bool quick);
+            ("durable_tput_tps", Heron_obs.Json.Float d_tput);
+            ("baseline_tput_tps", Heron_obs.Json.Float b_tput);
+            ( "durable_log_len_series",
+              Heron_obs.Json.List (List.map (fun n -> Heron_obs.Json.Int n) d_series) );
+            ("durable_max_log_len", Heron_obs.Json.Int d_max);
+            ("baseline_max_log_len", Heron_obs.Json.Int b_max);
+            ("compaction_factor_x100", Heron_obs.Json.Int factor_x100);
+            ("checkpoints", Heron_obs.Json.Int ckpts);
+            ("durable_rejoin_early_bytes", Heron_obs.Json.Int d_early);
+            ("durable_rejoin_late_bytes", Heron_obs.Json.Int d_late);
+            ("baseline_rejoin_early_bytes", Heron_obs.Json.Int b_early);
+            ("baseline_rejoin_late_bytes", Heron_obs.Json.Int b_late);
+            ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
+          ]
+      in
+      let oc = open_out "BENCH_longhaul.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Heron_obs.Json.to_channel oc json;
+          output_char oc '\n');
+      say
+        "longhaul: %.0f tps durable vs %.0f baseline; max log %d vs %d \
+         (compaction x%.1f, %d checkpoints); late rejoin %d B durable vs %d B \
+         baseline -> BENCH_longhaul.json\n"
+        d_tput b_tput d_max b_max
+        (float_of_int factor_x100 /. 100.)
+        ckpts d_late b_late)
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro_tests () =
@@ -656,6 +777,7 @@ let () =
   if List.mem "coord" args then run_coord ~quick ~breakdown ~trace_file;
   if List.mem "pipeline" args then run_pipeline ~quick;
   if List.mem "reconfig" args then run_reconfig ~quick;
+  if List.mem "longhaul" args then run_longhaul ~quick;
   if wants "micro" then run_micro ();
   Option.iter dump_metrics metrics_file;
   say "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

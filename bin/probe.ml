@@ -213,8 +213,11 @@ let run_explain args =
             trees)
 
 (* [probe chaos]: sweep generated fault schedules (and/or replay pinned
-   ones) against the simulator; see DESIGN.md's chaos section. *)
-let run_chaos args =
+   ones) against the simulator; see DESIGN.md's chaos section.
+   [probe longhaul] is the same runner over the longhaul family
+   (DESIGN.md §13): durability on, long horizons, and the flat-memory /
+   O(delta)-rejoin verdict in addition to linearizability. *)
+let run_chaos ?(longhaul = false) args =
   let module Sched = Heron_chaos.Schedule in
   let module Cdriver = Heron_chaos.Driver in
   let module Shrink = Heron_chaos.Shrink in
@@ -226,8 +229,10 @@ let run_chaos args =
   let replays = ref [] in
   let usage () =
     Printf.eprintf
-      "usage: probe chaos [--seeds A..B] [--shrink] [--corpus DIR] [--reconfig] \
-       [--pipeline] [--replay FILE-OR-DIR]...\n";
+      "usage: probe %s [--seeds A..B] [--shrink] [--corpus DIR]%s \
+       [--replay FILE-OR-DIR]...\n"
+      (if longhaul then "longhaul" else "chaos")
+      (if longhaul then "" else " [--reconfig] [--pipeline]");
     exit 2
   in
   (* A --replay directory means every *.json inside it, in name order —
@@ -281,7 +286,8 @@ let run_chaos args =
           (Format.asprintf "%a" Cdriver.pp_failure f);
         if !shrink then begin
           let small =
-            Shrink.minimize ~pipeline:!pipeline sc ~kind:(Cdriver.failure_kind f)
+            Shrink.minimize ~pipeline:!pipeline ~durability:longhaul
+              ~longhaul sc ~kind:(Cdriver.failure_kind f)
           in
           pr "  shrunk to %d events:\n%s\n"
             (List.length small.Sched.sc_events)
@@ -296,9 +302,12 @@ let run_chaos args =
                  the same seed. *)
               let file =
                 Filename.concat dir
-                  (Printf.sprintf "chaos_%sseed_%d.json"
-                     (if !pipeline then "pipeline_" else "")
-                     sc.Sched.sc_seed)
+                  (if longhaul then
+                     Printf.sprintf "longhaul_seed_%d.json" sc.Sched.sc_seed
+                   else
+                     Printf.sprintf "chaos_%sseed_%d.json"
+                       (if !pipeline then "pipeline_" else "")
+                       sc.Sched.sc_seed)
               in
               Sched.save small ~file;
               pr "  pinned as %s\n" file
@@ -312,19 +321,26 @@ let run_chaos args =
           exit 2
       | Ok sc ->
           pr "replay %s: %!" file;
-          let outcome = Cdriver.run ~pipeline:!pipeline sc in
+          let outcome =
+            Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul sc
+          in
           pr "%s\n" (Format.asprintf "%a" Cdriver.pp_outcome outcome);
           report sc outcome)
     (List.rev !replays);
   if !replays = [] then begin
     let t0 = Unix.gettimeofday () in
-    let gen = if !reconfig then Sched.generate_reconfig else Sched.generate in
+    let gen =
+      if longhaul then Sched.generate_longhaul
+      else if !reconfig then Sched.generate_reconfig
+      else Sched.generate
+    in
     for seed = !seed_lo to !seed_hi do
       let sc = gen ~seed in
-      report sc (Cdriver.run ~pipeline:!pipeline sc)
+      report sc (Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul sc)
     done;
-    pr "%d %s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
+    pr "%d %s%s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
       (!seed_hi - !seed_lo + 1)
+      (if longhaul then "longhaul " else "")
       (if !reconfig then "reconfig " else "")
       (if !pipeline then "pipelined " else "")
       !seed_lo !seed_hi !failures
@@ -497,10 +513,12 @@ let () =
   | "explain" :: rest -> run_explain rest
   | [ "jsonlint"; file ] -> run_jsonlint file
   | "chaos" :: rest -> run_chaos rest
+  | "longhaul" :: rest -> run_chaos ~longhaul:true rest
   | "benchguard" :: rest -> run_benchguard rest
   | [ "reconfig" ] -> run_reconfig ()
   | _ ->
       Printf.eprintf
         "usage: probe [trace FILE | explain FILE [--top K] | jsonlint FILE | \
-         chaos ... | benchguard ... | reconfig]  (no args: calibration)\n";
+         chaos ... | longhaul ... | benchguard ... | reconfig]  (no args: \
+         calibration)\n";
       exit 2

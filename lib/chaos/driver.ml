@@ -11,6 +11,7 @@ type failure =
   | Diverged of { detail : string }
   | Invariant of { part : int; idx : int; detail : string }
   | Not_linearizable of { detail : string }
+  | Unbounded of { detail : string }
   | Crashed of { detail : string }
 
 type outcome = Completed of { completed : int } | Failed of failure
@@ -20,6 +21,7 @@ let failure_kind = function
   | Diverged _ -> "diverged"
   | Invariant _ -> "invariant"
   | Not_linearizable _ -> "not_linearizable"
+  | Unbounded _ -> "unbounded"
   | Crashed _ -> "crashed"
 
 let m_runs = Metrics.counter Metrics.default "chaos.schedules_run"
@@ -147,12 +149,85 @@ let divergence sys =
     (System.replicas sys);
   !problem
 
-let run_exn ?(pipeline = false) sc =
+(* Longhaul verdict (DESIGN.md §13): a run that linearizes but whose
+   logs grew with history, or whose rejoins replayed O(history), failed
+   the durability layer's whole point. Bounds are derived from the
+   schedule itself: with traffic paced across the horizon, one
+   checkpoint interval sees about [total ops x interval / horizon]
+   updates, and both retained-log footprints and per-rejoin replay must
+   stay within a few intervals' worth — independent of run length —
+   while the non-durable baseline grows linearly with it. *)
+let check_bounded sys cfg sc =
+  let reg = cfg.Config.metrics in
+  let snap = Metrics.snapshot reg in
+  let counter name =
+    match Metrics.find snap name with Some (Metrics.Counter_v v) -> v | _ -> 0
+  in
+  let hist_max name =
+    match Metrics.find snap name with
+    | Some (Metrics.Histogram_v h) -> h.Metrics.hs_max
+    | _ -> 0
+  in
+  let interval = cfg.Config.durability.Config.dur_interval_ns in
+  let expected = sc.S.sc_clients * sc.S.sc_ops in
+  let per_window = expected * interval / sc.S.sc_horizon_ns in
+  let len_bound = 48 + (8 * per_window) in
+  let mcast_bound = 2 * len_bound in
+  let restarts =
+    List.length
+      (List.filter (function S.Restart _ -> true | _ -> false) sc.S.sc_events)
+  in
+  let problem = ref None in
+  let note fmt =
+    Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt
+  in
+  if counter "durability.checkpoints" = 0 then
+    note "no checkpoints were taken over a %dms horizon"
+      (sc.S.sc_horizon_ns / 1_000_000);
+  if counter "durability.truncated_entries" = 0 then
+    note "no update-log entries were ever truncated: memory is unbounded";
+  Array.iteri
+    (fun p row ->
+      Array.iteri
+        (fun i r ->
+          if Fabric.is_alive (Replica.node r) then begin
+            let len = Update_log.length (Replica.update_log r) in
+            if len > len_bound then
+              note "p%d/r%d final update log holds %d entries (bound %d)" p i len
+                len_bound;
+            let retained =
+              Heron_multicast.Ramcast.log_retained (System.multicast sys) ~gid:p
+                ~idx:i
+            in
+            if retained > mcast_bound then
+              note "p%d/r%d retains %d multicast log entries (bound %d)" p i
+                retained mcast_bound
+          end)
+        row)
+    (System.replicas sys);
+  let lmax = hist_max "durability.log_len" in
+  if lmax > len_bound then
+    note "update log peaked at %d entries across checkpoints (bound %d)" lmax
+      len_bound;
+  let mmax = hist_max "durability.mcast_log_len" in
+  if mmax > mcast_bound then
+    note "multicast log peaked at %d retained entries (bound %d)" mmax mcast_bound;
+  let replayed = counter "mcast.rejoin_replayed" in
+  if restarts > 0 && replayed > restarts * len_bound then
+    note "%d rejoins replayed %d multicast entries total (O(delta) bound %d each)"
+      restarts replayed (restarts * len_bound);
+  !problem
+
+let run_exn ?(pipeline = false) ?(durability = false) ?(longhaul = false)
+    ?inspect sc =
   let eng = Engine.create ~seed:sc.S.sc_seed () in
+  let horizon = sc.S.sc_horizon_ns in
+  let base =
+    Config.default ~partitions:sc.S.sc_partitions ~replicas:sc.S.sc_replicas
+  in
   let cfg =
     {
-      (Config.default ~partitions:sc.S.sc_partitions ~replicas:sc.S.sc_replicas)
-      with
+      base with
       reconfig = { Config.enabled = true };
       (* Schedules are config-agnostic: the same pinned JSON replays
          under both the classic loop and the compartmentalized pipeline
@@ -161,6 +236,29 @@ let run_exn ?(pipeline = false) sc =
         (if pipeline then
            { Config.default_pipeline with Config.pipe_enabled = true }
          else Config.default_pipeline);
+      durability =
+        (if durability then
+           { Config.dur_enabled = true;
+             (* Scale the checkpoint cadence to the horizon: a few
+                hundred checkpoint rounds per run, whatever its length. *)
+             dur_interval_ns =
+               max Config.default_durability.Config.dur_interval_ns
+                 (horizon / 256) }
+         else Config.default_durability);
+      (* Longhaul runs read this run's own metrics for their verdict,
+         so they must not share the process-wide aggregating registry;
+         the leader liveness poll is also relaxed — index 0 never
+         crashes in generated schedules, and sub-millisecond polling
+         across minutes of virtual time would dominate the event
+         count. *)
+      metrics = (if longhaul then Metrics.create () else base.Config.metrics);
+      mcast =
+        (if longhaul then
+           { base.Config.mcast with
+             Heron_multicast.Ramcast.leader_check_ns =
+               max base.Config.mcast.Heron_multicast.Ramcast.leader_check_ns
+                 (horizon / 2048) }
+         else base.Config.mcast);
     }
   in
   let sys =
@@ -189,16 +287,17 @@ let run_exn ?(pipeline = false) sc =
               ev_return = t1;
             }
             :: !history;
-          incr completed
+          incr completed;
+          if sc.S.sc_think_ns > 0 then Engine.sleep sc.S.sc_think_ns
         done)
   done;
   List.iter (inject sys) sc.S.sc_events;
   (* Advance in short steps so a finished run does not simulate the
      whole horizon's worth of failure-detector polling. *)
-  let horizon = Time_ns.ms 60 in
+  let step = max (Time_ns.ms 2) (horizon / 512) in
   let debug = Sys.getenv_opt "CHAOS_DEBUG" <> None in
   while !completed < expected && Engine.now eng < horizon do
-    Engine.run_for eng (Time_ns.ms 2);
+    Engine.run_for eng step;
     if debug then begin
       Printf.eprintf "t=%dus completed=%d\n" (Engine.now eng / 1000) !completed;
       Array.iteri
@@ -233,6 +332,11 @@ let run_exn ?(pipeline = false) sc =
         (fun row -> Array.iter (fun r -> Replica.inject_exec_delay r 0) row)
         (System.replicas sys);
       Engine.run_for eng (Time_ns.ms 15);
+      (* With durability on, let a couple more checkpoint rounds land so
+         the final truncation frontier reflects the drained traffic —
+         the longhaul verdict's final-log-length bounds assume it. *)
+      if durability then
+        Engine.run_for eng (3 * cfg.Config.durability.Config.dur_interval_ns);
       match divergence sys with
       | Some detail -> Failed (Diverged { detail })
       | None -> (
@@ -257,17 +361,23 @@ let run_exn ?(pipeline = false) sc =
                 Lincheck.counterexample_free ~pp_op:Kv_model.pp_op
                   ~pp_result:Kv_model.pp_result spec (List.rev !history)
               with
-              | Ok () -> Completed { completed = !completed }
-              | Error detail -> Failed (Not_linearizable { detail })))
+              | Error detail -> Failed (Not_linearizable { detail })
+              | Ok () -> (
+                  (match inspect with Some f -> f sys | None -> ());
+                  if not longhaul then Completed { completed = !completed }
+                  else
+                    match check_bounded sys cfg sc with
+                    | Some detail -> Failed (Unbounded { detail })
+                    | None -> Completed { completed = !completed })))
   end
 
-let run ?(pipeline = false) sc =
+let run ?(pipeline = false) ?(durability = false) ?(longhaul = false) ?inspect sc =
   Metrics.incr m_runs;
   let verdict =
     (* An exception out of the event loop is protocol code breaking (an
        assert, an array bound), not the harness: capture it as a
        failure so it can be shrunk and pinned like any other. *)
-    try run_exn ~pipeline sc
+    try run_exn ~pipeline ~durability ~longhaul ?inspect sc
     with e -> Failed (Crashed { detail = Printexc.to_string e })
   in
   (match verdict with Failed _ -> Metrics.incr m_failures | Completed _ -> ());
@@ -280,6 +390,7 @@ let pp_failure ppf = function
   | Invariant { part; idx; detail } ->
       Format.fprintf ppf "invariant breach on p%d/r%d: %s" part idx detail
   | Not_linearizable { detail } -> Format.fprintf ppf "not linearizable: %s" detail
+  | Unbounded { detail } -> Format.fprintf ppf "unbounded: %s" detail
   | Crashed { detail } -> Format.fprintf ppf "crashed: %s" detail
 
 let pp_outcome ppf = function

@@ -14,6 +14,14 @@
     - {b Not_linearizable} — the recorded client history admits no
       linearization ({!Heron_lincheck.Lincheck}); the detail carries
       the shortest failing prefix.
+    - {b Unbounded} — longhaul runs only (DESIGN.md §13): the run
+      linearized but the durability layer failed its point — no
+      checkpoint or truncation ever happened, a retained log (update or
+      multicast) exceeded a few checkpoint intervals' worth of entries,
+      or rejoins replayed more than O(delta). Bounds are derived from
+      the schedule's own rate (ops, think time, horizon), so they are
+      length-independent: a linearly-growing log fails on any
+      sufficiently long schedule.
     - {b Crashed} — an exception escaped the simulated system (an
       assertion or array bound inside protocol code, not the harness);
       the detail carries the exception text.
@@ -35,21 +43,45 @@ type failure =
   | Diverged of { detail : string }
   | Invariant of { part : int; idx : int; detail : string }
   | Not_linearizable of { detail : string }
+  | Unbounded of { detail : string }
   | Crashed of { detail : string }
 
 type outcome = Completed of { completed : int } | Failed of failure
 
 val failure_kind : failure -> string
 (** Stable one-word tag ([stalled], [diverged], [invariant],
-    [not_linearizable], [crashed]) — the shrinker's notion of "the same
-    bug". *)
+    [not_linearizable], [unbounded], [crashed]) — the shrinker's notion
+    of "the same bug". *)
 
-val run : ?pipeline:bool -> Schedule.t -> outcome
+val run :
+  ?pipeline:bool ->
+  ?durability:bool ->
+  ?longhaul:bool ->
+  ?inspect:((Heron_kv.Kv_app.req, Heron_kv.Kv_app.resp) Heron_core.System.t -> unit) ->
+  Schedule.t ->
+  outcome
 (** [run sc] interprets the schedule against a fresh deployment.
     [pipeline] (default false) enables the compartmentalized replica
     pipeline ({!Heron_core.Config.pipeline}, DESIGN.md §12) for the
     run; schedules themselves are config-agnostic, so the same pinned
-    corpus replays under both configurations. *)
+    corpus replays under both configurations.
+
+    [durability] (default false) switches on checkpointing and
+    update-log compaction ({!Heron_core.Config.durability}, DESIGN.md
+    §13), with the checkpoint interval scaled so every run sees a few
+    hundred rounds regardless of its horizon. Off, the run is
+    byte-identical to the pre-durability driver — the refinement suite
+    relies on that.
+
+    [longhaul] (default false) marks a long-horizon run: metrics are
+    collected in a private registry, the multicast leader liveness
+    poll is relaxed in proportion to the horizon (index 0 never
+    crashes in generated schedules), and a completed run additionally
+    gets the {!Unbounded} flat-memory / O(delta)-rejoin verdict.
+
+    [inspect] runs against the live system after the run settled and
+    every other verdict passed — the refinement suite uses it to
+    digest final replica state. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

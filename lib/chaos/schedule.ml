@@ -21,8 +21,12 @@ type t = {
   sc_clients : int;
   sc_ops : int;
   sc_workload : workload;
+  sc_horizon_ns : int;
+  sc_think_ns : int;
   sc_events : event list;
 }
+
+let default_horizon_ns = 60_000_000
 
 let event_time = function
   | Crash { at; _ } | Restart { at; _ } | Delay_link { at; _ }
@@ -134,6 +138,8 @@ let generate ~seed =
       sc_clients = 3;
       sc_ops = 40;
       sc_workload = workload;
+      sc_horizon_ns = default_horizon_ns;
+      sc_think_ns = 0;
       sc_events = !events;
     }
 
@@ -180,6 +186,73 @@ let generate_reconfig ~seed =
       sc_clients = 3;
       sc_ops = 40;
       sc_workload = workload;
+      sc_horizon_ns = default_horizon_ns;
+      sc_think_ns = 0;
+      sc_events = !events;
+    }
+
+(* Longhaul generator (DESIGN.md §13): minutes of virtual time per run
+   instead of milliseconds, client traffic paced with think time so it
+   spans the whole horizon, and repeated crash/rejoin/migrate cycles
+   spaced tens of virtual seconds apart. Between cycles the durability
+   layer (which the driver switches on for this family) checkpoints
+   many times, so every rejoin lands long after log prefixes were
+   truncated — the regime where bootstrap-from-checkpoint is the only
+   correct recovery path. A ~100-seed sweep covers about a day of
+   virtual time in aggregate. *)
+let generate_longhaul ~seed =
+  let rng = Random.State.make [| seed; 0x10_46A |] in
+  (* [Random.State.int] caps its bound at 2^30; second-scale nanosecond
+     spans need [full_int]. *)
+  let int = Random.State.full_int rng in
+  let partitions = 2 and replicas = 3 in
+  let workload = if int 4 = 0 then Incr_all else Mixed in
+  let cycles = 8 + int 13 in
+  let period () = 30_000_000_000 + int 30_000_000_000 in
+  let events = ref [] in
+  let t = ref (period ()) in
+  for _ = 1 to cycles do
+    let crash_at = !t in
+    let down = 50_000_000 + int 450_000_000 in
+    let restart_at = crash_at + down in
+    let part = int partitions and idx = 1 + int (replicas - 1) in
+    events :=
+      Restart { part; idx; at = restart_at }
+      :: Crash { part; idx; at = crash_at }
+      :: !events;
+    (* Migrations racing the down window (and its borders), so
+       checkpoint/truncate runs concurrently with the §10 freeze. *)
+    for _ = 1 to int 3 do
+      let at = max 0 (crash_at - 1_000_000_000 + int (down + 2_000_000_000)) in
+      events := Migrate { key = int 4; dst = int partitions; at } :: !events
+    done;
+    (* Occasional lagger between cycles: the slow replica's published
+       frontier holds everyone's truncation back, bounding it anyway. *)
+    if int 4 = 0 then
+      events :=
+        Pause_replica
+          { part = int partitions; idx = int replicas;
+            extra_ns = 5_000 + int 25_000;
+            at = restart_at + 2_000_000_000 + int 10_000_000_000;
+            span = 1_000_000_000 + int 4_000_000_000 }
+        :: !events;
+    t := restart_at + period ()
+  done;
+  let horizon = !t + 10_000_000_000 in
+  let ops = 100 + int 80 in
+  (* Pace clients to finish around 85% of the horizon. *)
+  let think = horizon * 85 / (100 * ops) in
+  normalize
+    {
+      sc_seed = seed;
+      sc_partitions = partitions;
+      sc_replicas = replicas;
+      sc_keys = 4;
+      sc_clients = 3;
+      sc_ops = ops;
+      sc_workload = workload;
+      sc_horizon_ns = horizon;
+      sc_think_ns = think;
       sc_events = !events;
     }
 
@@ -195,6 +268,8 @@ let validate t =
     err "replicas must be odd and at least 3"
   else if t.sc_keys < 2 then err "need at least 2 keys"
   else if t.sc_clients < 1 || t.sc_ops < 1 then err "need clients and ops"
+  else if t.sc_horizon_ns < 1_000_000 then err "horizon shorter than 1ms"
+  else if t.sc_think_ns < 0 then err "negative think time"
   else begin
     let bad = ref None in
     let check_event e =
@@ -297,6 +372,8 @@ let to_json t =
       ("ops_per_client", Json.Int t.sc_ops);
       ( "workload",
         Json.String (match t.sc_workload with Incr_all -> "incr_all" | Mixed -> "mixed") );
+      ("horizon_ns", Json.Int t.sc_horizon_ns);
+      ("think_ns", Json.Int t.sc_think_ns);
       ("events", Json.List (List.map event_to_json t.sc_events));
     ]
 
@@ -311,6 +388,14 @@ let string_field name j =
   match Json.member name j with
   | Some (Json.String s) -> s
   | _ -> raise (Bad (Printf.sprintf "missing or non-string field %S" name))
+
+(* Optional with default, so version-1 pins from before the field
+   existed keep replaying unchanged. *)
+let int_field_opt name ~default j =
+  match Json.member name j with
+  | Some (Json.Int i) -> i
+  | Some _ -> raise (Bad (Printf.sprintf "non-integer field %S" name))
+  | None -> default
 
 let event_of_json j =
   let link () =
@@ -364,6 +449,8 @@ let of_json j =
              | "incr_all" -> Incr_all
              | "mixed" -> Mixed
              | w -> raise (Bad (Printf.sprintf "unknown workload %S" w)));
+           sc_horizon_ns = int_field_opt "horizon_ns" ~default:default_horizon_ns j;
+           sc_think_ns = int_field_opt "think_ns" ~default:0 j;
            sc_events = events;
          })
   with Bad msg -> Error msg
@@ -404,8 +491,9 @@ let pp_event ppf = function
       Format.fprintf ppf "@%dus migrate k%d->p%d" (at / 1000) key dst
 
 let pp ppf t =
-  Format.fprintf ppf "seed %d, %dx%d, %d clients x %d %s ops, %d events" t.sc_seed
-    t.sc_partitions t.sc_replicas t.sc_clients t.sc_ops
+  Format.fprintf ppf "seed %d, %dx%d, %d clients x %d %s ops, %dms horizon, %d events"
+    t.sc_seed t.sc_partitions t.sc_replicas t.sc_clients t.sc_ops
     (match t.sc_workload with Incr_all -> "incr_all" | Mixed -> "mixed")
+    (t.sc_horizon_ns / 1_000_000)
     (List.length t.sc_events);
   List.iter (fun e -> Format.fprintf ppf "@.  %a" pp_event e) t.sc_events

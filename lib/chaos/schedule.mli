@@ -50,8 +50,21 @@ type t = {
   sc_clients : int;
   sc_ops : int;  (** operations per client *)
   sc_workload : workload;
+  sc_horizon_ns : int;
+      (** virtual-time budget of the run: the driver declares a stall
+          once this much simulated time passed with operations still
+          outstanding ({!default_horizon_ns} for the classic families,
+          minutes of virtual time for longhaul schedules) *)
+  sc_think_ns : int;
+      (** per-client pause between operations — 0 for the classic
+          closed-loop families; longhaul schedules use it to spread
+          traffic across the whole horizon *)
   sc_events : event list;  (** sorted by {!event_time} *)
 }
+
+val default_horizon_ns : int
+(** 60ms — the classic families' horizon, and the value assumed for
+    pinned JSON written before the field existed. *)
 
 val event_time : event -> int
 val event_end : event -> int
@@ -76,6 +89,17 @@ val generate_reconfig : seed:int -> t
     sides), so crashes land during in-flight migrations and restarted
     replicas recover state that includes migrated-in objects. Same
     liveness envelope as {!generate}. *)
+
+val generate_longhaul : seed:int -> t
+(** Durability-focused generator (DESIGN.md §13): minutes of virtual
+    time per schedule, client traffic paced with think time across the
+    whole horizon, and 8–20 crash/rejoin cycles spaced tens of virtual
+    seconds apart with migrations racing the down windows. Run with the
+    driver's [durability] and [longhaul] options: the horizon spans
+    hundreds of checkpoint intervals, so every rejoin exercises the
+    bootstrap-from-checkpoint path and the driver's memory-bound and
+    O(delta)-rejoin verdicts are meaningful. Same liveness envelope as
+    {!generate}. *)
 
 val validate : t -> (unit, string) result
 (** Well-formedness (shape, ranges, sortedness, crash/restart

@@ -14,10 +14,16 @@
     [chaos.shrink_steps]; schedules have tens of events, so a shrink
     is tens of runs. *)
 
-val minimize : ?pipeline:bool -> Schedule.t -> kind:string -> Schedule.t
+val minimize :
+  ?pipeline:bool ->
+  ?durability:bool ->
+  ?longhaul:bool ->
+  Schedule.t ->
+  kind:string ->
+  Schedule.t
 (** [minimize sc ~kind] assumes [Driver.run sc] fails with
     [Driver.failure_kind f = kind] and returns the schedule restricted
     to a 1-minimal event subset that still does. If the assumption is
-    wrong the input comes back unchanged. [pipeline] must match the
-    configuration under which the failure was observed — every
-    candidate run replays with it. *)
+    wrong the input comes back unchanged. [pipeline], [durability] and
+    [longhaul] must match the configuration under which the failure was
+    observed — every candidate run replays with them. *)

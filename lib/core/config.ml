@@ -16,6 +16,11 @@ type costs = {
 
 type reconfig = { enabled : bool }
 
+type durability = {
+  dur_enabled : bool;
+  dur_interval_ns : int;
+}
+
 type pipeline = {
   pipe_enabled : bool;
   pipe_batching : bool;
@@ -41,6 +46,7 @@ type t = {
   coord_batching : bool;
   reconfig : reconfig;
   pipeline : pipeline;
+  durability : durability;
   metrics : Heron_obs.Metrics.t;
   reqtrace : Heron_obs.Reqtrace.t option;
 }
@@ -61,6 +67,7 @@ let default_costs =
   }
 
 let default_reconfig = { enabled = false }
+let default_durability = { dur_enabled = false; dur_interval_ns = 2_000_000 }
 
 let default_pipeline =
   {
@@ -92,6 +99,7 @@ let default ~partitions ~replicas =
     coord_batching = true;
     reconfig = default_reconfig;
     pipeline = default_pipeline;
+    durability = default_durability;
     metrics = Heron_obs.Metrics.default;
     reqtrace = None;
   }

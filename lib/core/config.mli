@@ -56,6 +56,23 @@ type reconfig = {
           system: no redirects, no counters, per-partition regions. *)
 }
 
+type durability = {
+  dur_enabled : bool;
+      (** run the per-replica checkpoint fiber (DESIGN.md §13): snapshot
+          the versioned store periodically, publish the checkpoint
+          frontier through coordination memory, truncate the update log
+          (and reset access-counter history) behind the slowest live
+          replica's published frontier, and compact the multicast
+          delivery log up to the truncation point. A rejoining replica
+          then bootstraps from the donor's checkpoint plus the O(delta)
+          log suffix instead of replaying full history. Off (the
+          default) is behavior-identical to the pre-durability system:
+          no checkpoint fiber is spawned and no log entry is ever
+          truncated early. *)
+  dur_interval_ns : int;
+      (** virtual-time period between checkpoints on each replica *)
+}
+
 type pipeline = {
   pipe_enabled : bool;
       (** master switch for the compartmentalized replica pipeline
@@ -124,6 +141,9 @@ type t = {
   pipeline : pipeline;
       (** compartmentalized replica pipeline (DESIGN.md §12); disabled
           by default *)
+  durability : durability;
+      (** checkpointing + update-log compaction (DESIGN.md §13);
+          disabled by default *)
   metrics : Heron_obs.Metrics.t;
       (** registry the whole deployment records into: the fabric's RDMA
           verb series, the multicast counters and the replicas'
@@ -143,6 +163,10 @@ type t = {
 
 val default_costs : costs
 val default_reconfig : reconfig
+
+val default_durability : durability
+(** Disabled; when [dur_enabled] is flipped on, the default checkpoint
+    interval is 2ms of virtual time. *)
 
 val default_pipeline : pipeline
 (** Disabled; when [pipe_enabled] is flipped on, the defaults are

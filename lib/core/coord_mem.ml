@@ -4,15 +4,20 @@ open Heron_multicast
 type t = {
   cm_node : Fabric.node;
   region : Memory.region;
+  frontiers : Memory.region;
   replicas : int;  (* max replicas per partition, for slot indexing *)
   mutable slot_reads : Heron_obs.Metrics.counter option;
 }
 
 let slot_bytes = 16
+let frontier_bytes = 8
 
 let create node ~partitions ~replicas =
   let region = Fabric.alloc_region node ~size:(partitions * replicas * slot_bytes) in
-  { cm_node = node; region; replicas; slot_reads = None }
+  let frontiers =
+    Fabric.alloc_region node ~size:(partitions * replicas * frontier_bytes)
+  in
+  { cm_node = node; region; frontiers; replicas; slot_reads = None }
 
 let attach_metrics t reg =
   t.slot_reads <- Some (Heron_obs.Metrics.counter reg "coord.slot_reads")
@@ -38,6 +43,23 @@ let encode_slot tmp ~stage =
   let b = Bytes.create slot_bytes in
   Bytes.set_int64_le b 0 (Tstamp.to_int64 tmp);
   Bytes.set_int64_le b 8 (Int64.of_int stage);
+  b
+
+let frontier_off t ~part ~idx = ((part * t.replicas) + idx) * frontier_bytes
+
+let frontier_addr t ~part ~idx =
+  Memory.addr ~node:(Fabric.node_id t.cm_node) t.frontiers
+    ~off:(frontier_off t ~part ~idx)
+
+let read_frontier t ~part ~idx =
+  Tstamp.of_int64 (Memory.get_i64 t.frontiers ~off:(frontier_off t ~part ~idx))
+
+let write_frontier_local t ~part ~idx tmp =
+  Memory.set_i64 t.frontiers ~off:(frontier_off t ~part ~idx) (Tstamp.to_int64 tmp)
+
+let encode_frontier tmp =
+  let b = Bytes.create frontier_bytes in
+  Bytes.set_int64_le b 0 (Tstamp.to_int64 tmp);
   b
 
 let reached t ~part ~idx ~tmp ~stage =

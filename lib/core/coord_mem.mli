@@ -50,3 +50,33 @@ val count_reached :
     [stop_at] caps the scan: return as soon as that many reached slots
     were seen (waiters checking a threshold need not read the remaining
     slots every poll). *)
+
+(** {2 Checkpoint frontiers (DESIGN.md §13)}
+
+    A second region with one 8-byte slot per (partition, replica) pair
+    holds the packed timestamp of each replica's latest {e checkpoint}
+    frontier: every update at or below it is captured in that replica's
+    checkpoint. The checkpoint fiber fans its frontier out to every
+    replica of its partition exactly like a coordination announce;
+    truncation then stays behind the {e minimum} frontier over live
+    peers, so any live donor's checkpoint provably covers the compacted
+    prefix. A zeroed slot (fresh or restarted peer) reads as
+    [Tstamp.zero] and blocks truncation until that peer checkpoints —
+    conservative, never unsafe. *)
+
+val frontier_bytes : int
+(** 8. *)
+
+val frontier_addr : t -> part:int -> idx:int -> Heron_rdma.Memory.addr
+(** Address of the frontier slot of replica [idx] of partition [part]
+    in this memory, for that replica's remote writes. *)
+
+val read_frontier : t -> part:int -> idx:int -> Tstamp.t
+(** Latest checkpoint frontier replica [idx] of [part] published into
+    this (local) memory; [Tstamp.zero] if it never has. *)
+
+val write_frontier_local : t -> part:int -> idx:int -> Tstamp.t -> unit
+(** Local update of one's own frontier slot in one's own memory. *)
+
+val encode_frontier : Tstamp.t -> bytes
+(** Wire image of a frontier slot, for remote writes. *)

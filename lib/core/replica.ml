@@ -54,6 +54,12 @@ type obs = {
   ob_skipped : Heron_obs.Metrics.counter;  (* replica.skipped_deliveries *)
   ob_redirects : Heron_obs.Metrics.counter;  (* reconfig.redirects *)
   ob_migrations_applied : Heron_obs.Metrics.counter;  (* reconfig.migrations_applied *)
+  ob_checkpoints : Heron_obs.Metrics.counter;  (* durability.checkpoints *)
+  ob_truncated : Heron_obs.Metrics.counter;  (* durability.truncated_entries *)
+  ob_log_len : Heron_obs.Metrics.histogram;  (* durability.log_len *)
+  ob_mcast_log_len : Heron_obs.Metrics.histogram;  (* durability.mcast_log_len *)
+  ob_rejoin_state_bytes : Heron_obs.Metrics.counter;  (* durability.rejoin_bytes *)
+  ob_bootstraps : Heron_obs.Metrics.counter;  (* durability.checkpoint_bootstraps *)
 }
 
 let make_obs reg =
@@ -69,6 +75,12 @@ let make_obs reg =
     ob_skipped = Metrics.counter reg "replica.skipped_deliveries";
     ob_redirects = Metrics.counter reg "reconfig.redirects";
     ob_migrations_applied = Metrics.counter reg "reconfig.migrations_applied";
+    ob_checkpoints = Metrics.counter reg "durability.checkpoints";
+    ob_truncated = Metrics.counter reg "durability.truncated_entries";
+    ob_log_len = Metrics.histogram reg "durability.log_len";
+    ob_mcast_log_len = Metrics.histogram reg "durability.mcast_log_len";
+    ob_rejoin_state_bytes = Metrics.counter reg "durability.rejoin_bytes";
+    ob_bootstraps = Metrics.counter reg "durability.checkpoint_bootstraps";
   }
 
 type stats = {
@@ -101,6 +113,20 @@ let make_stats () =
 (* One outbound coordination fan-out, queued to the coordination-writer
    fiber when Config.pipeline.pipe_coord_writer is on. *)
 type coord_job = { cj_tmp : Tstamp.t; cj_dst : int list; cj_stage : int }
+
+(* A checkpoint (DESIGN.md §13): the replica's store as of one applied
+   frontier, snapshotted in a single event-loop turn through the same
+   encode path a state-transfer donor uses. Registered cells ship raw
+   (both dual versions), local-class values at their newest version at
+   or below the frontier. Serialization of the local values is paid at
+   checkpoint time, off any later rejoin's critical path. *)
+type checkpoint = {
+  ck_frontier : Tstamp.t;  (* every update <= this is captured *)
+  ck_reg : (Oid.t * bytes) list;
+  ck_loc : (Oid.t * (bytes * Tstamp.t)) list;
+  ck_loc_bytes : int;  (* serialized footprint of ck_loc *)
+  ck_bytes : int;  (* total shippable footprint *)
+}
 
 type ('req, 'resp) t = {
   r_cfg : Config.t;
@@ -142,6 +168,12 @@ type ('req, 'resp) t = {
   mutable r_coord_mb : coord_job Mailbox.t option;
       (* when set, [announce] hands fan-outs to the coordination-writer
          fiber instead of posting inline (pipeline mode) *)
+  mutable r_ckpt : checkpoint option;  (* latest checkpoint (durability) *)
+  mutable r_compact : (upto:Tstamp.t -> int) option;
+      (* multicast-log compaction hook, installed by System: compacts
+         the partition's delivery log up to the truncation frontier and
+         returns the retained length (the replica layer cannot see the
+         multicast internals) *)
   r_eng : Engine.t;
 }
 
@@ -185,6 +217,8 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_exec_delay = 0;
     r_tracer = None;
     r_coord_mb = None;
+    r_ckpt = None;
+    r_compact = None;
     r_eng = Fabric.engine (Fabric.fabric_of node);
   }
 
@@ -211,6 +245,8 @@ let clear_stats r =
   s.st_transfers_served <- 0
 
 let update_log r = r.r_log
+let set_compactor r f = r.r_compact <- Some f
+let checkpoint_frontier r = Option.map (fun ck -> ck.ck_frontier) r.r_ckpt
 let inject_exec_delay r d = r.r_exec_delay <- d
 let set_tracer r tr = r.r_tracer <- Some tr
 let placement_view r = r.r_view
@@ -599,29 +635,72 @@ let do_transfer r ~lagger_idx ~failed_tmp =
      through the wire transfer after. *)
   let upto = r.r_last_applied in
   let full = not (Update_log.covers r.r_log ~from:failed_tmp) in
-  let oids =
+  (* Checkpoint bootstrap (DESIGN.md §13): when the log cannot cover
+     the request (restart from the beginning of time, or a delta range
+     behind our truncation point) and we hold a checkpoint whose
+     frontier the log does reach back to, ship the checkpoint plus the
+     O(delta) log suffix instead of re-encoding the whole store — and
+     pay serialization only for the delta (the checkpoint's was paid
+     when it was taken). A donor that itself just truncated still
+     serves this way: truncation never advances past its own
+     checkpoint frontier, so the guard below only fails when the gap
+     came from an adopted transfer ([note_gap] beyond the checkpoint),
+     in which case the plain full path below remains correct. *)
+  let bootstrap =
     if full then
-      Versioned_store.registered_oids r.r_store @ Versioned_store.local_oids r.r_store
-    else Update_log.oids_in_range r.r_log ~from:failed_tmp ~upto
+      match r.r_ckpt with
+      | Some ck
+        when Tstamp.(Update_log.truncation r.r_log <= ck.ck_frontier)
+             && Tstamp.(ck.ck_frontier <= upto) ->
+          Some ck
+      | Some _ | None -> None
+    else None
   in
-  let reg, loc =
+  let partition_by_klass oids =
     List.partition
       (fun oid -> Versioned_store.klass_of r.r_store oid = Versioned_store.Registered)
       oids
   in
-  let reg_cells =
-    List.map (fun oid -> (oid, Versioned_store.encode_cell_of r.r_store oid)) reg
+  let encode_reg oids =
+    List.map (fun oid -> (oid, Versioned_store.encode_cell_of r.r_store oid)) oids
   in
   (* Ship local-class values as of the snapshot point; objects created
      by an in-flight request beyond it are skipped (the lagger creates
      them itself when it executes that request). *)
-  let loc_values =
+  let snapshot_loc oids =
     List.filter_map
       (fun oid ->
         match Versioned_store.get_at_most r.r_store oid ~bound:upto with
         | Some (v, tmp) -> Some (oid, (v, tmp))
         | None -> None)
-      loc
+      oids
+  in
+  let loc_footprint vs =
+    List.fold_left (fun acc (_, (v, _)) -> acc + Bytes.length v + 24) 0 vs
+  in
+  let reg_cells, loc_values, ser_bytes =
+    match bootstrap with
+    | Some ck ->
+        let delta = Update_log.oids_after r.r_log ~after:ck.ck_frontier ~upto in
+        let in_delta = Hashtbl.create (max 16 (List.length delta)) in
+        List.iter (fun oid -> Hashtbl.replace in_delta oid ()) delta;
+        let dreg, dloc = partition_by_klass delta in
+        let dloc_values = snapshot_loc dloc in
+        (* Delta cells supersede the checkpoint's for the same object. *)
+        let keep (oid, _) = not (Hashtbl.mem in_delta oid) in
+        ( List.filter keep ck.ck_reg @ encode_reg dreg,
+          List.filter keep ck.ck_loc @ dloc_values,
+          loc_footprint dloc_values )
+    | None ->
+        let oids =
+          if full then
+            Versioned_store.registered_oids r.r_store
+            @ Versioned_store.local_oids r.r_store
+          else Update_log.oids_in_range r.r_log ~from:failed_tmp ~upto
+        in
+        let reg, loc = partition_by_klass oids in
+        let loc_values = snapshot_loc loc in
+        (encode_reg reg, loc_values, loc_footprint loc_values)
   in
   (* Snapshot the placement view in the same turn: it must describe the
      same instant as [upto] (exec_migration installs the epoch and marks
@@ -631,11 +710,9 @@ let do_transfer r ~lagger_idx ~failed_tmp =
   let reg_bytes =
     List.fold_left (fun acc (_, cell) -> acc + Bytes.length cell) 0 reg_cells
   in
-  let loc_bytes =
-    List.fold_left (fun acc (_, (v, _)) -> acc + Bytes.length v + 24) 0 loc_values
-  in
+  let loc_bytes = loc_footprint loc_values in
   let plc_bytes = 8 + (16 * Placement.view_size plc) in
-  charge_ser r loc_bytes;
+  charge_ser r ser_bytes;
   let qp = qp_to r lagger.r_node in
   let chunk = (costs r).Config.transfer_chunk_bytes in
   let rec ship remaining =
@@ -667,6 +744,15 @@ let do_transfer r ~lagger_idx ~failed_tmp =
      Heron_obs.Metrics.incr r.r_obs.ob_transfers;
      Heron_obs.Metrics.add r.r_obs.ob_transfer_bytes
        (reg_bytes + loc_bytes + plc_bytes);
+     (* Rejoin cost accounting (DESIGN.md §13): every full-history
+        transfer counts, checkpoint-served or not, so durability on and
+        off compare directly. *)
+     if full then begin
+       Heron_obs.Metrics.add r.r_obs.ob_rejoin_state_bytes
+         (reg_bytes + loc_bytes + plc_bytes);
+       if Option.is_some bootstrap then
+         Heron_obs.Metrics.incr r.r_obs.ob_bootstraps
+     end;
      (* Report completion to the whole group (Algorithm 3 lines 16-17). *)
      sync_fanout r ~slot_idx:lagger_idx upto ~status:0
    with Qp.Rdma_exception _ -> (* lagger died mid-transfer *) ())
@@ -718,6 +804,169 @@ let statesync_watcher r =
             handling.(j) <- false)
       end
     done;
+    loop ()
+  in
+  loop ()
+
+(* {1 Checkpointing and update-log compaction (DESIGN.md §13)}
+
+   A per-replica fiber (spawned by [start] when Config.durability is
+   on) periodically snapshots the store, publishes the checkpoint
+   frontier to the partition's replicas through coordination memory,
+   and truncates the update log — and, through the System-installed
+   hook, the multicast delivery log — behind the slowest {e live}
+   replica's published frontier. Any live donor's checkpoint then
+   provably covers everything truncated anywhere in the partition, so
+   a rejoiner can always bootstrap from checkpoint + O(delta) suffix. *)
+
+(* Fan the checkpoint frontier out to every replica of our partition
+   (self-write local), exactly like a coordination announce. *)
+let publish_frontier r tmp =
+  let payload = Coord_mem.encode_frontier tmp in
+  if r.r_cfg.Config.coord_batching then begin
+    let batch = Qp.Doorbell.create () in
+    for i = 0 to n_replicas r - 1 do
+      let q = peer r ~part:r.r_part ~idx:i in
+      if q == r then
+        Coord_mem.write_frontier_local r.r_coord ~part:r.r_part ~idx:r.r_idx tmp
+      else
+        Qp.Doorbell.add batch (qp_to r q.r_node)
+          (Coord_mem.frontier_addr q.r_coord ~part:r.r_part ~idx:r.r_idx)
+          payload
+    done;
+    if Qp.Doorbell.length batch > 0 then begin
+      Engine.consume (costs r).Config.coord_post_ns;
+      Qp.Doorbell.ring batch
+    end
+  end
+  else
+    for i = 0 to n_replicas r - 1 do
+      let q = peer r ~part:r.r_part ~idx:i in
+      if q == r then
+        Coord_mem.write_frontier_local r.r_coord ~part:r.r_part ~idx:r.r_idx tmp
+      else begin
+        Engine.consume (costs r).Config.coord_post_ns;
+        Qp.write_post (qp_to r q.r_node)
+          (Coord_mem.frontier_addr q.r_coord ~part:r.r_part ~idx:r.r_idx)
+          payload
+      end
+    done
+
+(* Snapshot the whole store as of [r_last_applied], in a single
+   event-loop turn (no suspension points) — the same consistency
+   argument as the donor snapshot in [do_transfer]: the frontier and
+   the copied values describe one instant, with at most the single
+   in-flight write per object beyond it, which dual versioning
+   absorbs. Crash-mid-checkpoint is safe by construction: either the
+   assignment of [r_ckpt] happened or the old checkpoint stands. *)
+let take_checkpoint r =
+  let frontier = r.r_last_applied in
+  let ck_reg =
+    List.map
+      (fun oid -> (oid, Versioned_store.encode_cell_of r.r_store oid))
+      (Versioned_store.registered_oids r.r_store)
+  in
+  let ck_loc =
+    List.filter_map
+      (fun oid ->
+        match Versioned_store.get_at_most r.r_store oid ~bound:frontier with
+        | Some (v, tmp) -> Some (oid, (v, tmp))
+        | None -> None)
+      (Versioned_store.local_oids r.r_store)
+  in
+  let reg_bytes =
+    List.fold_left (fun acc (_, cell) -> acc + Bytes.length cell) 0 ck_reg
+  in
+  let loc_bytes =
+    List.fold_left (fun acc (_, (v, _)) -> acc + Bytes.length v + 24) 0 ck_loc
+  in
+  {
+    ck_frontier = frontier;
+    ck_reg;
+    ck_loc;
+    ck_loc_bytes = loc_bytes;
+    ck_bytes = reg_bytes + loc_bytes;
+  }
+
+(* The slowest live replica's published checkpoint frontier (own
+   partition), our own included. Dead peers are skipped: their slots
+   are stale, and their next incarnation bootstraps from a live donor
+   whose applied state is at or past any frontier this minimum can
+   return. A peer that never published reads [Tstamp.zero] and blocks
+   truncation — conservative, never unsafe. *)
+let min_live_frontier r ~own =
+  let acc = ref own in
+  for i = 0 to n_replicas r - 1 do
+    if i <> r.r_idx then begin
+      let q = peer r ~part:r.r_part ~idx:i in
+      if Fabric.is_alive q.r_node then begin
+        let f = Coord_mem.read_frontier r.r_coord ~part:r.r_part ~idx:i in
+        if Tstamp.(f < !acc) then acc := f
+      end
+    end
+  done;
+  !acc
+
+let checkpoint_round r =
+  let col = r.r_cfg.Config.reqtrace in
+  let t0 = Engine.now r.r_eng in
+  let ck_trace, ck_root =
+    match col with
+    | Some col ->
+        Heron_obs.Reqtrace.start_trace col
+          ~attrs:
+            [ ("kind", "ckpt"); ("part", string_of_int r.r_part);
+              ("idx", string_of_int r.r_idx) ]
+          ~now:t0 ()
+    | None -> (0, 0)
+  in
+  let ckpt_span ~stage ~start stop =
+    match col with
+    | Some col when ck_trace <> 0 ->
+        ignore
+          (Heron_obs.Reqtrace.add_span col ~trace:ck_trace ~parent:ck_root ~stage
+             ~start stop)
+    | Some _ | None -> ()
+  in
+  let ck = take_checkpoint r in
+  r.r_ckpt <- Some ck;
+  Heron_obs.Metrics.incr r.r_obs.ob_checkpoints;
+  (* Serialization of the local-class values is paid now, not when a
+     rejoiner later needs them. *)
+  charge_ser r ck.ck_loc_bytes;
+  let t1 = Engine.now r.r_eng in
+  ckpt_span ~stage:"ckpt.snapshot" ~start:t0 t1;
+  publish_frontier r ck.ck_frontier;
+  let upto = min_live_frontier r ~own:ck.ck_frontier in
+  let t2 = Engine.now r.r_eng in
+  if Tstamp.(Tstamp.zero < upto) then begin
+    let dropped = Update_log.truncate r.r_log ~upto in
+    if dropped > 0 then Heron_obs.Metrics.add r.r_obs.ob_truncated dropped;
+    (* Access-counter history behind the truncation point is gone with
+       it; the rebalancer only loses already-stale samples. *)
+    if r.r_track then Hashtbl.reset r.r_access;
+    (match r.r_compact with
+    | Some compact ->
+        let retained = compact ~upto in
+        Heron_obs.Metrics.observe r.r_obs.ob_mcast_log_len retained
+    | None -> ());
+    ckpt_span ~stage:"ckpt.truncate" ~start:t2 (Engine.now r.r_eng)
+  end;
+  Heron_obs.Metrics.observe r.r_obs.ob_log_len (Update_log.length r.r_log);
+  match col with
+  | Some col when ck_trace <> 0 ->
+      Heron_obs.Reqtrace.finish col ~trace:ck_trace ~now:(Engine.now r.r_eng)
+  | Some _ | None -> ()
+
+(* Checkpoint fiber: one round per configured interval. Rounds are
+   skipped while a state transfer is in flight (the applied frontier
+   and store are mid-adoption) and before anything was applied. *)
+let checkpoint_loop r =
+  let interval = max 1_000 r.r_cfg.Config.durability.Config.dur_interval_ns in
+  let rec loop () =
+    Engine.sleep interval;
+    if (not (in_recovery r)) && Tstamp.(Tstamp.zero < r.r_last_applied) then
+      checkpoint_round r;
     loop ()
   in
   loop ()
@@ -1458,4 +1707,6 @@ let start r =
         loop ()
       end
       else parallel_loop r);
-  Fabric.spawn_on r.r_node (fun () -> statesync_watcher r)
+  Fabric.spawn_on r.r_node (fun () -> statesync_watcher r);
+  if r.r_cfg.Config.durability.Config.dur_enabled then
+    Fabric.spawn_on r.r_node (fun () -> checkpoint_loop r)

@@ -125,6 +125,21 @@ val force_state_transfer :
 val update_log : ('req, 'resp) t -> Update_log.t
 (** The replica's update log (tests and the Figure 8 experiment). *)
 
+val set_compactor : ('req, 'resp) t -> (upto:Tstamp.t -> int) -> unit
+(** Install the multicast-log compaction hook the checkpoint fiber
+    invokes after truncating the update log (DESIGN.md §13). The hook
+    receives the truncation frontier — the minimum checkpoint frontier
+    over the partition's live replicas — and returns the number of
+    multicast-log entries still retained (fed into the
+    [durability.mcast_log_len] histogram). System wires this to
+    {!Heron_multicast.Ramcast.compact}; without it, checkpointing still
+    truncates the update log but the delivery log grows unboundedly. *)
+
+val checkpoint_frontier : ('req, 'resp) t -> Tstamp.t option
+(** Frontier of the replica's latest checkpoint — every update at or
+    below it is captured — or [None] before the first checkpoint
+    completes (tests and monitoring). *)
+
 val placement_view : ('req, 'resp) t -> Placement.view
 (** The replica's placement view: epoch 0 until it executes (or adopts
     through a state transfer) a migration. *)

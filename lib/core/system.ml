@@ -137,7 +137,11 @@ let create eng ~cfg ~app =
         (fun idx r ->
           ignore idx;
           Ramcast.set_deliver sys_mcast ~gid:part ~idx:(Replica.idx r) (fun dv ->
-              Mailbox.send (Replica.inbox r) dv))
+              Mailbox.send (Replica.inbox r) dv);
+          if cfg.Config.durability.Config.dur_enabled then
+            Replica.set_compactor r (fun ~upto ->
+                ignore (Ramcast.compact sys_mcast ~gid:part ~upto);
+                Ramcast.log_retained sys_mcast ~gid:part ~idx:(Replica.idx r)))
         row)
     sys_replicas;
   let sys_dir = Placement.create () in
@@ -189,6 +193,10 @@ let restart_replica t ~part ~idx =
   Replica.set_directory fresh t.sys_replicas;
   Ramcast.restart_member t.sys_mcast ~gid:part ~idx ~deliver:(fun dv ->
       Mailbox.send (Replica.inbox fresh) dv);
+  if t.sys_cfg.Config.durability.Config.dur_enabled then
+    Replica.set_compactor fresh (fun ~upto ->
+        ignore (Ramcast.compact t.sys_mcast ~gid:part ~upto);
+        Ramcast.log_retained t.sys_mcast ~gid:part ~idx);
   (* Transfer from the beginning of time: the store is empty, so a
      delta from any later point would keep cold objects at their
      catalog values. Any consistent donor snapshot suffices for the

@@ -22,6 +22,18 @@ let append t tmp oid =
   done
 
 let note_gap t ~upto = if Tstamp.(t.trunc < upto) then t.trunc <- upto
+
+let truncate t ~upto =
+  let kept = Queue.create () in
+  let dropped = ref 0 in
+  Queue.iter
+    (fun e ->
+      if Tstamp.(e.en_tmp <= upto) then incr dropped else Queue.push e kept)
+    t.entries;
+  Queue.clear t.entries;
+  Queue.transfer kept t.entries;
+  if Tstamp.(t.trunc < upto) then t.trunc <- upto;
+  !dropped
 let length t = Queue.length t.entries
 let covers t ~from = Tstamp.(t.trunc < from)
 let last_tmp t = t.last
@@ -36,6 +48,24 @@ let oids_in_range t ~from ~upto =
     (fun e ->
       if
         Tstamp.(from <= e.en_tmp)
+        && Tstamp.(e.en_tmp <= upto)
+        && not (Hashtbl.mem seen e.en_oid)
+      then begin
+        Hashtbl.replace seen e.en_oid ();
+        acc := e.en_oid :: !acc
+      end)
+    t.entries;
+  List.rev !acc
+
+let oids_after t ~after ~upto =
+  if Tstamp.(after < t.trunc) then
+    invalid_arg "Update_log.oids_after: suffix reaches behind truncation point";
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Queue.iter
+    (fun e ->
+      if
+        Tstamp.(after < e.en_tmp)
         && Tstamp.(e.en_tmp <= upto)
         && not (Hashtbl.mem seen e.en_oid)
       then begin

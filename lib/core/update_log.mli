@@ -28,6 +28,14 @@ val note_gap : t -> upto:Tstamp.t -> unit
     like truncation: {!covers} then refuses ranges reaching behind
     [upto], forcing donors back to a full-store transfer. *)
 
+val truncate : t -> upto:Tstamp.t -> int
+(** Drop every retained entry with timestamp <= [upto] and advance the
+    truncation point to at least [upto] (even when no entry was
+    dropped — the caller asserts that updates at or below [upto] are
+    durably captured elsewhere, e.g. by a checkpoint, so the log must
+    refuse ranges reaching behind it from now on). Returns the number
+    of entries dropped. *)
+
 val length : t -> int
 
 val covers : t -> from:Tstamp.t -> bool
@@ -46,3 +54,12 @@ val oids_in_range : t -> from:Tstamp.t -> upto:Tstamp.t -> Oid.t list
     [[from, upto]] (both inclusive), in first-update order. Raises
     [Invalid_argument] if the range reaches behind the truncation point
     (check {!covers} first). *)
+
+val oids_after : t -> after:Tstamp.t -> upto:Tstamp.t -> Oid.t list
+(** Distinct oids updated by requests with timestamp in
+    [(after, upto]] (left-exclusive), in first-update order — the delta
+    a lagger needs on top of a checkpoint cut exactly at [after].
+    Unlike {!oids_in_range}, the log may have been truncated {e at}
+    [after] (a checkpoint that just truncated there still serves this
+    suffix); raises [Invalid_argument] only when the truncation point
+    is strictly beyond [after]. *)

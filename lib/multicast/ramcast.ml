@@ -73,10 +73,12 @@ type 'a member = {
   m_submits : (int, 'a msg_info) Hashtbl.t;  (* follower stash *)
   m_commits : 'a commit Queue.t;
   m_seen : (int, unit) Hashtbl.t;  (* uids dispatched or delivered here *)
-  mutable m_log : 'a delivery array;  (* accepted entries, in leader order *)
-  mutable m_log_len : int;
+  mutable m_log : 'a delivery array;  (* retained entries, in leader order *)
+  mutable m_log_len : int;  (* logical length: compacted + retained *)
+  mutable m_log_start : int;  (* logical index of m_log.(0) (compacted prefix) *)
+  mutable m_compacted_tmp : Tstamp.t;  (* d_tmp of the last compacted entry *)
   m_committed : (int, unit) Hashtbl.t;  (* uids safe to deliver *)
-  mutable m_next_deliver : int;  (* index into m_log *)
+  mutable m_next_deliver : int;  (* logical index into the log *)
   mutable m_delivered : int;
 }
 
@@ -86,6 +88,9 @@ type obs = {
   ob_submits : Heron_obs.Metrics.counter;
   ob_rounds : Heron_obs.Metrics.counter;  (* timestamp proposal rounds *)
   ob_takeovers : Heron_obs.Metrics.counter;
+  ob_compacted : Heron_obs.Metrics.counter;  (* entries dropped by compact *)
+  ob_rejoin_replayed : Heron_obs.Metrics.counter;  (* entries copied on restart *)
+  ob_rejoin_bytes : Heron_obs.Metrics.counter;  (* payload bytes of those *)
 }
 
 type 'a t = {
@@ -154,11 +159,20 @@ let members t ~gid =
 let leader_idx t ~gid = t.groups.(gid).g_leader
 let delivered_count t ~gid ~idx = t.groups.(gid).g_members.(idx).m_delivered
 
+(* Log indices are logical: physical slot = logical - m_log_start.
+   Compaction (see [compact]) drops a delivered-everywhere prefix by
+   advancing m_log_start; m_log_len and m_next_deliver keep counting
+   from the beginning of time, so all cross-member comparisons are
+   unchanged. *)
+let log_get (m : 'a member) i = m.m_log.(i - m.m_log_start)
+let log_retained_of (m : 'a member) = m.m_log_len - m.m_log_start
+
 let dispatch_horizon t ~gid =
   let g = t.groups.(gid) in
   let lead = g.g_members.(g.g_leader) in
   if lead.m_log_len = 0 then Tstamp.zero
-  else lead.m_log.(lead.m_log_len - 1).d_tmp
+  else if lead.m_log_len = lead.m_log_start then lead.m_compacted_tmp
+  else (log_get lead (lead.m_log_len - 1)).d_tmp
 let quorum t ~gid = (Array.length t.groups.(gid).g_members / 2) + 1
 
 let debug_state t ~gid =
@@ -169,11 +183,12 @@ let debug_state t ~gid =
     (fun m ->
       Buffer.add_string b
         (Printf.sprintf
-           "  m%d alive=%b log_len=%d next_deliver=%d delivered=%d pending=%d \
-            commits=%d head_acks=%s committed=%d\n"
+           "  m%d alive=%b log_len=%d log_start=%d next_deliver=%d delivered=%d \
+            pending=%d commits=%d head_acks=%s committed=%d\n"
            m.m_idx
            (Fabric.is_alive m.m_node)
-           m.m_log_len m.m_next_deliver m.m_delivered (Hashtbl.length m.m_pending)
+           m.m_log_len m.m_log_start m.m_next_deliver m.m_delivered
+           (Hashtbl.length m.m_pending)
            (Queue.length m.m_commits)
            (match Queue.peek_opt m.m_commits with
            | None -> "-"
@@ -203,13 +218,14 @@ let deliver_local (m : 'a member) (e : 'a delivery) =
   m.m_deliver e
 
 let log_push (m : 'a member) e =
+  let phys = log_retained_of m in
   let cap = Array.length m.m_log in
-  if m.m_log_len = cap then begin
+  if phys = cap then begin
     let nlog = Array.make (max 64 (cap * 2)) e in
-    Array.blit m.m_log 0 nlog 0 m.m_log_len;
+    Array.blit m.m_log 0 nlog 0 phys;
     m.m_log <- nlog
   end;
-  m.m_log.(m.m_log_len) <- e;
+  m.m_log.(phys) <- e;
   m.m_log_len <- m.m_log_len + 1
 
 (* Follower: deliver the committed prefix of the accepted log, in
@@ -217,7 +233,7 @@ let log_push (m : 'a member) e =
 let drain_follower (m : 'a member) =
   let continue_ = ref true in
   while !continue_ && m.m_next_deliver < m.m_log_len do
-    let e = m.m_log.(m.m_next_deliver) in
+    let e = log_get m m.m_next_deliver in
     if Hashtbl.mem m.m_committed e.d_uid then begin
       Hashtbl.remove m.m_committed e.d_uid;
       m.m_next_deliver <- m.m_next_deliver + 1;
@@ -474,8 +490,11 @@ let takeover t (m : 'a member) =
       if peer.m_idx <> m.m_idx && Fabric.is_alive peer.m_node then begin
         let missing = max 0 (peer.m_log_len - m.m_log_len) in
         if missing > 0 then begin
+          (* The taker is live, so its logical length is at least the
+             group's compaction cut — the peer still retains every
+             entry the taker is missing. *)
           let entries =
-            List.init missing (fun i -> peer.m_log.(m.m_log_len + i))
+            List.init missing (fun i -> log_get peer (m.m_log_len + i))
           in
           let bytes =
             List.fold_left (fun acc e -> acc + entry_bytes t e) 0 entries
@@ -496,7 +515,7 @@ let takeover t (m : 'a member) =
   (* Deliver everything accepted but not yet delivered, in log order:
      accepted entries were decided by the previous leader. *)
   while m.m_next_deliver < m.m_log_len do
-    let e = m.m_log.(m.m_next_deliver) in
+    let e = log_get m m.m_next_deliver in
     Hashtbl.remove m.m_committed e.d_uid;
     m.m_next_deliver <- m.m_next_deliver + 1;
     deliver_local m e
@@ -538,6 +557,55 @@ let monitor_leader t (m : 'a member) =
   in
   loop ()
 
+(* {1 Log compaction}
+
+   Drop a prefix of the replicated log that (a) every live member has
+   already delivered and (b) lies at or below [upto] — the durability
+   layer's truncation frontier, itself behind every live replica's
+   published checkpoint. Logical indices (m_log_len, m_next_deliver)
+   keep counting from the beginning of time, so the cut is invisible to
+   the protocol; only the array prefix (the payload memory) is freed.
+   m_seen and m_committed are intentionally NOT pruned: a late
+   duplicate Submit for a compacted uid must still be recognized as
+   seen, or a future takeover could re-propose it under a new timestamp
+   and deliver it twice. *)
+
+let compact t ~gid ~upto =
+  let g = t.groups.(gid) in
+  (* Uniform cut: behind every live member's delivery point. Entries
+     are appended in (timestamp, uid) dispatch order, so the entries at
+     or below [upto] form a log prefix. *)
+  let cut = ref max_int in
+  Array.iter
+    (fun (m : 'a member) ->
+      if Fabric.is_alive m.m_node then cut := min !cut m.m_next_deliver)
+    g.g_members;
+  let lead = g.g_members.(g.g_leader) in
+  let k = ref lead.m_log_start in
+  while
+    !k < !cut && !k < lead.m_log_len
+    && Tstamp.((log_get lead !k).d_tmp <= upto)
+  do
+    incr k
+  done;
+  let k = !k in
+  let dropped = k - lead.m_log_start in
+  if dropped > 0 then begin
+    Array.iter
+      (fun (m : 'a member) ->
+        if Fabric.is_alive m.m_node && m.m_log_start < k then begin
+          let drop = k - m.m_log_start in
+          m.m_compacted_tmp <- (log_get m (k - 1)).d_tmp;
+          m.m_log <- Array.sub m.m_log drop (log_retained_of m - drop);
+          m.m_log_start <- k
+        end)
+      g.g_members;
+    Heron_obs.Metrics.add t.obs.ob_compacted dropped
+  end;
+  dropped
+
+let log_retained t ~gid ~idx = log_retained_of t.groups.(gid).g_members.(idx)
+
 (* {1 Construction and client API} *)
 
 let create ?(config = default_config) ?tracing fab ~size_of ~groups =
@@ -564,6 +632,8 @@ let create ?(config = default_config) ?tracing fab ~size_of ~groups =
         m_log = [||];
         m_committed = Hashtbl.create 256;
         m_log_len = 0;
+        m_log_start = 0;
+        m_compacted_tmp = Tstamp.zero;
         m_next_deliver = 0;
         m_delivered = 0;
       }
@@ -582,6 +652,9 @@ let create ?(config = default_config) ?tracing fab ~size_of ~groups =
         ob_submits = Heron_obs.Metrics.counter reg "mcast.submits";
         ob_rounds = Heron_obs.Metrics.counter reg "mcast.timestamp_rounds";
         ob_takeovers = Heron_obs.Metrics.counter reg "mcast.takeovers";
+        ob_compacted = Heron_obs.Metrics.counter reg "mcast.compacted_entries";
+        ob_rejoin_replayed = Heron_obs.Metrics.counter reg "mcast.rejoin_replayed";
+        ob_rejoin_bytes = Heron_obs.Metrics.counter reg "mcast.rejoin_replay_bytes";
       };
     next_uid = 1;
   }
@@ -613,6 +686,8 @@ let restart_member t ~gid ~idx ~deliver =
   Hashtbl.reset m.m_committed;
   m.m_log <- [||];
   m.m_log_len <- 0;
+  m.m_log_start <- 0;
+  m.m_compacted_tmp <- Tstamp.zero;
   m.m_next_deliver <- 0;
   m.m_delivered <- 0;
   m.m_clock <- 0;
@@ -635,19 +710,33 @@ let restart_member t ~gid ~idx ~deliver =
      prefix — the replica skips whatever its transfer covered — and
      ack the in-flight tail so the leader can commit it. *)
   let lead = t.groups.(gid).g_members.(t.groups.(gid).g_leader) in
-  m.m_log <- Array.sub lead.m_log 0 lead.m_log_len;
+  let retained = log_retained_of lead in
+  m.m_log <- Array.sub lead.m_log 0 retained;
+  m.m_log_start <- lead.m_log_start;
+  m.m_compacted_tmp <- lead.m_compacted_tmp;
   m.m_log_len <- lead.m_log_len;
-  m.m_next_deliver <- 0;
-  for i = 0 to m.m_log_len - 1 do
-    let e = m.m_log.(i) in
+  (* The compacted prefix counts as delivered: every dropped entry was
+     delivered at all live members before the cut, so the recovery
+     state transfer (from any live donor's checkpoint) covers it. *)
+  m.m_next_deliver <- m.m_log_start;
+  (* Re-adopt the leader's dedup set wholesale, not just the retained
+     suffix's uids: a stale duplicate Submit for a compacted uid must
+     never be re-proposable here after a future takeover. *)
+  Hashtbl.iter (fun uid () -> Hashtbl.replace m.m_seen uid ()) lead.m_seen;
+  let replay_bytes = ref 0 in
+  for i = m.m_log_start to m.m_log_len - 1 do
+    let e = log_get m i in
+    replay_bytes := !replay_bytes + entry_bytes t e;
     Hashtbl.replace m.m_seen e.d_uid ();
     m.m_clock <- max m.m_clock e.d_tmp.Tstamp.clock;
     if i < lead.m_next_deliver then Hashtbl.replace m.m_committed e.d_uid ()
   done;
+  Heron_obs.Metrics.add t.obs.ob_rejoin_replayed retained;
+  Heron_obs.Metrics.add t.obs.ob_rejoin_bytes !replay_bytes;
   drain_follower m;
   for i = lead.m_next_deliver to m.m_log_len - 1 do
     post_ctrl t ~src:m.m_node ~dst:lead ~bytes:t.cfg.ack_bytes
-      (Ack { a_uid = m.m_log.(i).d_uid })
+      (Ack { a_uid = (log_get m i).d_uid })
   done;
   spawn_member_loops t m
 

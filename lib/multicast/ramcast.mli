@@ -128,8 +128,31 @@ val restart_member : 'a t -> gid:int -> idx:int -> deliver:('a delivery -> unit)
     processes. Entries the leader had already delivered are re-delivered
     to the fresh callback — the layer above skips those its recovery
     state transfer covers — and in-flight entries are stored and acked
-    so they can commit. The node must be alive and must not currently
-    be the group's leader. *)
+    so they can commit. When the log was compacted ({!compact}), only
+    the retained suffix is copied and re-delivered; the compacted
+    prefix is owed to the rejoiner by the layer above's checkpoint
+    bootstrap. The node must be alive and must not currently be the
+    group's leader.
+    Metrics: [mcast.rejoin_replayed], [mcast.rejoin_replay_bytes] —
+    the per-rejoin replay cost the longhaul suite asserts is O(delta). *)
 
 val quorum : 'a t -> gid:int -> int
 (** f + 1 for the group. *)
+
+val compact : 'a t -> gid:int -> upto:Tstamp.t -> int
+(** [compact t ~gid ~upto] drops the prefix of the group's replicated
+    log that every {e live} member has already delivered and whose
+    timestamps are at or below [upto] — the durability layer calls this
+    with its update-log truncation frontier (behind every live
+    replica's published checkpoint, DESIGN.md §13), so a rejoining
+    member can always obtain the dropped prefix from a live donor's
+    checkpoint instead of the log. Logical log positions are preserved
+    (only the entry memory is freed) and uid dedup state is kept, so
+    the cut is invisible to the ordering protocol. Returns the number
+    of entries dropped (0 when nothing qualified).
+    Metrics: [mcast.compacted_entries]. *)
+
+val log_retained : 'a t -> gid:int -> idx:int -> int
+(** Entries currently held in one member's log array (its logical
+    length minus the compacted prefix) — the memory-footprint series
+    the longhaul suite asserts stays bounded. *)

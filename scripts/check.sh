@@ -64,6 +64,17 @@ echo "== reconfig chaos sweep =="
 # windows (DESIGN.md §10), same shrink-and-pin flow.
 dune exec bin/probe.exe -- chaos --seeds 0..99 --reconfig --shrink --corpus test/corpus
 
+echo "== longhaul chaos smoke =="
+# Long-horizon durability schedules (DESIGN.md §13): minutes of virtual
+# time per seed with checkpointing on; verdicts include flat memory
+# (bounded update/multicast logs) and O(delta) rejoin, not just
+# linearizability. Pinned longhaul schedules replay under the same
+# flags.
+dune exec bin/probe.exe -- longhaul --seeds 0..39 --shrink --corpus test/corpus
+for f in test/corpus/longhaul_*.json; do
+  dune exec bin/probe.exe -- longhaul --replay "$f"
+done
+
 echo "== bench coord smoke =="
 # Quick coordination bench: multi-partition p50/p99 latency,
 # single-partition throughput, doorbell charges and the per-stage
@@ -84,6 +95,17 @@ dune exec bin/probe.exe -- benchguard BENCH_pipeline.json \
   scripts/bench_pipeline_baseline.json \
   --keys best_pipeline_tput_tps,off_tput_tps --max-regression-pct 10
 
+echo "== bench longhaul smoke =="
+# Durability ablation: checkpointing on vs off over a long virtual
+# horizon -> BENCH_longhaul.json (flat vs linear log growth, O(delta)
+# vs O(history) rejoin). The guard holds durable throughput and the
+# compaction factor against the committed quick-mode baseline.
+dune exec bench/main.exe -- quick longhaul
+dune exec bin/probe.exe -- jsonlint BENCH_longhaul.json
+dune exec bin/probe.exe -- benchguard BENCH_longhaul.json \
+  scripts/bench_longhaul_baseline.json \
+  --keys durable_tput_tps,compaction_factor_x100 --max-regression-pct 10
+
 echo "== bench reconfig smoke =="
 # Shifting-hotspot bench: static placement vs the live rebalancer ->
 # BENCH_reconfig.json (the rebalanced run must win post-shift).
@@ -91,7 +113,8 @@ dune exec bench/main.exe -- quick reconfig
 dune exec bin/probe.exe -- jsonlint BENCH_reconfig.json
 
 if [ -n "${ARTIFACTS:-}" ]; then
-  cp BENCH_coord.json BENCH_reconfig.json BENCH_pipeline.json "$ARTIFACTS/"
+  cp BENCH_coord.json BENCH_reconfig.json BENCH_pipeline.json \
+    BENCH_longhaul.json "$ARTIFACTS/"
 fi
 
 echo "all checks passed"

@@ -117,6 +117,69 @@ let test_reconfig_generator_overlap () =
       sc.Schedule.sc_events
   done
 
+(* The longhaul generator (DESIGN.md §13) trades event density for
+   duration: minutes of virtual time, paced traffic, repeated
+   crash/rejoin cycles with migrations racing the down windows. *)
+let longhaul_generator_prop =
+  QCheck.Test.make ~name:"longhaul schedules validate and roundtrip" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sc = Schedule.generate_longhaul ~seed in
+      match Schedule.validate sc with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg
+      | Ok () -> (
+          match Schedule.of_json (Schedule.to_json sc) with
+          | Ok sc' -> sc' = Schedule.normalize sc
+          | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg))
+
+let test_longhaul_generator_shape () =
+  for seed = 0 to 49 do
+    let sc = Schedule.generate_longhaul ~seed in
+    let crashes =
+      List.length
+        (List.filter (function Schedule.Crash _ -> true | _ -> false)
+           sc.Schedule.sc_events)
+    in
+    if crashes < 8 then Alcotest.failf "seed %d: only %d rejoin cycles" seed crashes;
+    if
+      not
+        (List.exists
+           (function Schedule.Migrate _ -> true | _ -> false)
+           sc.Schedule.sc_events)
+    then Alcotest.failf "seed %d has no migrations" seed;
+    if sc.Schedule.sc_horizon_ns < 60_000_000_000 then
+      Alcotest.failf "seed %d horizon under a virtual minute" seed;
+    if sc.Schedule.sc_think_ns <= 0 then
+      Alcotest.failf "seed %d traffic not paced" seed;
+    (* Every event fits the horizon — otherwise it injects into a
+       finished run. *)
+    List.iter
+      (fun e ->
+        if Schedule.event_end e > sc.Schedule.sc_horizon_ns then
+          Alcotest.failf "seed %d: event past the horizon" seed)
+      sc.Schedule.sc_events
+  done
+
+let test_old_pins_parse_without_horizon () =
+  (* Pins written before sc_horizon_ns/sc_think_ns existed must keep
+     loading with the classic defaults. *)
+  let sc = Schedule.generate ~seed:3 in
+  match Schedule.to_json sc with
+  | Heron_obs.Json.Obj fields ->
+      let stripped =
+        Heron_obs.Json.Obj
+          (List.filter
+             (fun (k, _) -> k <> "horizon_ns" && k <> "think_ns")
+             fields)
+      in
+      (match Schedule.of_json stripped with
+      | Ok sc' ->
+          check_int "default horizon" Schedule.default_horizon_ns
+            sc'.Schedule.sc_horizon_ns;
+          check_int "default think" 0 sc'.Schedule.sc_think_ns
+      | Error msg -> Alcotest.fail msg)
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
 let test_file_roundtrip () =
   let sc = Schedule.generate ~seed:7 in
   let file = Filename.temp_file "chaos_sched" ".json" in
@@ -235,6 +298,106 @@ let test_driver_skips_unsafe_injections () =
         (Format.asprintf "%a" Driver.pp_failure f));
   check_bool "injections were skipped" true (Metrics.counter_value skipped > before)
 
+(* {2 Durability refinement (DESIGN.md §13)}
+
+   Checkpointing + truncation must refine to a no-op: the same schedule
+   with durability on and off completes identically and linearizes
+   identically. For increment-only workloads the final state is
+   order-independent, so it must additionally be byte-identical —
+   catching exactly the durability bugs that matter (an update lost
+   under truncation, or double-applied after a checkpoint bootstrap). *)
+
+let state_digest sys =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      let st = Heron_core.Replica.store row.(0) in
+      List.iter
+        (fun oid ->
+          Buffer.add_string buf
+            (Bytes.to_string (fst (Heron_core.Versioned_store.get st oid))))
+        (Heron_core.Versioned_store.registered_oids st))
+    (Heron_core.System.replicas sys);
+  Buffer.contents buf
+
+let outcome_kind = function
+  | Driver.Completed _ -> "completed"
+  | Driver.Failed f -> Driver.failure_kind f
+
+let durability_refinement_state_prop =
+  QCheck.Test.make
+    ~name:"durability on/off: byte-identical state on incr-only workloads"
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let sc =
+        { (Schedule.generate ~seed) with Schedule.sc_workload = Schedule.Incr_all }
+      in
+      let d_on = ref None and d_off = ref None in
+      let o_on =
+        Driver.run ~durability:true ~inspect:(fun s -> d_on := Some (state_digest s)) sc
+      in
+      let o_off = Driver.run ~inspect:(fun s -> d_off := Some (state_digest s)) sc in
+      match (o_on, o_off) with
+      | Driver.Completed { completed = a }, Driver.Completed { completed = b } ->
+          if a <> b then QCheck.Test.fail_reportf "seed %d: op counts differ" seed
+          else if !d_on = None || !d_on <> !d_off then
+            QCheck.Test.fail_reportf "seed %d: final states differ" seed
+          else true
+      | _ ->
+          QCheck.Test.fail_reportf "seed %d: %s (on) vs %s (off)" seed
+            (outcome_kind o_on) (outcome_kind o_off))
+
+let durability_refinement_verdict_prop =
+  (* Mixed workloads: timing (and thus individual read results) may
+     legitimately differ — checkpoint traffic shares QPs with the
+     request path — but the verdict must not: durability never turns a
+     passing schedule into a stall, divergence, invariant breach or
+     linearizability violation. *)
+  QCheck.Test.make ~name:"durability on/off: same verdict on generated schedules"
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let sc = Schedule.generate ~seed in
+      let k_on = outcome_kind (Driver.run ~durability:true sc) in
+      let k_off = outcome_kind (Driver.run sc) in
+      if k_on <> k_off then
+        QCheck.Test.fail_reportf "seed %d: %s (on) vs %s (off)" seed k_on k_off
+      else true)
+
+(* {2 Longhaul driver} *)
+
+let test_longhaul_seeds_pass () =
+  (* One full longhaul run: minutes of virtual time, repeated
+     crash/rejoin/migrate cycles, flat-memory and O(delta)-rejoin
+     verdicts on top of linearizability. The wide sweep lives in
+     scripts/check.sh and CI. *)
+  List.iter
+    (fun seed ->
+      let sc = Schedule.generate_longhaul ~seed in
+      match Driver.run ~durability:true ~longhaul:true sc with
+      | Driver.Completed { completed } ->
+          check_int
+            (Printf.sprintf "longhaul seed %d op count" seed)
+            (sc.Schedule.sc_clients * sc.Schedule.sc_ops)
+            completed
+      | Driver.Failed f ->
+          Alcotest.failf "longhaul seed %d: %s" seed
+            (Format.asprintf "%a" Driver.pp_failure f))
+    [ 0; 1 ]
+
+let test_longhaul_flags_nondurable_baseline () =
+  (* The whole point of the longhaul verdict: the same schedule without
+     durability retains O(history) logs and must fail [Unbounded] —
+     proving the bounds actually bite and BENCH_longhaul's baseline
+     comparison is honest. *)
+  let sc = Schedule.generate_longhaul ~seed:0 in
+  match Driver.run ~durability:false ~longhaul:true sc with
+  | Driver.Failed (Driver.Unbounded _) -> ()
+  | o ->
+      Alcotest.failf "non-durable baseline not flagged: %s"
+        (Format.asprintf "%a" Driver.pp_outcome o)
+
 let test_failure_kinds_stable () =
   (* The shrinker keys on these strings; changing one silently orphans
      pinned corpus entries. *)
@@ -246,6 +409,8 @@ let test_failure_kinds_stable () =
     (Driver.failure_kind (Driver.Invariant { part = 0; idx = 0; detail = "" }));
   check_string "not_linearizable" "not_linearizable"
     (Driver.failure_kind (Driver.Not_linearizable { detail = "" }));
+  check_string "unbounded" "unbounded"
+    (Driver.failure_kind (Driver.Unbounded { detail = "" }));
   check_string "crashed" "crashed"
     (Driver.failure_kind (Driver.Crashed { detail = "" }))
 
@@ -295,7 +460,13 @@ let test_corpus_replays () =
           (match Schedule.validate sc with
           | Ok () -> ()
           | Error msg -> Alcotest.failf "%s: invalid: %s" file msg);
-          match Driver.run sc with
+          (* longhaul_* pins replay under the configuration that judged
+             them: durability on, flat-memory verdict armed. *)
+          let longhaul =
+            String.length (Filename.basename file) >= 9
+            && String.sub (Filename.basename file) 0 9 = "longhaul_"
+          in
+          match Driver.run ~durability:longhaul ~longhaul sc with
           | Driver.Completed _ -> ()
           | Driver.Failed f ->
               Alcotest.failf "%s REGRESSED: %s" file
@@ -312,6 +483,10 @@ let suite =
         qc json_roundtrip_prop;
         qc reconfig_generator_prop;
         tc "reconfig migrations overlap crash windows" test_reconfig_generator_overlap;
+        qc longhaul_generator_prop;
+        tc "longhaul generator shape" test_longhaul_generator_shape;
+        tc "pre-durability pins parse (no horizon field)"
+          test_old_pins_parse_without_horizon;
         tc "save/load roundtrip" test_file_roundtrip;
         tc "malformed JSON rejected" test_json_rejects_garbage;
         tc "validate catches bad schedules" test_validate_catches;
@@ -323,6 +498,14 @@ let suite =
         tc "schedules_run metric" test_driver_metrics;
         tc "unsafe injections skipped" test_driver_skips_unsafe_injections;
         tc "failure kinds are stable" test_failure_kinds_stable;
+      ] );
+    ( "chaos.durability",
+      [
+        qc durability_refinement_state_prop;
+        qc durability_refinement_verdict_prop;
+        Alcotest.test_case "longhaul seeds pass" `Slow test_longhaul_seeds_pass;
+        tc "non-durable baseline flagged unbounded"
+          test_longhaul_flags_nondurable_baseline;
       ] );
     ( "chaos.shrink",
       [

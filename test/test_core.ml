@@ -356,6 +356,104 @@ let test_log_gap_spanning_truncation () =
   Alcotest.(check (list int)) "tail range still answered" [ 5 ]
     (Update_log.oids_in_range log ~from:(tmp 5) ~upto:(tmp 5))
 
+let test_log_explicit_truncate () =
+  (* Checkpoint-driven truncation (DESIGN.md §13): drop the prefix a
+     checkpoint captured, and serve exactly the suffix above the cut. *)
+  let log = Update_log.create ~capacity:100 in
+  for i = 1 to 8 do
+    Update_log.append log (tmp i) i
+  done;
+  check_int "prefix dropped" 5 (Update_log.truncate log ~upto:(tmp 5));
+  check_int "suffix retained" 3 (Update_log.length log);
+  check_bool "truncation at the cut" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 5));
+  check_bool "covers above the cut" true (Update_log.covers log ~from:(tmp 6));
+  check_bool "no longer covers the cut" false (Update_log.covers log ~from:(tmp 5));
+  (* A cut exactly at the truncation point still serves its delta... *)
+  Alcotest.(check (list int)) "delta from the cut" [ 6; 7; 8 ]
+    (Update_log.oids_after log ~after:(tmp 5) ~upto:(tmp 8));
+  (* ...but anything reaching strictly behind it is refused. *)
+  check_bool "delta behind the cut refused" true
+    (try
+       ignore (Update_log.oids_after log ~after:(tmp 4) ~upto:(tmp 8));
+       false
+     with Invalid_argument _ -> true);
+  (* Re-truncating at the same point is a no-op, and truncating past
+     every retained entry still advances the point: the caller vouches
+     a checkpoint captured those updates, so the log must refuse them
+     from now on even though it dropped nothing extra. *)
+  check_int "re-truncate drops nothing" 0 (Update_log.truncate log ~upto:(tmp 5));
+  check_int "truncate past the tail" 3 (Update_log.truncate log ~upto:(tmp 9));
+  check_bool "point advances past the tail" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 9));
+  check_bool "future coverage intact" true (Update_log.covers log ~from:(tmp 10))
+
+let test_log_truncate_note_gap_compose () =
+  (* Checkpoint truncation and transfer-adoption gaps feed one monotone
+     frontier: whichever is further ahead wins, and neither un-poisons
+     ranges behind the other. This is the §13/§10 composition a
+     checkpointing replica that also adopts transfers relies on. *)
+  let log = Update_log.create ~capacity:100 in
+  for i = 1 to 10 do
+    Update_log.append log (tmp i) i
+  done;
+  ignore (Update_log.truncate log ~upto:(tmp 6));
+  Update_log.note_gap log ~upto:(tmp 3);
+  check_bool "stale gap absorbed by truncation" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 6));
+  Update_log.note_gap log ~upto:(tmp 8);
+  check_bool "gap past truncation wins" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 8));
+  (* A checkpoint truncating behind the gap still drops its physical
+     prefix, but cannot move the frontier backwards. *)
+  check_int "truncate behind gap drops its prefix" 1
+    (Update_log.truncate log ~upto:(tmp 7));
+  check_bool "frontier stays at the gap" true
+    (Tstamp.equal (Update_log.truncation log) (tmp 8));
+  Alcotest.(check (list int)) "delta above the merged frontier" [ 9; 10 ]
+    (Update_log.oids_after log ~after:(tmp 8) ~upto:(tmp 10))
+
+(* Property: arbitrary interleavings of appends, checkpoint truncations
+   and adoption gaps leave the log answering [oids_after] from its
+   merged frontier exactly like a reference scan — truncation never
+   loses a suffix entry and never serves a poisoned one. *)
+let log_truncate_model_prop =
+  QCheck.Test.make ~name:"truncate/note_gap interleavings match model" ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (triple (int_range 0 2) (int_range 1 30) (int_bound 9)))
+    (fun ops ->
+      let log = Update_log.create ~capacity:1000 in
+      let frontier = ref 0 in
+      let entries = ref [] in
+      List.iter
+        (fun (op, t, oid) ->
+          match op with
+          | 0 ->
+              Update_log.append log (tmp t) oid;
+              entries := !entries @ [ (t, oid) ]
+          | 1 ->
+              ignore (Update_log.truncate log ~upto:(tmp t));
+              frontier := max !frontier t
+          | _ ->
+              Update_log.note_gap log ~upto:(tmp t);
+              frontier := max !frontier t)
+        ops;
+      let model =
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun (t, oid) ->
+            if t > !frontier && not (Hashtbl.mem seen oid) then begin
+              Hashtbl.add seen oid ();
+              Some oid
+            end
+            else None)
+          !entries
+      in
+      Tstamp.equal (Update_log.truncation log) (tmp !frontier)
+      && Update_log.oids_after log ~after:(tmp !frontier) ~upto:(tmp 30) = model)
+
 (* Property: [oids_in_range] returns the distinct oids of the range in
    first-update order — exactly what a reference scan over the append
    sequence produces (duplicates coalesced onto their first update). *)
@@ -892,8 +990,16 @@ let test_kv_leader_crash_tolerated () =
 (* Random crash/restart schedules against continuous traffic: the
    system keeps serving, and live replicas converge. One follower per
    partition may be down at any time (f = 1). *)
-let run_chaos_schedule seed =
-      let w = make_kv ~seed ~keys:4 ~partitions:2 ~init:0L () in
+let run_chaos_schedule ?(durability = false) seed =
+      let tweak c =
+        if durability then
+          { c with
+            Config.durability =
+              { Config.dur_enabled = true; dur_interval_ns = 500_000 };
+            metrics = Heron_obs.Metrics.create () }
+        else c
+      in
+      let w = make_kv ~seed ~keys:4 ~partitions:2 ~init:0L ~tweak () in
       let completed = ref 0 in
       for c = 0 to 2 do
         on_client w (Printf.sprintf "c%d" c) (fun node ->
@@ -939,10 +1045,22 @@ let run_chaos_schedule seed =
         (System.replicas w.sys);
       true
 
+(* This property was once flaky: qcheck draws fresh inputs every run,
+   and a handful of inputs in [0, 10000] diverged (the seed-3206 rejoin
+   gap, pinned below). The input domain has since been swept
+   exhaustively — every input in [0, 10000] converges (and [0, 400]
+   with checkpointing on) — so any new failure here is a real
+   regression, not an unlucky draw. *)
 let chaos_crash_restart_prop =
   QCheck.Test.make ~name:"chaos: random follower crash/restart schedules" ~count:5
     QCheck.(int_bound 10_000)
     run_chaos_schedule
+
+let chaos_crash_restart_durability_prop =
+  QCheck.Test.make
+    ~name:"chaos: crash/restart schedules with checkpointing on" ~count:5
+    QCheck.(int_bound 10_000)
+    (run_chaos_schedule ~durability:true)
 
 let test_chaos_regression_rejoin_gap () =
   (* Pinned schedule (qcheck seed 3206). This input once diverged: a
@@ -1308,6 +1426,155 @@ let test_pipeline_conflicts_serialize () =
 let tc name f = Alcotest.test_case name `Quick f
 let qc t = QCheck_alcotest.to_alcotest t
 
+(* {1 Durability: checkpointing + log compaction (DESIGN.md §13)} *)
+
+let dur_tweak ?(interval = 500_000) reg c =
+  {
+    c with
+    Config.durability = { Config.dur_enabled = true; dur_interval_ns = interval };
+    metrics = reg;
+  }
+
+let counter_of reg name =
+  Heron_obs.Metrics.counter_value (Heron_obs.Metrics.counter reg name)
+
+let test_durability_onoff_equivalence () =
+  (* Checkpointing is a refinement: it truncates logs and publishes
+     frontiers but never changes delivery or execution. The same
+     Incr_all workload (order-independent final state) must complete
+     fully and converge to byte-identical stores with durability on and
+     off — while the on-run actually checkpoints and truncates. *)
+  let run durable =
+    let reg = Heron_obs.Metrics.create () in
+    let w =
+      make_kv ~seed:29 ~keys:4 ~partitions:2 ~init:0L
+        ~tweak:(fun c -> if durable then dur_tweak reg c else { c with Config.metrics = reg })
+        ()
+    in
+    let completed = ref 0 in
+    for c = 0 to 2 do
+      on_client w (Printf.sprintf "c%d" c) (fun node ->
+          for _ = 1 to 25 do
+            ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+            incr completed
+          done)
+    done;
+    Engine.run_until w.eng (Time_ns.s 5);
+    assert_replicas_converged w;
+    let state =
+      List.concat_map
+        (fun part ->
+          let st = Replica.store (System.replica w.sys ~part ~idx:0) in
+          List.map
+            (fun oid ->
+              (part, Oid.to_int oid, Bytes.to_string (fst (Versioned_store.get st oid))))
+            (Versioned_store.registered_oids st))
+        [ 0; 1 ]
+    in
+    (!completed, state, reg)
+  in
+  let c_on, s_on, reg_on = run true in
+  let c_off, s_off, reg_off = run false in
+  check_int "all ops completed (durability on)" 75 c_on;
+  check_int "all ops completed (durability off)" 75 c_off;
+  check_bool "identical final state" true (s_on = s_off);
+  check_bool "checkpoints taken" true (counter_of reg_on "durability.checkpoints" > 0);
+  check_bool "log entries truncated" true
+    (counter_of reg_on "durability.truncated_entries" > 0);
+  check_int "durability off takes no checkpoints" 0
+    (counter_of reg_off "durability.checkpoints")
+
+let test_durability_truncated_donor_rejoin () =
+  (* The adversarial rejoin: while a follower is down, every live
+     replica checkpoints and truncates its update log past the crash
+     point. The rejoining replica's delta request then reaches behind
+     every donor's log — forcing the checkpoint-bootstrap path
+     (checkpoint cells + O(delta) log suffix) instead of a plain delta
+     or an unbounded full transfer. *)
+  let reg = Heron_obs.Metrics.create () in
+  let w =
+    make_kv ~seed:23 ~keys:6 ~partitions:2 ~init:10L ~tweak:(dur_tweak reg) ()
+  in
+  let victim_node = Replica.node (System.replica w.sys ~part:0 ~idx:2) in
+  let after_ops = ref 0 in
+  on_client w "driver" (fun node ->
+      for _ = 1 to 15 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+      done;
+      Fabric.crash victim_node;
+      for _ = 1 to 15 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]))
+      done;
+      (* A dozen checkpoint intervals: live replicas truncate past the
+         crash point (the dead peer's stale frontier is ignored). *)
+      Engine.sleep (Time_ns.ms 6);
+      System.restart_replica w.sys ~part:0 ~idx:2;
+      Engine.sleep (Time_ns.ms 5);
+      for _ = 1 to 15 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+        incr after_ops
+      done);
+  Engine.run_until w.eng (Time_ns.s 5);
+  check_int "post-restart requests completed" 15 !after_ops;
+  assert_replicas_converged w;
+  check_bool "rejoin bootstrapped from a checkpoint" true
+    (counter_of reg "durability.checkpoint_bootstraps" >= 1);
+  check_bool "bootstrap shipped bytes" true
+    (counter_of reg "durability.rejoin_bytes" > 0);
+  let fresh = System.replica w.sys ~part:0 ~idx:2 in
+  check_i64 "state reflects all 45 increments" 55L
+    (Bytes.get_int64_le
+       (fst (Versioned_store.get (Replica.store fresh) (Kv_app.oid_of_key 0)))
+       0)
+
+let test_durability_truncation_races_migration () =
+  (* Checkpoint truncation racing a live migration: while keys move
+     between partitions (adoption gaps poisoning dst logs, §10), the
+     checkpoint fiber keeps truncating behind the live frontier. The
+     two frontiers must compose without deadlock or divergence, and a
+     follower crash/rejoin in the middle must still converge. *)
+  let reg = Heron_obs.Metrics.create () in
+  let w =
+    make_kv ~seed:31 ~keys:4 ~partitions:2 ~init:0L
+      ~tweak:(fun c -> dur_tweak reg { c with Config.reconfig = { Config.enabled = true } })
+      ()
+  in
+  let completed = ref 0 in
+  for c = 0 to 2 do
+    on_client w (Printf.sprintf "c%d" c) (fun node ->
+        for _ = 1 to 25 do
+          ignore (System.submit w.sys ~from:node (Kv_app.Incr_all [ 0; 1 ]));
+          incr completed
+        done)
+  done;
+  let mig = System.new_client_node w.sys ~name:"migrator" in
+  let moved = ref false in
+  Fabric.spawn_on mig (fun () ->
+      Engine.sleep (Time_ns.ms 2);
+      (match
+         Heron_reconfig.Migration.migrate w.sys ~from:mig
+           ~oids:[ Kv_app.oid_of_key 0 ] ~dst:1
+       with
+      | Ok () -> moved := true
+      | Error e -> Alcotest.failf "migration failed: %s" e);
+      (* Let checkpoints truncate past the migration cut, then bounce a
+         follower of the destination so its rejoin crosses both the
+         adoption gap and the truncated logs. *)
+      Engine.sleep (Time_ns.ms 3);
+      Fabric.crash (Replica.node (System.replica w.sys ~part:1 ~idx:2));
+      Engine.sleep (Time_ns.ms 3);
+      System.restart_replica w.sys ~part:1 ~idx:2);
+  Engine.run_until w.eng (Time_ns.s 5);
+  check_int "all ops completed" 75 !completed;
+  check_bool "migration committed" true !moved;
+  check_bool "key rehomed" true
+    (Heron_reconfig.Migration.current_partition w.sys (Kv_app.oid_of_key 0) = Some 1);
+  assert_replicas_converged w;
+  check_bool "checkpoints taken throughout" true
+    (counter_of reg "durability.checkpoints" > 0);
+  check_bool "truncation kept pace" true
+    (counter_of reg "durability.truncated_entries" > 0)
+
 let suite =
   [
     ( "core.store",
@@ -1333,6 +1600,9 @@ let suite =
         tc "note_gap: hole at log head" test_log_note_gap_head;
         tc "note_gap: monotone across transfers" test_log_note_gap_monotone;
         tc "note_gap: gap spanning truncation" test_log_gap_spanning_truncation;
+        tc "explicit truncation at a checkpoint cut" test_log_explicit_truncate;
+        tc "truncate composes with note_gap" test_log_truncate_note_gap_compose;
+        qc log_truncate_model_prop;
         qc log_range_model_prop;
         qc log_gap_migration_prop;
       ] );
@@ -1360,6 +1630,7 @@ let suite =
         tc "multicast leader crash + ex-leader rejoin" test_kv_leader_crash_tolerated;
         tc "chaos regression: rejoin gap (seed 3206)" test_chaos_regression_rejoin_gap;
         qc chaos_crash_restart_prop;
+        qc chaos_crash_restart_durability_prop;
       ] );
     ( "core.parallel",
       [
@@ -1375,6 +1646,13 @@ let suite =
       ] );
     ( "core.coordination",
       [ tc "coord batching on/off equivalence" test_batching_onoff_equivalence ] );
+    ( "core.durability",
+      [
+        tc "durability on/off equivalence" test_durability_onoff_equivalence;
+        tc "truncated-donor rejoin bootstraps from checkpoint"
+          test_durability_truncated_donor_rejoin;
+        tc "truncation races migration" test_durability_truncation_races_migration;
+      ] );
     ( "core.pipeline",
       [
         tc "pipeline on/off equivalence" test_pipeline_onoff_equivalence;

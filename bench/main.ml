@@ -392,6 +392,163 @@ let run_pipeline ~quick =
         (tput rs_off) (tput rs_off64) (tput best_rs) best_e best_b speedup
         (p rs_multi_off 50.) (p rs_multi_on 50.))
 
+(* {1 Fast-read ablation bench}
+
+   Lease-based local reads (DESIGN.md §14) swept over YCSB A/B/C ×
+   fast_reads on/off on a 2-partition/3-replica deployment: the off
+   cells order every read through the multicast, the on cells serve
+   single-partition reads from lease-holding replicas' local stores.
+   Probes write (100%-update) and scan (cross-partition) latency under
+   both configurations — the fast path must buy read throughput without
+   taxing either. Writes BENCH_reads.json; scripts/check.sh guards the
+   committed quick-mode baseline's [read_tput_tps]. *)
+
+let run_reads ~quick ~breakdown =
+  timed "reads" (fun () ->
+      let open Heron_sim in
+      let open Heron_core in
+      let open Heron_ycsb in
+      let t0 = Unix.gettimeofday () in
+      let partitions = 2 and replicas = 3 in
+      let records = 256 and value_bytes = 64 in
+      let clients = 48 in
+      let warmup = Time_ns.ms (if quick then 2 else 5) in
+      let measure = Time_ns.ms (if quick then 8 else 20) in
+      let run ~fast ~profile =
+        let reg = Heron_obs.Metrics.create () in
+        let eng = Engine.create ~seed:19 () in
+        let cfg =
+          { (Config.default ~partitions ~replicas) with
+            Config.metrics = reg;
+            fast_reads =
+              (if fast then
+                 { Config.default_fast_reads with Config.fr_enabled = true }
+               else Config.default_fast_reads) }
+        in
+        let app = Ycsb_app.app ~records ~value_bytes ~partitions in
+        let sys = System.create eng ~cfg ~app in
+        System.start sys;
+        let rs =
+          Heron_harness.Driver.run_system ~warmup ~measure ~sys ~clients
+            ~gen:(fun ~client rng ->
+              ignore client;
+              (Ycsb_app.gen profile ~records ~key_dist:`Uniform rng, None))
+            ()
+        in
+        let counter name =
+          Heron_obs.Metrics.counter_value (Heron_obs.Metrics.counter reg name)
+        in
+        (rs, counter "reads.local_served", counter "reads.lease_miss")
+      in
+      let tput (rs : Heron_harness.Driver.run_stats) =
+        rs.Heron_harness.Driver.rs_throughput_tps
+      in
+      let p (rs : Heron_harness.Driver.run_stats) q =
+        float_of_int (Sample_set.percentile rs.Heron_harness.Driver.rs_latency q)
+        /. 1e3
+      in
+      let cells =
+        List.concat_map
+          (fun (wname, profile) ->
+            List.map
+              (fun fast ->
+                let rs, served, missed = run ~fast ~profile in
+                let total = served + missed in
+                let frac =
+                  if total = 0 then 0.
+                  else float_of_int served /. float_of_int total
+                in
+                say "  reads %s fast=%-5b %9.0f tps  p50 %6.1f us  p99 %6.1f us  \
+                     local %d/%d\n%!"
+                  wname fast (tput rs) (p rs 50.) (p rs 99.) served total;
+                (wname, fast, rs, served, missed, frac))
+              [ false; true ])
+          [ ("A", Ycsb_app.workload_a);
+            ("B", Ycsb_app.workload_b);
+            ("C", Ycsb_app.workload_c) ]
+      in
+      let cell w fast =
+        let _, _, rs, _, _, _ =
+          List.find (fun (w', f, _, _, _, _) -> w' = w && f = fast) cells
+        in
+        rs
+      in
+      let c_on = cell "C" true and c_off = cell "C" false in
+      let speedup = if tput c_off = 0. then 0. else tput c_on /. tput c_off in
+      (* Write probe: 100% updates. Commit-wait gates every ack on the
+         lease holders' applied frontiers, so this is where a regression
+         would surface. *)
+      let writes = { Ycsb_app.read_pct = 0; update_pct = 100; rmw_pct = 0; scan_pct = 0 } in
+      let w_on, _, _ = run ~fast:true ~profile:writes in
+      let w_off, _, _ = run ~fast:false ~profile:writes in
+      (* Scan probe: workload E's cross-partition scans never take the
+         fast path (multi-partition destination set); judge them on the
+         driver's multi-partition latency split so the mix's fast
+         single-key reads don't dilute the number. *)
+      let e_on, _, _ = run ~fast:true ~profile:Ycsb_app.workload_e in
+      let e_off, _, _ = run ~fast:false ~profile:Ycsb_app.workload_e in
+      let pm (rs : Heron_harness.Driver.run_stats) q =
+        float_of_int
+          (Sample_set.percentile rs.Heron_harness.Driver.rs_latency_multi q)
+        /. 1e3
+      in
+      if breakdown then begin
+        say "  breakdown: local reads    p50 %6.1f us  p99 %6.1f us (YCSB-C on)\n"
+          (p c_on 50.) (p c_on 99.);
+        say "  breakdown: ordered reads  p50 %6.1f us  p99 %6.1f us (YCSB-C off)\n"
+          (p c_off 50.) (p c_off 99.);
+        say "  breakdown: writes         p50 %6.1f us on / %6.1f us off\n"
+          (p w_on 50.) (p w_off 50.);
+        say "  breakdown: scans (multi)  p50 %6.1f us on / %6.1f us off\n"
+          (pm e_on 50.) (pm e_off 50.)
+      end;
+      let cell_json (w, fast, rs, served, missed, frac) =
+        Heron_obs.Json.Obj
+          [
+            ("workload", Heron_obs.Json.String w);
+            ("fast_reads", Heron_obs.Json.Bool fast);
+            ("tput_tps", Heron_obs.Json.Float (tput rs));
+            ("p50_us", Heron_obs.Json.Float (p rs 50.));
+            ("p99_us", Heron_obs.Json.Float (p rs 99.));
+            ("local_served", Heron_obs.Json.Int served);
+            ("lease_miss", Heron_obs.Json.Int missed);
+            ("local_fraction", Heron_obs.Json.Float frac);
+          ]
+      in
+      let json =
+        Heron_obs.Json.Obj
+          [
+            ("bench", Heron_obs.Json.String "reads");
+            ("quick", Heron_obs.Json.Bool quick);
+            ("replicas", Heron_obs.Json.Int replicas);
+            ("partitions", Heron_obs.Json.Int partitions);
+            ("read_tput_tps", Heron_obs.Json.Float (tput c_on));
+            ("read_tput_off_tps", Heron_obs.Json.Float (tput c_off));
+            ("read_speedup", Heron_obs.Json.Float speedup);
+            ("local_p50_us", Heron_obs.Json.Float (p c_on 50.));
+            ("local_p99_us", Heron_obs.Json.Float (p c_on 99.));
+            ("ordered_p50_us", Heron_obs.Json.Float (p c_off 50.));
+            ("ordered_p99_us", Heron_obs.Json.Float (p c_off 99.));
+            ("write_p50_us_on", Heron_obs.Json.Float (p w_on 50.));
+            ("write_p50_us_off", Heron_obs.Json.Float (p w_off 50.));
+            ("scan_p50_us_on", Heron_obs.Json.Float (pm e_on 50.));
+            ("scan_p50_us_off", Heron_obs.Json.Float (pm e_off 50.));
+            ("grid", Heron_obs.Json.List (List.map cell_json cells));
+            ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
+          ]
+      in
+      let oc = open_out "BENCH_reads.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Heron_obs.Json.to_channel oc json;
+          output_char oc '\n');
+      say
+        "reads: YCSB-C %.0f tps ordered -> %.0f tps local (%.1fx), write p50 \
+         %.1f -> %.1f us, scan p50 %.1f -> %.1f us -> BENCH_reads.json\n"
+        (tput c_off) (tput c_on) speedup (p w_off 50.) (p w_on 50.)
+        (pm e_off 50.) (pm e_on 50.))
+
 (* {1 Shifting-hotspot reconfiguration bench}
 
    A YCSB-style workload whose zipfian popularity is concentrated on
@@ -776,6 +933,7 @@ let () =
   if wants "micro_kv" then run_micro_kv ~quick;
   if List.mem "coord" args then run_coord ~quick ~breakdown ~trace_file;
   if List.mem "pipeline" args then run_pipeline ~quick;
+  if List.mem "reads" args then run_reads ~quick ~breakdown;
   if List.mem "reconfig" args then run_reconfig ~quick;
   if List.mem "longhaul" args then run_longhaul ~quick;
   if wants "micro" then run_micro ();

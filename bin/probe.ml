@@ -12,7 +12,7 @@
                                                    (exit 0/1)
      dune exec bin/probe.exe -- chaos --seeds 0..500 [--shrink]
                                                 [--corpus DIR] [--reconfig]
-                                                [--pipeline]
+                                                [--pipeline] [--fast-reads]
                                                 [--replay FILE-OR-DIR]...
                                                 -- chaos-schedule sweep /
                                                    corpus replay (exit 0/1)
@@ -225,6 +225,7 @@ let run_chaos ?(longhaul = false) args =
   let shrink = ref false in
   let reconfig = ref false in
   let pipeline = ref false in
+  let fast_reads = ref false in
   let corpus = ref None in
   let replays = ref [] in
   let usage () =
@@ -232,7 +233,7 @@ let run_chaos ?(longhaul = false) args =
       "usage: probe %s [--seeds A..B] [--shrink] [--corpus DIR]%s \
        [--replay FILE-OR-DIR]...\n"
       (if longhaul then "longhaul" else "chaos")
-      (if longhaul then "" else " [--reconfig] [--pipeline]");
+      (if longhaul then "" else " [--reconfig] [--pipeline] [--fast-reads]");
     exit 2
   in
   (* A --replay directory means every *.json inside it, in name order —
@@ -263,6 +264,9 @@ let run_chaos ?(longhaul = false) args =
     | "--pipeline" :: rest ->
         pipeline := true;
         parse rest
+    | "--fast-reads" :: rest ->
+        fast_reads := true;
+        parse rest
     | "--corpus" :: dir :: rest ->
         corpus := Some dir;
         parse rest
@@ -287,7 +291,8 @@ let run_chaos ?(longhaul = false) args =
         if !shrink then begin
           let small =
             Shrink.minimize ~pipeline:!pipeline ~durability:longhaul
-              ~longhaul sc ~kind:(Cdriver.failure_kind f)
+              ~longhaul ~fast_reads:!fast_reads sc
+              ~kind:(Cdriver.failure_kind f)
           in
           pr "  shrunk to %d events:\n%s\n"
             (List.length small.Sched.sc_events)
@@ -297,16 +302,17 @@ let run_chaos ?(longhaul = false) args =
           | Some dir ->
               (try Unix.mkdir dir 0o755
                with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-              (* Pipeline-discovered failures get their own prefix so a
-                 pipeline pin never overwrites a classic-loop pin for
-                 the same seed. *)
+              (* Pipeline- and fast-read-discovered failures get their
+                 own prefix so such a pin never overwrites a
+                 classic-loop pin for the same seed. *)
               let file =
                 Filename.concat dir
                   (if longhaul then
                      Printf.sprintf "longhaul_seed_%d.json" sc.Sched.sc_seed
                    else
-                     Printf.sprintf "chaos_%sseed_%d.json"
+                     Printf.sprintf "chaos_%s%sseed_%d.json"
                        (if !pipeline then "pipeline_" else "")
+                       (if !fast_reads then "fastreads_" else "")
                        sc.Sched.sc_seed)
               in
               Sched.save small ~file;
@@ -322,7 +328,8 @@ let run_chaos ?(longhaul = false) args =
       | Ok sc ->
           pr "replay %s: %!" file;
           let outcome =
-            Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul sc
+            Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul
+              ~fast_reads:!fast_reads sc
           in
           pr "%s\n" (Format.asprintf "%a" Cdriver.pp_outcome outcome);
           report sc outcome)
@@ -336,13 +343,16 @@ let run_chaos ?(longhaul = false) args =
     in
     for seed = !seed_lo to !seed_hi do
       let sc = gen ~seed in
-      report sc (Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul sc)
+      report sc
+        (Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul
+           ~fast_reads:!fast_reads sc)
     done;
-    pr "%d %s%s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
+    pr "%d %s%s%s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
       (!seed_hi - !seed_lo + 1)
       (if longhaul then "longhaul " else "")
       (if !reconfig then "reconfig " else "")
       (if !pipeline then "pipelined " else "")
+      (if !fast_reads then "fast-read " else "")
       !seed_lo !seed_hi !failures
       (Unix.gettimeofday () -. t0)
   end;
@@ -413,12 +423,9 @@ let run_reconfig () =
     (c "reconfig.wrong_epoch_retries")
 
 (* [probe benchguard CURRENT BASELINE --keys a,b [--max-regression-pct N]]:
-   deterministic-regression guard for CI. The simulator is bit-exact
-   per seed, so a committed quick-mode baseline JSON admits an exact
-   comparison: for each listed top-level key (higher-is-better
-   numbers), fail if CURRENT has fallen more than N% (default 10)
-   below BASELINE. Exit 0 when every key holds, 1 on any regression or
-   missing key, 2 on usage errors. *)
+   CLI shell around {!Heron_harness.Benchguard} (which holds the
+   comparison logic and is unit-tested directly). Exit 0 when every key
+   holds, 1 on any regression or missing key, 2 on usage errors. *)
 let run_benchguard args =
   let usage () =
     Printf.eprintf
@@ -449,44 +456,22 @@ let run_benchguard args =
     match List.rev !files with [ c; b ] -> (c, b) | _ -> usage ()
   in
   if !keys = [] then usage ();
-  let load file =
-    let ic =
-      try open_in_bin file
-      with Sys_error msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 1
-    in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    match Heron_obs.Json.parse s with
-    | Ok doc -> doc
-    | Error msg ->
-        Printf.eprintf "%s: %s\n" file msg;
-        exit 1
+  let module Bg = Heron_harness.Benchguard in
+  let result =
+    Bg.check ~current ~baseline ~keys:!keys ~max_regression_pct:!max_pct
   in
-  let cur = load current and base = load baseline in
-  let number file doc key =
-    match Heron_obs.Json.member key doc with
-    | Some (Heron_obs.Json.Float f) -> f
-    | Some (Heron_obs.Json.Int i) -> float_of_int i
-    | Some _ | None ->
-        Printf.eprintf "%s: key %S missing or not a number\n" file key;
-        exit 1
-  in
-  let regressed = ref false in
-  List.iter
-    (fun key ->
-      let c = number current cur key and b = number baseline base key in
-      let floor = b *. (1. -. (!max_pct /. 100.)) in
-      if c < floor then begin
-        regressed := true;
-        pr "benchguard: %s REGRESSED: %.1f < %.1f (baseline %.1f, max -%.1f%%)\n"
-          key c floor b !max_pct
-      end
-      else pr "benchguard: %s ok: %.1f vs baseline %.1f (floor %.1f)\n" key c b floor)
-    !keys;
-  exit (if !regressed then 1 else 0)
+  (match result with
+  | Bg.Ok_all vs | Bg.Regressed vs ->
+      List.iter
+        (fun v ->
+          pr "%s\n"
+            (Format.asprintf "%a" (Bg.pp_verdict ~max_regression_pct:!max_pct) v))
+        vs
+  | Bg.Bad_input _ -> ());
+  (match result with
+  | Bg.Bad_input msg -> Printf.eprintf "%s\n" msg
+  | _ -> pr "%s\n" (Format.asprintf "%a" Bg.pp_summary result));
+  exit (Bg.exit_code result)
 
 let run_jsonlint file =
   let ic =

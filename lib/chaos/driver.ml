@@ -219,7 +219,7 @@ let check_bounded sys cfg sc =
   !problem
 
 let run_exn ?(pipeline = false) ?(durability = false) ?(longhaul = false)
-    ?inspect sc =
+    ?(fast_reads = false) ?inspect sc =
   let eng = Engine.create ~seed:sc.S.sc_seed () in
   let horizon = sc.S.sc_horizon_ns in
   let base =
@@ -236,6 +236,24 @@ let run_exn ?(pipeline = false) ?(durability = false) ?(longhaul = false)
         (if pipeline then
            { Config.default_pipeline with Config.pipe_enabled = true }
          else Config.default_pipeline);
+      (* Like [pipeline]: fast reads are a deployment flag, not a
+         schedule field, so the pinned corpus replays with leases on
+         without touching the JSON. Reads taking the local-lease path
+         still feed the same linearizability history. The lease cadence
+         scales with the horizon like the checkpoint cadence below:
+         every grant is a multicast, so renewing every 800us across a
+         minutes-long longhaul schedule would swamp the event count —
+         a few hundred grant rounds per run is enough lease churn. *)
+      fast_reads =
+        (if fast_reads then
+           { Config.default_fast_reads with
+             Config.fr_enabled = true;
+             fr_lease_ns =
+               max Config.default_fast_reads.Config.fr_lease_ns (horizon / 256);
+             fr_renew_ns =
+               max Config.default_fast_reads.Config.fr_renew_ns (horizon / 640);
+           }
+         else Config.default_fast_reads);
       durability =
         (if durability then
            { Config.dur_enabled = true;
@@ -371,13 +389,14 @@ let run_exn ?(pipeline = false) ?(durability = false) ?(longhaul = false)
                     | None -> Completed { completed = !completed })))
   end
 
-let run ?(pipeline = false) ?(durability = false) ?(longhaul = false) ?inspect sc =
+let run ?(pipeline = false) ?(durability = false) ?(longhaul = false)
+    ?(fast_reads = false) ?inspect sc =
   Metrics.incr m_runs;
   let verdict =
     (* An exception out of the event loop is protocol code breaking (an
        assert, an array bound), not the harness: capture it as a
        failure so it can be shrunk and pinned like any other. *)
-    try run_exn ~pipeline ~durability ~longhaul ?inspect sc
+    try run_exn ~pipeline ~durability ~longhaul ~fast_reads ?inspect sc
     with e -> Failed (Crashed { detail = Printexc.to_string e })
   in
   (match verdict with Failed _ -> Metrics.incr m_failures | Completed _ -> ());

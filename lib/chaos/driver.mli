@@ -57,6 +57,7 @@ val run :
   ?pipeline:bool ->
   ?durability:bool ->
   ?longhaul:bool ->
+  ?fast_reads:bool ->
   ?inspect:((Heron_kv.Kv_app.req, Heron_kv.Kv_app.resp) Heron_core.System.t -> unit) ->
   Schedule.t ->
   outcome
@@ -78,6 +79,18 @@ val run :
     poll is relaxed in proportion to the horizon (index 0 never
     crashes in generated schedules), and a completed run additionally
     gets the {!Unbounded} flat-memory / O(delta)-rejoin verdict.
+
+    [fast_reads] (default false) enables lease-based local reads
+    ({!Heron_core.Config.fast_reads}, DESIGN.md §14): single-partition
+    read-only requests are served from a lease-holding replica's local
+    store with no multicast round, falling back to the ordered path on
+    a lease miss. Like [pipeline], this is a deployment flag rather
+    than a schedule field — the same pinned corpus replays under it.
+    The linearizability verdict covers the fast path: locally-served
+    reads enter the recorded history like any other operation. The
+    lease and renewal cadence scale with the schedule horizon (like
+    the checkpoint cadence under [durability]) so minutes-long
+    longhaul pins replay without a grant multicast every 800us.
 
     [inspect] runs against the live system after the run settled and
     every other verdict passed — the refinement suite uses it to

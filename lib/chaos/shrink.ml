@@ -2,10 +2,10 @@ module Metrics = Heron_obs.Metrics
 
 let m_steps = Metrics.counter Metrics.default "chaos.shrink_steps"
 
-let reproduces ~pipeline ~durability ~longhaul sc events ~kind =
+let reproduces ~pipeline ~durability ~longhaul ~fast_reads sc events ~kind =
   Metrics.incr m_steps;
   match
-    Driver.run ~pipeline ~durability ~longhaul
+    Driver.run ~pipeline ~durability ~longhaul ~fast_reads
       { sc with Schedule.sc_events = events }
   with
   | Driver.Failed f -> String.equal (Driver.failure_kind f) kind
@@ -28,7 +28,8 @@ let chunks n l =
   in
   go 0 l []
 
-let minimize ?(pipeline = false) ?(durability = false) ?(longhaul = false) sc ~kind =
+let minimize ?(pipeline = false) ?(durability = false) ?(longhaul = false)
+    ?(fast_reads = false) sc ~kind =
   let rec ddmin events n =
     let len = List.length events in
     if len <= 1 then events
@@ -40,7 +41,7 @@ let minimize ?(pipeline = false) ?(durability = false) ?(longhaul = false) sc ~k
         | [] -> None
         | chunk :: after ->
             let complement = List.concat (List.rev_append before after) in
-            if complement <> [] && reproduces ~pipeline ~durability ~longhaul sc complement ~kind then
+            if complement <> [] && reproduces ~pipeline ~durability ~longhaul ~fast_reads sc complement ~kind then
               Some complement
             else try_complements (chunk :: before) after
       in
@@ -49,5 +50,5 @@ let minimize ?(pipeline = false) ?(durability = false) ?(longhaul = false) sc ~k
       | None -> if n >= len then events else ddmin events (min len (2 * n))
   in
   let events = sc.Schedule.sc_events in
-  if events = [] || not (reproduces ~pipeline ~durability ~longhaul sc events ~kind) then sc
+  if events = [] || not (reproduces ~pipeline ~durability ~longhaul ~fast_reads sc events ~kind) then sc
   else { sc with Schedule.sc_events = ddmin events 2 }

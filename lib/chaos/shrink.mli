@@ -18,12 +18,14 @@ val minimize :
   ?pipeline:bool ->
   ?durability:bool ->
   ?longhaul:bool ->
+  ?fast_reads:bool ->
   Schedule.t ->
   kind:string ->
   Schedule.t
 (** [minimize sc ~kind] assumes [Driver.run sc] fails with
     [Driver.failure_kind f = kind] and returns the schedule restricted
     to a 1-minimal event subset that still does. If the assumption is
-    wrong the input comes back unchanged. [pipeline], [durability] and
-    [longhaul] must match the configuration under which the failure was
-    observed — every candidate run replays with them. *)
+    wrong the input comes back unchanged. [pipeline], [durability],
+    [longhaul] and [fast_reads] must match the configuration under
+    which the failure was observed — every candidate run replays with
+    them. *)

@@ -31,6 +31,7 @@ type ('req, 'resp) t = {
   resp_size : 'resp -> int;
   execute : ctx -> 'req -> 'resp;
   serial_hint : 'req -> bool;
+  read_only : 'req -> bool;
   catalog : unit -> obj_spec list;
 }
 

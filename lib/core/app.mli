@@ -80,6 +80,14 @@ type ('req, 'resp) t = {
           [read_set]/[write_sketch] before execution (e.g. TPCC's
           Delivery, which follows index objects to rows chosen at run
           time). Ignored when workers = 1. *)
+  read_only : 'req -> bool;
+      (** [true] promises the request never calls [ctx_write] (an empty
+          [write_sketch] is necessary but not sufficient — this is the
+          explicit declaration). Read-only single-partition requests
+          are eligible for the lease-based local read fast path
+          ({!Config.fast_reads}, DESIGN.md §14); a conservative
+          [fun _ -> false] simply keeps every request on the ordered
+          path. *)
   catalog : unit -> obj_spec list;  (** the initial database *)
 }
 

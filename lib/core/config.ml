@@ -31,6 +31,13 @@ type pipeline = {
   pipe_coord_writer : bool;
 }
 
+type fast_reads = {
+  fr_enabled : bool;
+  fr_lease_ns : int;
+  fr_renew_ns : int;
+  fr_write_wait : bool;
+}
+
 type t = {
   partitions : int;
   replicas : int;
@@ -47,6 +54,7 @@ type t = {
   reconfig : reconfig;
   pipeline : pipeline;
   durability : durability;
+  fast_reads : fast_reads;
   metrics : Heron_obs.Metrics.t;
   reqtrace : Heron_obs.Reqtrace.t option;
 }
@@ -80,6 +88,14 @@ let default_pipeline =
     pipe_coord_writer = true;
   }
 
+let default_fast_reads =
+  {
+    fr_enabled = false;
+    fr_lease_ns = 2_000_000;
+    fr_renew_ns = 800_000;
+    fr_write_wait = true;
+  }
+
 let default ~partitions ~replicas =
   if partitions <= 0 then invalid_arg "Config.default: partitions must be positive";
   if replicas <= 0 || replicas mod 2 = 0 then
@@ -100,6 +116,7 @@ let default ~partitions ~replicas =
     reconfig = default_reconfig;
     pipeline = default_pipeline;
     durability = default_durability;
+    fast_reads = default_fast_reads;
     metrics = Heron_obs.Metrics.default;
     reqtrace = None;
   }

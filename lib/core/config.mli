@@ -106,6 +106,37 @@ type pipeline = {
           to dead peers are dropped, never raised *)
 }
 
+type fast_reads = {
+  fr_enabled : bool;
+      (** lease-based local linearizable reads (DESIGN.md §14): each
+          replica periodically multicasts a read-lease grant to its own
+          partition through the total order, publishes its applied
+          frontier to its peers' lease memory, and writers commit-wait
+          until every unexpired lease holder has applied their entry
+          before replying. Eligible read-only single-partition requests
+          are then served by any replica from the dual-version store
+          without touching the multicast, falling back to the ordered
+          path on any doubt (expired or unapplied lease, foreign or
+          migrating object, replica in recovery). Off (the default) is
+          behavior-identical to the ordered-only system: no grants, no
+          frontier fan-out, no commit-wait. *)
+  fr_lease_ns : int;
+      (** lease validity window: a grant made at virtual time [t]
+          covers reads until [t + fr_lease_ns]. After a crash, writers
+          stall at most this long before the dead holder's lease
+          expires out of the commit-wait set. *)
+  fr_renew_ns : int;
+      (** period of each replica's lease-renewal fiber; must be well
+          under [fr_lease_ns] or the fast path blinks off between
+          grants *)
+  fr_write_wait : bool;
+      (** writers wait for every unexpired lease holder to apply before
+          replying (the invalidation half of the protocol). Turning
+          this off deliberately re-introduces stale reads — it exists
+          only so the chaos sweep can prove it would catch them
+          (test_chaos's stale-read regression). *)
+}
+
 type t = {
   partitions : int;
   replicas : int;  (** per partition; odd *)
@@ -144,6 +175,8 @@ type t = {
   durability : durability;
       (** checkpointing + update-log compaction (DESIGN.md §13);
           disabled by default *)
+  fast_reads : fast_reads;
+      (** lease-based local reads (DESIGN.md §14); disabled by default *)
   metrics : Heron_obs.Metrics.t;
       (** registry the whole deployment records into: the fabric's RDMA
           verb series, the multicast counters and the replicas'
@@ -172,6 +205,10 @@ val default_pipeline : pipeline
 (** Disabled; when [pipe_enabled] is flipped on, the defaults are
     batching with size 8 / 15us flush, 4 executors, a 64-entry queue
     and the asynchronous coordination writer. *)
+
+val default_fast_reads : fast_reads
+(** Disabled; when [fr_enabled] is flipped on, the defaults are a 2ms
+    lease renewed every 800us, with writer commit-wait on. *)
 
 val default : partitions:int -> replicas:int -> t
 (** Grace-based phase-4 coordination, majority phase-2, calibrated

@@ -1,0 +1,91 @@
+open Heron_rdma
+open Heron_multicast
+
+type entry = {
+  mutable le_incarnation : int;
+  mutable le_expiry_ns : Heron_sim.Time_ns.t;
+  mutable le_grant : Tstamp.t;
+}
+
+type snapshot = (int * entry) list
+
+type t = {
+  rl_node : Fabric.node;
+  rl_copies : Memory.region;
+  rl_replicas : int;
+  rl_entries : entry option array;
+}
+
+(* A frontier copy is (applied frontier, publisher incarnation). The
+   incarnation tag is load-bearing: after a crash and restart, a peer's
+   old incarnation may have published a frontier {e ahead} of what the
+   new incarnation has applied so far, and a writer trusting the stale
+   copy would skip its commit-wait while the rejoiner can already hold
+   a fresh lease — a stale read. Tagged copies from a previous
+   incarnation simply do not count. *)
+let slot_bytes = 16
+
+let create node ~replicas =
+  {
+    rl_node = node;
+    rl_copies = Fabric.alloc_region node ~size:(replicas * slot_bytes);
+    rl_replicas = replicas;
+    rl_entries = Array.make replicas None;
+  }
+
+let off ~idx = idx * slot_bytes
+
+let copy_addr t ~idx =
+  Memory.addr ~node:(Fabric.node_id t.rl_node) t.rl_copies ~off:(off ~idx)
+
+let read_copy t ~idx =
+  let off = off ~idx in
+  ( Tstamp.of_int64 (Memory.get_i64 t.rl_copies ~off),
+    Int64.to_int (Memory.get_i64 t.rl_copies ~off:(off + 8)) )
+
+let write_copy_local t ~idx tmp ~epoch =
+  let off = off ~idx in
+  Memory.set_i64 t.rl_copies ~off (Tstamp.to_int64 tmp);
+  Memory.set_i64 t.rl_copies ~off:(off + 8) (Int64.of_int epoch)
+
+let encode_copy tmp ~epoch =
+  let b = Bytes.create slot_bytes in
+  Bytes.set_int64_le b 0 (Tstamp.to_int64 tmp);
+  Bytes.set_int64_le b 8 (Int64.of_int epoch);
+  b
+
+(* Grants arrive through the total order, so [at] values for one peer
+   are strictly increasing at any single replica; the [<] guard only
+   fires against entries adopted from a donor snapshot that already
+   covered the grant. *)
+let apply_grant t ~idx ~incarnation ~expiry_ns ~at =
+  match t.rl_entries.(idx) with
+  | Some e when Tstamp.(at < e.le_grant) -> ()
+  | Some e ->
+      e.le_incarnation <- incarnation;
+      e.le_expiry_ns <- expiry_ns;
+      e.le_grant <- at
+  | None ->
+      t.rl_entries.(idx) <-
+        Some { le_incarnation = incarnation; le_expiry_ns = expiry_ns; le_grant = at }
+
+let entry t ~idx = t.rl_entries.(idx)
+
+let snapshot t =
+  let out = ref [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Some e -> out := (i, { e with le_grant = e.le_grant }) :: !out
+      | None -> ())
+    t.rl_entries;
+  !out
+
+let adopt t snap =
+  List.iter
+    (fun (i, e) ->
+      apply_grant t ~idx:i ~incarnation:e.le_incarnation ~expiry_ns:e.le_expiry_ns
+        ~at:e.le_grant)
+    snap
+
+let snapshot_bytes snap = 24 * List.length snap

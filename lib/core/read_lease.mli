@@ -1,0 +1,84 @@
+(** Per-partition read leases (DESIGN.md §14).
+
+    A replica holding a valid lease serves single-partition read-only
+    requests from its local store with no multicast round. Leases are
+    granted {e through the total order}: each replica's granter fiber
+    (spawned by {!System}) periodically multicasts a grant to its own
+    partition, so every replica applies every grant at the same point
+    of the delivery sequence and the lease table is deterministic
+    replicated state.
+
+    Writers invalidate by waiting: before acknowledging any request, a
+    replica blocks until every peer holding a valid lease has published
+    an applied frontier at or past the request ([commit-wait]). Frontier
+    copies live in this module's RDMA region — [replicas] slots of
+    16 bytes, each an (applied frontier, publisher incarnation) pair
+    written remotely by the peer it describes, doorbell-batched like a
+    coordination announce.
+
+    Validity of a holder combines three checks, shared by the
+    commit-wait and the serve side: the entry's incarnation equals the
+    peer node's current {!Heron_rdma.Fabric.epoch} (a restarted peer's
+    old leases never count again — epochs only grow), the virtual clock
+    has not passed the grant's absolute expiry (the global simulated
+    clock has zero skew, so absolute expiries are exact), and — serve
+    side only — the replica has applied past the grant position. *)
+
+open Heron_rdma
+open Heron_multicast
+
+type entry = {
+  mutable le_incarnation : int;  (** holder's {!Fabric.epoch} at grant time *)
+  mutable le_expiry_ns : Heron_sim.Time_ns.t;  (** absolute expiry instant *)
+  mutable le_grant : Tstamp.t;  (** position of the grant in the order *)
+}
+
+type snapshot = (int * entry) list
+(** A copyable image of the table, shipped by state-transfer donors: a
+    rejoiner adopting a synchronised prefix must also adopt the leases
+    granted inside it, or its empty table would let it acknowledge
+    writes without waiting for holders granted before its adoption
+    point. *)
+
+type t
+
+val create : Fabric.node -> replicas:int -> t
+(** Allocate the table and the frontier-copy region on [node]. *)
+
+(** {1 Frontier copies} *)
+
+val copy_addr : t -> idx:int -> Memory.addr
+(** Address of peer [idx]'s frontier-copy slot in this node's region
+    (the peer writes its own slot remotely). *)
+
+val read_copy : t -> idx:int -> Tstamp.t * int
+(** [(frontier, incarnation)] as last published by peer [idx]. A copy
+    whose incarnation differs from the peer's current epoch is stale
+    and must be treated as unpublished. *)
+
+val write_copy_local : t -> idx:int -> Tstamp.t -> epoch:int -> unit
+(** Local (self) slot update; raw store, wakes no waiters. *)
+
+val encode_copy : Tstamp.t -> epoch:int -> bytes
+(** Wire image of one slot, shareable across a doorbell batch. *)
+
+(** {1 Lease entries} *)
+
+val apply_grant :
+  t -> idx:int -> incarnation:int -> expiry_ns:Heron_sim.Time_ns.t -> at:Tstamp.t -> unit
+(** Apply a grant delivered (or adopted) at position [at]; grants older
+    than the entry already held are ignored. *)
+
+val entry : t -> idx:int -> entry option
+(** Peer [idx]'s current lease entry, [None] before its first grant. *)
+
+(** {1 State transfer} *)
+
+val snapshot : t -> snapshot
+(** Deep-copy the table in the caller's event-loop turn. *)
+
+val adopt : t -> snapshot -> unit
+(** Merge a donor snapshot: per peer, the newer grant wins. *)
+
+val snapshot_bytes : snapshot -> int
+(** Serialized footprint of a snapshot (wire-cost accounting). *)

@@ -23,6 +23,13 @@ type migration = {
   mg_done : part:int -> unit;
 }
 
+type lease_grant = {
+  lg_part : int;  (* the granter's partition (also the multicast dst) *)
+  lg_idx : int;  (* replica index the lease is granted to *)
+  lg_incarnation : int;  (* Fabric.epoch of the holder at grant time *)
+  lg_expiry_ns : Time_ns.t;  (* absolute expiry on the virtual clock *)
+}
+
 type ('req, 'resp) msg =
   | Req of ('req, 'resp) request
   | Migrate of migration
@@ -30,6 +37,10 @@ type ('req, 'resp) msg =
       (* one multicast entry carrying several same-destination requests
          (the pipeline batcher, DESIGN.md §12): ordered once, expanded
          into per-request timestamps (base uid + slot) at delivery *)
+  | Lease of lease_grant
+      (* a read-lease grant (DESIGN.md §14), multicast to the holder's
+         own partition so every replica applies it at the same position
+         of the delivery order *)
 
 (* Slot [i] of a batch entry executes at the entry's clock with the
    i-th uid of the contiguous range the submitter reserved
@@ -60,6 +71,7 @@ type obs = {
   ob_mcast_log_len : Heron_obs.Metrics.histogram;  (* durability.mcast_log_len *)
   ob_rejoin_state_bytes : Heron_obs.Metrics.counter;  (* durability.rejoin_bytes *)
   ob_bootstraps : Heron_obs.Metrics.counter;  (* durability.checkpoint_bootstraps *)
+  ob_invalidation : Heron_obs.Metrics.histogram;  (* reads.invalidation_ns *)
 }
 
 let make_obs reg =
@@ -81,6 +93,7 @@ let make_obs reg =
     ob_mcast_log_len = Metrics.histogram reg "durability.mcast_log_len";
     ob_rejoin_state_bytes = Metrics.counter reg "durability.rejoin_bytes";
     ob_bootstraps = Metrics.counter reg "durability.checkpoint_bootstraps";
+    ob_invalidation = Metrics.histogram reg "reads.invalidation_ns";
   }
 
 type stats = {
@@ -162,6 +175,14 @@ type ('req, 'resp) t = {
          together with the synchronised prefix (not directly installed
          by the donor: the lagger's delivery loop must never observe a
          view ahead of its own frontier) *)
+  r_lease : Read_lease.t;
+      (* read-lease table and frontier-copy region (DESIGN.md §14);
+         allocated unconditionally, touched only with fast reads on *)
+  mutable r_pending_lease : Read_lease.snapshot option;
+      (* lease-table snapshot shipped by a state-transfer donor, adopted
+         with the prefix like [r_pending_view]: a rejoiner's empty table
+         would otherwise let it acknowledge writes without waiting for
+         leases granted before its adoption point *)
   mutable r_recovering : int;  (* state transfers currently in flight *)
   mutable r_exec_delay : Time_ns.t;  (* failure injection: extra exec cost *)
   mutable r_tracer : Trace.t option;
@@ -213,6 +234,8 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_obs = make_obs reg;
     r_pending_deser = 0;
     r_pending_view = None;
+    r_lease = Read_lease.create node ~replicas:cfg.Config.replicas;
+    r_pending_lease = None;
     r_recovering = 0;
     r_exec_delay = 0;
     r_tracer = None;
@@ -245,6 +268,7 @@ let clear_stats r =
   s.st_transfers_served <- 0
 
 let update_log r = r.r_log
+let lease_table r = r.r_lease
 let set_compactor r f = r.r_compact <- Some f
 let checkpoint_frontier r = Option.map (fun ck -> ck.ck_frontier) r.r_ckpt
 let inject_exec_delay r d = r.r_exec_delay <- d
@@ -377,6 +401,100 @@ let wait_mem_deadline r pred ~deadline =
     Engine.schedule ~delay r.r_eng (fun () ->
         Signal.broadcast (Fabric.mem_signal r.r_node));
   wait_mem r (fun () -> pred () || Engine.now r.r_eng >= deadline)
+
+(* {1 Read leases (DESIGN.md §14)} *)
+
+let fast_reads r = r.r_cfg.Config.fast_reads
+
+(* Fan this replica's applied frontier out to every same-partition
+   peer's lease region (self-write local), tagged with our incarnation
+   so copies published by a previous incarnation never count. Each
+   fan-out is one doorbell-batched WQE list, like a coordination
+   announce; the payload is encoded once and shared. Ends with a local
+   signal broadcast: the self slot is a raw store, and a commit-wait on
+   this very node may be blocked on it. *)
+let lease_publish r tmp =
+  let epoch = Fabric.epoch r.r_node in
+  let payload = Read_lease.encode_copy tmp ~epoch in
+  let batch = Qp.Doorbell.create () in
+  for i = 0 to n_replicas r - 1 do
+    let q = peer r ~part:r.r_part ~idx:i in
+    if q == r then Read_lease.write_copy_local r.r_lease ~idx:r.r_idx tmp ~epoch
+    else
+      Qp.Doorbell.add batch (qp_to r q.r_node)
+        (Read_lease.copy_addr q.r_lease ~idx:r.r_idx)
+        payload
+  done;
+  if Qp.Doorbell.length batch > 0 then begin
+    Engine.consume (costs r).Config.coord_post_ns;
+    Qp.Doorbell.ring batch
+  end;
+  Signal.broadcast (Fabric.mem_signal r.r_node)
+
+(* Publish the current applied frontier if fast reads are on. May
+   suspend (the doorbell charge), so every caller must finish its state
+   updates — frontier store, completion-queue pops, view installs —
+   before calling; the frontier value itself is re-read here so a batch
+   of completions publishes once, at its final value. *)
+let publish_applied r =
+  if (fast_reads r).Config.fr_enabled then lease_publish r r.r_last_applied
+
+(* A peer blocks acknowledging [tmp] when it holds a valid lease —
+   unexpired, and granted to the peer's current incarnation (a crashed
+   or restarted holder can never serve under an old grant again, since
+   epochs only grow) — but has not yet published an applied frontier at
+   or past [tmp] under that incarnation. Returns the earliest expiry
+   among blocking holders, [None] when none blocks. *)
+let lease_block r ~tmp ~now =
+  let earliest = ref None in
+  for i = 0 to n_replicas r - 1 do
+    if i <> r.r_idx then
+      match Read_lease.entry r.r_lease ~idx:i with
+      | None -> ()
+      | Some e ->
+          let q = peer r ~part:r.r_part ~idx:i in
+          if
+            now < e.Read_lease.le_expiry_ns
+            && Fabric.is_alive q.r_node
+            && Fabric.epoch q.r_node = e.Read_lease.le_incarnation
+          then begin
+            let f, f_epoch = Read_lease.read_copy r.r_lease ~idx:i in
+            if f_epoch <> e.Read_lease.le_incarnation || Tstamp.(f < tmp) then
+              match !earliest with
+              | Some x when x <= e.Read_lease.le_expiry_ns -> ()
+              | Some _ | None -> earliest := Some e.Read_lease.le_expiry_ns
+          end
+  done;
+  !earliest
+
+(* Commit-wait: block until no valid lease holder lags [tmp]. Gating
+   {e every} acknowledgement on this — single- and multi-partition,
+   read-only or not, and migration completions — is what makes a local
+   read at any valid holder linearizable: a committed write (or any
+   reply exposing one) implies every holder had applied it first, and a
+   holder serves only values its own applied frontier covers. The wait
+   runs on reply fibers, never on the delivery loop, so executors and
+   barriers are not stalled; it cannot deadlock because a replica
+   publishes its frontier when it applies, before its reply fiber
+   waits. Crashed, restarted and expired holders drop out of
+   [lease_block], bounding any stall at the lease length. *)
+let commit_wait r ~tmp =
+  let fr = fast_reads r in
+  if fr.Config.fr_enabled && fr.Config.fr_write_wait then begin
+    let t0 = Engine.now r.r_eng in
+    let rec go () =
+      match lease_block r ~tmp ~now:(Engine.now r.r_eng) with
+      | None -> ()
+      | Some expiry ->
+          wait_mem_deadline r
+            (fun () -> lease_block r ~tmp ~now:(Engine.now r.r_eng) = None)
+            ~deadline:expiry;
+          go ()
+    in
+    go ();
+    let waited = Engine.now r.r_eng - t0 in
+    if waited > 0 then Heron_obs.Metrics.observe r.r_obs.ob_invalidation waited
+  end
 
 (* {1 Coordination (Algorithm 1, Phases 2 and 4)} *)
 
@@ -589,6 +707,13 @@ let rec initiate_state_transfer_locked r ~failed_tmp ~cover =
         Placement.copy_view ~src:v ~dst:r.r_view;
       r.r_pending_view <- None
   | None -> ());
+  (* The donor's lease-table snapshot covers every grant at or before
+     [rid]; later grants are redelivered and applied normally. *)
+  (match r.r_pending_lease with
+  | Some snap ->
+      Read_lease.adopt r.r_lease snap;
+      r.r_pending_lease <- None
+  | None -> ());
   if Tstamp.(r.r_last_req < rid) then r.r_last_req <- rid;
   if Tstamp.(r.r_last_applied < rid) then begin
     r.r_last_applied <- rid;
@@ -597,6 +722,9 @@ let rec initiate_state_transfer_locked r ~failed_tmp ~cover =
        not serve delta transfers reaching behind it. *)
     Update_log.note_gap r.r_log ~upto:rid
   end;
+  (* Writers may already be commit-waiting on this incarnation's
+     frontier copy; publish the adopted frontier before resuming. *)
+  publish_applied r;
   (* The donor had not reached the failed request yet: its state cannot
      cover it, so ask again (it keeps executing meanwhile). *)
   trace r ~name:"state-transfer" ~tmp:failed_tmp ~start:transfer_start
@@ -707,11 +835,18 @@ let do_transfer r ~lagger_idx ~failed_tmp =
      the command applied without suspending in between). *)
   let plc = Placement.fresh_view () in
   Placement.copy_view ~src:r.r_view ~dst:plc;
+  (* The lease table rides along under the same single-turn snapshot
+     argument: it describes the same instant as [upto] (grants are
+     applied, like migrations, with no suspension between table update
+     and frontier advance). *)
+  let lease_snap = Read_lease.snapshot r.r_lease in
   let reg_bytes =
     List.fold_left (fun acc (_, cell) -> acc + Bytes.length cell) 0 reg_cells
   in
   let loc_bytes = loc_footprint loc_values in
-  let plc_bytes = 8 + (16 * Placement.view_size plc) in
+  let plc_bytes =
+    8 + (16 * Placement.view_size plc) + Read_lease.snapshot_bytes lease_snap
+  in
   charge_ser r ser_bytes;
   let qp = qp_to r lagger.r_node in
   let chunk = (costs r).Config.transfer_chunk_bytes in
@@ -739,6 +874,7 @@ let do_transfer r ~lagger_idx ~failed_tmp =
        (fun (oid, (v, tmp)) -> Versioned_store.set lagger.r_store oid v ~tmp)
        loc_values;
      lagger.r_pending_view <- Some plc;
+     lagger.r_pending_lease <- Some lease_snap;
      lagger.r_pending_deser <- lagger.r_pending_deser + loc_bytes;
      r.r_stats.st_transfers_served <- r.r_stats.st_transfers_served + 1;
      Heron_obs.Metrics.incr r.r_obs.ob_transfers;
@@ -1184,14 +1320,16 @@ let execute r req ~tmp =
 
 (* Reply to the client: one transfer of the serialized response; the
    client keeps the first reply per partition. Wrong-epoch redirects
-   carry just the replica's placement epoch. *)
-let send_reply r req resp =
+   carry just the replica's placement epoch and skip the commit-wait —
+   a redirect exposes no state. *)
+let send_reply r req ~tmp resp =
   let bytes =
     match resp with Reply v -> r.r_app.App.resp_size v | Redirect _ -> 8
   in
   let client = req.rq_client_node in
   Fabric.spawn_on r.r_node (fun () ->
       try
+        (match resp with Reply _ -> commit_wait r ~tmp | Redirect _ -> ());
         Qp.transfer (qp_to r client) ~bytes_len:bytes;
         req.rq_reply ~part:r.r_part resp
       with Qp.Rdma_exception _ -> ())
@@ -1212,7 +1350,7 @@ let exec_single r req ~tmp ~on_applied =
       Heron_stats.Sample_set.add r.r_stats.st_exec (Engine.now r.r_eng - t0);
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
       Heron_obs.Metrics.incr r.r_obs.ob_executed;
-      send_reply r req (Reply resp)
+      send_reply r req ~tmp (Reply resp)
   | exception Lagging ->
       let ts0 = Engine.now r.r_eng in
       initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
@@ -1242,7 +1380,7 @@ let exec_multi r req ~tmp ~dst ~on_applied =
       r.r_stats.st_executed <- r.r_stats.st_executed + 1;
       Heron_obs.Metrics.incr r.r_obs.ob_executed;
       r.r_stats.st_multi <- r.r_stats.st_multi + 1;
-      send_reply r req (Reply resp)
+      send_reply r req ~tmp (Reply resp)
   | exception Lagging ->
       (* Algorithm 2 lines 23-25: synchronise and skip. The request only
          counts as applied once the transferred state (which covers it)
@@ -1268,9 +1406,15 @@ let exec_multi r req ~tmp ~dst ~on_applied =
    completion record, like a reply). Sent even when the command was
    covered by a state transfer: the adopted state includes its
    effects. *)
-let notify_migration_done r mg =
+let notify_migration_done r mg ~tmp =
   Fabric.spawn_on r.r_node (fun () ->
       try
+        (* Commit-wait before acknowledging: the directory epoch only
+           commits after every partition acknowledged, so gating the
+           acknowledgement on every valid lease holder having applied
+           the migration keeps fast reads off migrated-away objects
+           (the §10 migration freeze extended to the read path). *)
+        commit_wait r ~tmp;
         Qp.transfer (qp_to r mg.mg_client_node) ~bytes_len:16;
         mg.mg_done ~part:r.r_part
       with Qp.Rdma_exception _ -> ())
@@ -1307,7 +1451,7 @@ let exec_migration r mg ~tmp ~dst ~on_applied =
   Heron_obs.Metrics.incr r.r_obs.ob_migrations_applied;
   coordinate r ~tmp ~dst ~stage:2 ~wait:r.r_cfg.Config.wait_phase4;
   trace r ~name:"migrate" ~tmp ~start:t0 (Engine.now r.r_eng);
-  notify_migration_done r mg
+  notify_migration_done r mg ~tmp
 
 (* A request whose destination set was computed under an older placement
    than this replica's view: every replica of every destination answers
@@ -1330,15 +1474,18 @@ let stale_routed r req =
             the placement (explicit-destination submit); execute. *)
          false)
 
-let redirect r req =
+let redirect r req ~tmp =
   Heron_obs.Metrics.incr r.r_obs.ob_redirects;
-  send_reply r req (Redirect { epoch = Placement.view_epoch r.r_view })
+  send_reply r req ~tmp (Redirect { epoch = Placement.view_epoch r.r_view })
 
 (* Record a delivery unit as covered by a state transfer (Algorithm 1
    line 3). Batches check per slot: a transfer can cover a prefix of a
    batch's uid range while the replica still owes the suffix. *)
 let skip_unit r ~tmp =
-  if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp;
+  if Tstamp.(r.r_last_applied < tmp) then begin
+    r.r_last_applied <- tmp;
+    publish_applied r
+  end;
   r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
   Heron_obs.Metrics.incr r.r_obs.ob_skipped
 
@@ -1347,7 +1494,10 @@ let handle_req r req ~tmp ~dst =
   else begin
     r.r_last_req <- tmp;
     let on_applied () =
-      if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp
+      if Tstamp.(r.r_last_applied < tmp) then begin
+        r.r_last_applied <- tmp;
+        publish_applied r
+      end
     in
     trace r ~name:"ordering" ~tmp ~start:req.rq_submitted (Engine.now r.r_eng);
     req_span r req ~stage:"ordering" ~start:req.rq_submitted (Engine.now r.r_eng);
@@ -1355,7 +1505,7 @@ let handle_req r req ~tmp ~dst =
       (Engine.now r.r_eng - req.rq_submitted);
     if stale_routed r req then begin
       on_applied ();
-      redirect r req
+      redirect r req ~tmp
     end
     else
       match dst with
@@ -1366,14 +1516,34 @@ let handle_req r req ~tmp ~dst =
 let handle_mig r mg ~tmp ~dst =
   if Tstamp.(tmp <= r.r_last_req) then begin
     skip_unit r ~tmp;
-    notify_migration_done r mg
+    notify_migration_done r mg ~tmp
   end
   else begin
     r.r_last_req <- tmp;
     let on_applied () =
-      if Tstamp.(r.r_last_applied < tmp) then r.r_last_applied <- tmp
+      if Tstamp.(r.r_last_applied < tmp) then begin
+        r.r_last_applied <- tmp;
+        publish_applied r
+      end
     in
     exec_migration r mg ~tmp ~dst ~on_applied
+  end
+
+(* A lease grant is replicated state like any command: advance the
+   delivery frontier past it and install the entry, deterministically
+   at its position of the order. It advances the applied frontier too
+   (like a skip unit) — commit-waits and donor snapshots must not
+   stall on a unit that mutates nothing in the store. *)
+let handle_lease r g ~tmp =
+  if Tstamp.(tmp <= r.r_last_req) then skip_unit r ~tmp
+  else begin
+    r.r_last_req <- tmp;
+    Read_lease.apply_grant r.r_lease ~idx:g.lg_idx ~incarnation:g.lg_incarnation
+      ~expiry_ns:g.lg_expiry_ns ~at:tmp;
+    if Tstamp.(r.r_last_applied < tmp) then begin
+      r.r_last_applied <- tmp;
+      publish_applied r
+    end
   end
 
 let handle_delivery r (dv : ('req, 'resp) msg Ramcast.delivery) =
@@ -1381,6 +1551,7 @@ let handle_delivery r (dv : ('req, 'resp) msg Ramcast.delivery) =
   match dv.Ramcast.d_payload with
   | Req req -> handle_req r req ~tmp:dv.Ramcast.d_tmp ~dst
   | Migrate mg -> handle_mig r mg ~tmp:dv.Ramcast.d_tmp ~dst
+  | Lease g -> handle_lease r g ~tmp:dv.Ramcast.d_tmp
   | Batch reqs ->
       Array.iteri
         (fun i req -> handle_req r req ~tmp:(batch_slot_tmp dv.Ramcast.d_tmp i) ~dst)
@@ -1426,6 +1597,7 @@ let parallel_loop r =
   let order : Tstamp.t Queue.t = Queue.create () in
   let completed : (Tstamp.t, unit) Hashtbl.t = Hashtbl.create 16 in
   let advance_frontier () =
+    let before = r.r_last_applied in
     let rec go () =
       match Queue.peek_opt order with
       | Some tmp when Hashtbl.mem completed tmp ->
@@ -1435,7 +1607,10 @@ let parallel_loop r =
           go ()
       | Some _ | None -> ()
     in
-    go ()
+    go ();
+    (* One lease publish per batch of completions, after the queue
+       state is settled (publishing may suspend). *)
+    if Tstamp.(before < r.r_last_applied) then publish_applied r
   in
   let mark_applied tmp () =
     Hashtbl.replace completed tmp ();
@@ -1446,7 +1621,7 @@ let parallel_loop r =
     mark_applied tmp ();
     r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
     Heron_obs.Metrics.incr r.r_obs.ob_skipped;
-    match mg_opt with Some mg -> notify_migration_done r mg | None -> ()
+    match mg_opt with Some mg -> notify_migration_done r mg ~tmp | None -> ()
   in
   let sequence_req tmp dst req =
     if Tstamp.(tmp <= r.r_last_req) then skip tmp None
@@ -1463,7 +1638,7 @@ let parallel_loop r =
       if stale_routed r req then begin
         Queue.push tmp order;
         mark_applied tmp ();
-        redirect r req
+        redirect r req ~tmp
       end
       else
         match dst with
@@ -1517,6 +1692,17 @@ let parallel_loop r =
           Queue.push tmp order;
           exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
             ~on_applied:(mark_applied tmp)
+        end
+    | Lease g ->
+        if Tstamp.(tmp <= r.r_last_req) then skip tmp None
+        else begin
+          r.r_last_req <- tmp;
+          Read_lease.apply_grant r.r_lease ~idx:g.lg_idx
+            ~incarnation:g.lg_incarnation ~expiry_ns:g.lg_expiry_ns ~at:tmp;
+          (* Advances the frontier like a skip unit: nothing to
+             execute, but commit-waits must not stall on it. *)
+          Queue.push tmp order;
+          mark_applied tmp ()
         end
     | Req req -> sequence_req tmp dv.Ramcast.d_dst req
     | Batch reqs ->
@@ -1572,6 +1758,7 @@ let pipeline_loop r =
   let order : Tstamp.t Queue.t = Queue.create () in
   let completed : (Tstamp.t, unit) Hashtbl.t = Hashtbl.create 16 in
   let advance_frontier () =
+    let before = r.r_last_applied in
     let rec go () =
       match Queue.peek_opt order with
       | Some tmp when Hashtbl.mem completed tmp ->
@@ -1581,7 +1768,10 @@ let pipeline_loop r =
           go ()
       | Some _ | None -> ()
     in
-    go ()
+    go ();
+    (* One lease publish per batch of completions, after the queue
+       state is settled (publishing may suspend). *)
+    if Tstamp.(before < r.r_last_applied) then publish_applied r
   in
   let mark_applied tmp () =
     Hashtbl.replace completed tmp ();
@@ -1613,7 +1803,7 @@ let pipeline_loop r =
     mark_applied tmp ();
     r.r_stats.st_skipped <- r.r_stats.st_skipped + 1;
     Heron_obs.Metrics.incr r.r_obs.ob_skipped;
-    match mg_opt with Some mg -> notify_migration_done r mg | None -> ()
+    match mg_opt with Some mg -> notify_migration_done r mg ~tmp | None -> ()
   in
   let barrier () = Signal.wait_until done_sig (fun () -> !inflight = 0) in
   let sequence_req tmp dst req =
@@ -1629,7 +1819,7 @@ let pipeline_loop r =
       if stale_routed r req then begin
         Queue.push tmp order;
         mark_applied tmp ();
-        redirect r req
+        redirect r req ~tmp
       end
       else
         match dst with
@@ -1682,6 +1872,17 @@ let pipeline_loop r =
           exec_migration r mg ~tmp ~dst:dv.Ramcast.d_dst
             ~on_applied:(mark_applied tmp)
         end
+    | Lease g ->
+        if Tstamp.(tmp <= r.r_last_req) then skip tmp None
+        else begin
+          r.r_last_req <- tmp;
+          Read_lease.apply_grant r.r_lease ~idx:g.lg_idx
+            ~incarnation:g.lg_incarnation ~expiry_ns:g.lg_expiry_ns ~at:tmp;
+          (* Advances the frontier like a skip unit: nothing to
+             execute, but commit-waits must not stall on it. *)
+          Queue.push tmp order;
+          mark_applied tmp ()
+        end
     | Req req -> sequence_req tmp dv.Ramcast.d_dst req
     | Batch reqs ->
         Array.iteri
@@ -1690,6 +1891,108 @@ let pipeline_loop r =
     loop ()
   in
   loop ()
+
+(* {1 Lease-protected local reads (DESIGN.md §14)} *)
+
+exception Fast_miss
+(* Internal: the fast path cannot serve this request (an object not in
+   the snapshot, a write, a remote object, or a version beyond the
+   applied frontier); the caller falls back to the ordered path. *)
+
+(* Serve a read-only single-partition request from the local store,
+   with no multicast round. Runs on the client's fiber (the RPC wire
+   cost is modelled by the caller). [None] means fall back.
+
+   Safety: with a valid self-lease — granted to this incarnation,
+   unexpired, and with the grant position applied — every committed
+   write is at or below [r_last_applied]: every acknowledgement is
+   commit-wait gated on all valid holders' published frontiers, and a
+   write acknowledged before our grant was applied at the acknowledging
+   replica sits below the grant position, hence below our frontier.
+   Serving only versions at or below the frontier (freshest-above
+   means miss: a donor snapshot may ship a peer's in-flight writes
+   ahead of our prefix) therefore never misses an acknowledged write.
+   The whole store snapshot is taken in one event-loop turn — no
+   suspension points, costs charged only afterwards — so multi-object
+   reads observe a single request boundary. *)
+let try_serve_read r payload =
+  let fr = fast_reads r in
+  if (not fr.Config.fr_enabled) || in_recovery r || r.r_pending_deser > 0 then None
+  else
+    let now = Engine.now r.r_eng in
+    let self_valid =
+      match Read_lease.entry r.r_lease ~idx:r.r_idx with
+      | None -> false
+      | Some e ->
+          e.Read_lease.le_incarnation = Fabric.epoch r.r_node
+          && now < e.Read_lease.le_expiry_ns
+          && Tstamp.(e.Read_lease.le_grant <= r.r_last_applied)
+    in
+    if not self_valid then None
+    else
+      let bound = r.r_last_applied in
+      let plan = r.r_app.App.read_plan ~part:r.r_part payload in
+      match
+        let snap : (Oid.t, bytes option) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun oid ->
+            if not (Hashtbl.mem snap oid) then begin
+              (match placement_of r oid with
+              | App.Replicated -> ()
+              | App.Partition h when h = r.r_part -> ()
+              | App.Partition _ -> raise Fast_miss);
+              if not (Versioned_store.mem r.r_store oid) then
+                Hashtbl.replace snap oid None
+              else begin
+                let v, tv = Versioned_store.get r.r_store oid in
+                if Tstamp.(bound < tv) then raise Fast_miss;
+                Hashtbl.replace snap oid (Some v)
+              end
+            end)
+          plan;
+        snap
+      with
+      | exception Fast_miss -> None
+      | snap -> (
+          (* Charge what the ordered path's execution would have. *)
+          Engine.consume (costs r).Config.exec_base_ns;
+          Hashtbl.iter
+            (fun oid v ->
+              count_access r oid;
+              match v with
+              | None -> ()
+              | Some v -> (
+                  match Versioned_store.klass_of r.r_store oid with
+                  | Versioned_store.Registered -> charge_deser r (Bytes.length v)
+                  | Versioned_store.Local ->
+                      Engine.consume (costs r).Config.read_local_ns))
+            snap;
+          let lookup oid =
+            match Hashtbl.find_opt snap oid with
+            | Some v -> v
+            | None -> raise Fast_miss
+          in
+          let ctx =
+            {
+              App.ctx_partition = r.r_part;
+              ctx_tmp = bound;
+              ctx_read =
+                (fun oid ->
+                  match lookup oid with
+                  | Some v -> v
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf "Heron: local object %d does not exist"
+                           (Oid.to_int oid)));
+              ctx_read_opt = lookup;
+              ctx_is_local = (fun oid -> is_local r oid);
+              ctx_write = (fun _ _ -> raise Fast_miss);
+              ctx_charge = Engine.consume;
+            }
+          in
+          match r.r_app.App.execute ctx payload with
+          | resp -> Some resp
+          | exception Fast_miss -> None)
 
 let start r =
   if Array.length r.r_peers = 0 then

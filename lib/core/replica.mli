@@ -50,6 +50,17 @@ type migration = {
     each replica installs [mg_epoch] at the command's position in the
     delivery order. Built by {!Heron_reconfig.Migration}. *)
 
+type lease_grant = {
+  lg_part : int;  (** the granter's partition (also the multicast dst) *)
+  lg_idx : int;  (** replica index the lease is granted to *)
+  lg_incarnation : int;  (** holder's {!Heron_rdma.Fabric.epoch} at grant time *)
+  lg_expiry_ns : Time_ns.t;  (** absolute expiry on the virtual clock *)
+}
+(** A read-lease grant (DESIGN.md §14), multicast by {!System}'s
+    per-replica granter fibers to the holder's own partition: every
+    replica applies it at the same position of the delivery order, so
+    the lease table is deterministic replicated state. *)
+
 type ('req, 'resp) msg =
   | Req of ('req, 'resp) request
   | Migrate of migration
@@ -61,6 +72,7 @@ type ('req, 'resp) msg =
           expands slot [i] to timestamp [(clock, uid + i)], so every
           request keeps a distinct timestamp (dual versioning requires
           it) and every destination group expands identically. *)
+  | Lease of lease_grant
 
 (** What travels the atomic multicast. *)
 
@@ -175,6 +187,20 @@ val check_invariants : ?quiescent:bool -> ('req, 'resp) t -> (unit, string) resu
     but legitimately violated mid-recovery, when a donor snapshot ships
     a peer's in-progress writes ahead of the adopted prefix. [Error]
     carries a human-readable description of the breach. *)
+
+val try_serve_read : ('req, 'resp) t -> 'req -> 'resp option
+(** Serve a read-only single-partition request from the local store
+    under the replica's read lease (DESIGN.md §14), with no multicast
+    round; [None] when the fast path cannot serve it — lease missing,
+    expired or not yet applied, replica mid-recovery, a version beyond
+    the applied frontier, an object outside this partition, or the
+    request turned out not to be read-only — and the caller must fall
+    back to the ordered path. Only meaningful with
+    [Config.fast_reads.fr_enabled]; call it from the client's fiber
+    after modelling the request's wire transfer. *)
+
+val lease_table : ('req, 'resp) t -> Read_lease.t
+(** The replica's lease table and frontier-copy region (tests). *)
 
 val set_tracer : ('req, 'resp) t -> Trace.t -> unit
 (** Attach a span tracer: the replica records per-request spans

@@ -32,6 +32,11 @@ type ('req, 'resp) t = {
   sys_views : (int, Placement.view) Hashtbl.t;  (* per client node id *)
   sys_retries : Heron_obs.Metrics.counter;  (* reconfig.wrong_epoch_retries *)
   sys_batcher : ('req, 'resp) batcher option;
+  sys_local_served : Heron_obs.Metrics.counter;  (* reads.local_served *)
+  sys_lease_miss : Heron_obs.Metrics.counter;  (* reads.lease_miss *)
+  sys_read_qps : (int * int, Qp.t) Hashtbl.t;
+      (* fast-read client QPs, by (client node id, replica node id) *)
+  sys_rr : int array;  (* fast-read round-robin cursor, per partition *)
   mutable sys_clients : int;
 }
 
@@ -50,6 +55,7 @@ let directory t = t.sys_dir
 let msg_size app = function
   | Replica.Req rq -> app.App.req_size rq.Replica.rq_payload + 32
   | Replica.Migrate mg -> 48 + (16 * List.length mg.Replica.mg_oids)
+  | Replica.Lease _ -> 32
   | Replica.Batch reqs ->
       (* Per-request payloads and headers plus one batch header. *)
       Array.fold_left
@@ -123,7 +129,7 @@ let create eng ~cfg ~app =
                     (rq.Replica.rq_trace, rq.Replica.rq_parent) :: acc
                   else acc)
                 reqs []
-          | Replica.Req _ | Replica.Migrate _ -> [] ))
+          | Replica.Req _ | Replica.Migrate _ | Replica.Lease _ -> [] ))
       cfg.Config.reqtrace
   in
   let sys_mcast =
@@ -168,11 +174,46 @@ let create eng ~cfg ~app =
     sys_mcast; sys_dir; sys_views = Hashtbl.create 8;
     sys_retries =
       Heron_obs.Metrics.counter cfg.Config.metrics "reconfig.wrong_epoch_retries";
-    sys_batcher; sys_clients = 0 }
+    sys_batcher;
+    sys_local_served = Heron_obs.Metrics.counter cfg.Config.metrics "reads.local_served";
+    sys_lease_miss = Heron_obs.Metrics.counter cfg.Config.metrics "reads.lease_miss";
+    sys_read_qps = Hashtbl.create 32;
+    sys_rr = Array.make cfg.Config.partitions 0;
+    sys_clients = 0 }
+
+(* Read-lease granter (DESIGN.md §14): one fiber per replica, looping
+   grant-then-sleep. The grant's absolute expiry is stamped {e before}
+   the multicast, so ordering latency only shrinks the usable window —
+   never extends it — and carries the holder's current incarnation, so
+   a grant ordered before a crash can never validate the next
+   incarnation. The fiber runs on the replica's node: it dies with a
+   crash and is respawned (with the bumped epoch) by
+   [restart_replica]. *)
+let spawn_granter t r =
+  let fr = t.sys_cfg.Config.fast_reads in
+  let node = Replica.node r in
+  Fabric.spawn_on node (fun () ->
+      let rec loop () =
+        let expiry = Engine.now t.sys_eng + fr.Config.fr_lease_ns in
+        ignore
+          (Ramcast.multicast t.sys_mcast ~from:node ~dst:[ Replica.part r ]
+             (Replica.Lease
+                {
+                  Replica.lg_part = Replica.part r;
+                  lg_idx = Replica.idx r;
+                  lg_incarnation = Fabric.epoch node;
+                  lg_expiry_ns = expiry;
+                }));
+        Engine.sleep fr.Config.fr_renew_ns;
+        loop ()
+      in
+      loop ())
 
 let start t =
   Ramcast.start t.sys_mcast;
-  Array.iter (fun row -> Array.iter Replica.start row) t.sys_replicas
+  Array.iter (fun row -> Array.iter Replica.start row) t.sys_replicas;
+  if t.sys_cfg.Config.fast_reads.Config.fr_enabled then
+    Array.iter (fun row -> Array.iter (spawn_granter t) row) t.sys_replicas
 
 let restart_replica t ~part ~idx =
   let old = t.sys_replicas.(part).(idx) in
@@ -208,7 +249,12 @@ let restart_replica t ~part ~idx =
   let earliest = Tstamp.make ~clock:1 ~uid:1 in
   Fabric.spawn_on node (fun () ->
       Replica.force_state_transfer fresh ~failed_tmp:earliest;
-      Replica.start fresh)
+      Replica.start fresh;
+      (* Grant only after the transfer: a lease granted to a replica
+         still adopting state would have writers commit-waiting on a
+         frontier it cannot publish yet. *)
+      if t.sys_cfg.Config.fast_reads.Config.fr_enabled then
+        spawn_granter t fresh)
 
 let new_client_node t ~name =
   t.sys_clients <- t.sys_clients + 1;
@@ -310,6 +356,62 @@ let batcher_enqueue t b ~from ~part rq =
               if acc.bb_gen = gen then batcher_flush t b ~part acc ~cause:`Timeout))
   end
 
+(* {1 Lease-protected local reads (DESIGN.md §14)}
+
+   A read-only single-partition request skips the multicast entirely:
+   the client picks a replica of the home partition round-robin, pays
+   one request transfer, and the replica serves from its local store if
+   its lease covers the read. Any replica of the partition qualifies —
+   reads fan out across all of them — and a lease miss falls back to
+   the ordered path. *)
+
+let read_qp t ~from ~dst =
+  let key = (Fabric.node_id from, Fabric.node_id dst) in
+  match Hashtbl.find_opt t.sys_read_qps key with
+  | Some qp -> qp
+  | None ->
+      let qp = Qp.connect ~src:from ~dst in
+      Hashtbl.replace t.sys_read_qps key qp;
+      qp
+
+(* One fast-read attempt: round-robin over the partition's replica
+   slots (re-reading the live array on every attempt — a restart swaps
+   the slot), skipping dead nodes and broken connections. The first
+   replica that answers decides: a lease miss means fall back to the
+   ordered path immediately rather than shopping around — the miss
+   causes (in-recovery, expired leases, in-flight writes past the
+   frontier) mostly afflict the whole partition at once, and the
+   ordered path is the bounded-latency recourse. *)
+let fast_read_round t ~from ~part payload =
+  let n = t.sys_cfg.Config.replicas in
+  let start = t.sys_rr.(part) in
+  t.sys_rr.(part) <- (start + 1) mod n;
+  let req_bytes = t.sys_app.App.req_size payload + 32 in
+  let rec go attempt =
+    if attempt >= n then None
+    else begin
+      let r = t.sys_replicas.(part).((start + attempt) mod n) in
+      let node = Replica.node r in
+      if not (Fabric.is_alive node) then go (attempt + 1)
+      else
+        match
+          let qp = read_qp t ~from ~dst:node in
+          Qp.transfer qp ~bytes_len:req_bytes;
+          match Replica.try_serve_read r payload with
+          | Some resp ->
+              Qp.transfer qp ~bytes_len:(t.sys_app.App.resp_size resp + 16);
+              `Served resp
+          | None -> `Miss
+        with
+        | `Served resp -> Some resp
+        | `Miss -> None
+        | exception Qp.Rdma_exception _ ->
+            Hashtbl.remove t.sys_read_qps (Fabric.node_id from, Fabric.node_id node);
+            go (attempt + 1)
+    end
+  in
+  go 0
+
 (* One multicast round: returns the per-partition replies (first reply
    per partition wins, replicas answer redundantly). [trace]/[parent]
    are the request-scoped trace id and root span id (0 when the
@@ -400,7 +502,34 @@ let submit_loop t ~from ~dst payload =
       go ~dst:dst'
     end
   in
-  go ~dst
+  let fr = t.sys_cfg.Config.fast_reads in
+  match dst with
+  | [ part ] when fr.Config.fr_enabled && t.sys_app.App.read_only payload -> (
+      let t0 = Engine.now t.sys_eng in
+      match fast_read_round t ~from ~part payload with
+      | Some resp ->
+          Heron_obs.Metrics.incr t.sys_local_served;
+          (match col with
+          | Some col when trace <> 0 ->
+              ignore
+                (Heron_obs.Reqtrace.add_span col ~trace ~parent ~stage:"read.local"
+                   ~attrs:[ ("part", string_of_int part) ]
+                   ~start:t0 (Engine.now t.sys_eng));
+              Heron_obs.Reqtrace.finish col ~trace ~now:(Engine.now t.sys_eng)
+          | _ -> ());
+          [ (part, resp) ]
+      | None ->
+          Heron_obs.Metrics.incr t.sys_lease_miss;
+          (match col with
+          | Some col when trace <> 0 ->
+              ignore
+                (Heron_obs.Reqtrace.add_span col ~trace ~parent
+                   ~stage:"read.fallback"
+                   ~attrs:[ ("part", string_of_int part) ]
+                   ~start:t0 (Engine.now t.sys_eng))
+          | _ -> ());
+          go ~dst)
+  | _ -> go ~dst
 
 let submit_to t ~from ~dst payload = submit_loop t ~from ~dst payload
 

@@ -1,0 +1,83 @@
+module Json = Heron_obs.Json
+
+type verdict = {
+  vd_key : string;
+  vd_current : float;
+  vd_baseline : float;
+  vd_floor : float;
+  vd_regressed : bool;
+}
+
+type result = Ok_all of verdict list | Regressed of verdict list | Bad_input of string
+
+let load_doc file =
+  match
+    try
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok s
+    with Sys_error msg -> Error msg
+  with
+  | Error msg -> Error msg
+  | Ok s -> (
+      match Json.parse s with
+      | Ok doc -> Ok doc
+      | Error msg -> Error (Printf.sprintf "%s: %s" file msg))
+
+let number file doc key =
+  match Json.member key doc with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some _ | None ->
+      Error (Printf.sprintf "%s: key %S missing or not a number" file key)
+
+let check ~current ~baseline ~keys ~max_regression_pct =
+  match (load_doc current, load_doc baseline) with
+  | Error msg, _ | _, Error msg -> Bad_input msg
+  | Ok cur, Ok base -> (
+      let rec judge acc = function
+        | [] -> Ok (List.rev acc)
+        | key :: rest -> (
+            match (number current cur key, number baseline base key) with
+            | Error msg, _ | _, Error msg -> Error msg
+            | Ok c, Ok b ->
+                let floor = b *. (1. -. (max_regression_pct /. 100.)) in
+                judge
+                  ({ vd_key = key;
+                     vd_current = c;
+                     vd_baseline = b;
+                     vd_floor = floor;
+                     vd_regressed = c < floor }
+                  :: acc)
+                  rest)
+      in
+      match judge [] keys with
+      | Error msg -> Bad_input msg
+      | Ok verdicts ->
+          if List.exists (fun v -> v.vd_regressed) verdicts then
+            Regressed verdicts
+          else Ok_all verdicts)
+
+let regressed_keys verdicts =
+  List.filter_map
+    (fun v -> if v.vd_regressed then Some v.vd_key else None)
+    verdicts
+
+let pp_verdict ~max_regression_pct ppf v =
+  if v.vd_regressed then
+    Format.fprintf ppf "benchguard: %s REGRESSED: %.1f < %.1f (baseline %.1f, max -%.1f%%)"
+      v.vd_key v.vd_current v.vd_floor v.vd_baseline max_regression_pct
+  else
+    Format.fprintf ppf "benchguard: %s ok: %.1f vs baseline %.1f (floor %.1f)"
+      v.vd_key v.vd_current v.vd_baseline v.vd_floor
+
+let pp_summary ppf = function
+  | Ok_all vs -> Format.fprintf ppf "benchguard: all %d keys ok" (List.length vs)
+  | Regressed vs ->
+      Format.fprintf ppf "benchguard: regressed keys: %s"
+        (String.concat ", " (regressed_keys vs))
+  | Bad_input msg -> Format.fprintf ppf "benchguard: %s" msg
+
+let exit_code = function Ok_all _ -> 0 | Regressed _ -> 1 | Bad_input _ -> 1

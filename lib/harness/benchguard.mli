@@ -1,0 +1,47 @@
+(** Deterministic bench-regression guard.
+
+    The simulator is bit-exact per seed, so a committed quick-mode
+    baseline JSON admits an exact comparison: for each listed top-level
+    key (higher-is-better numbers), a run regresses when CURRENT has
+    fallen more than [max_regression_pct] percent below BASELINE.
+    [probe benchguard] and [scripts/check.sh] are thin shells around
+    this module; tests drive {!check} directly on fixture files. *)
+
+type verdict = {
+  vd_key : string;
+  vd_current : float;
+  vd_baseline : float;
+  vd_floor : float;  (** baseline scaled down by the allowed regression *)
+  vd_regressed : bool;
+}
+
+type result =
+  | Ok_all of verdict list  (** every key at or above its floor *)
+  | Regressed of verdict list  (** at least one key below its floor *)
+  | Bad_input of string
+      (** unreadable file, invalid JSON, or a listed key missing /
+          non-numeric in either document *)
+
+val check :
+  current:string ->
+  baseline:string ->
+  keys:string list ->
+  max_regression_pct:float ->
+  result
+(** Load both JSON files and judge every key. The verdict list
+    preserves the order of [keys]. *)
+
+val regressed_keys : verdict list -> string list
+(** The keys that fell below their floor, in input order. *)
+
+val pp_verdict : max_regression_pct:float -> Format.formatter -> verdict -> unit
+(** One line per key, matching the historical [probe benchguard]
+    output ([ok] / [REGRESSED]). *)
+
+val pp_summary : Format.formatter -> result -> unit
+(** One trailing line: all-ok count, the comma-separated regressed
+    keys, or the input error. *)
+
+val exit_code : result -> int
+(** Process exit status for CLI shells: 0 all ok, 1 on regression or
+    bad input (usage errors are the caller's, conventionally 2). *)

@@ -95,6 +95,7 @@ let null_app =
     resp_size = (fun () -> 8);
     execute = (fun _ _ -> ());
     serial_hint = (fun _ -> false);
+    read_only = (fun _ -> false);
     catalog = (fun () -> []);
   }
 

@@ -327,6 +327,7 @@ let blob_app ~count ~size ~klass =
           (fun oid -> ctx.App.ctx_write (Oid.of_int oid) (blob_value ~size:r.br_size oid))
           r.br_oids);
     serial_hint = (fun _ -> false);
+    read_only = (fun _ -> false);
     catalog =
       (fun () ->
         List.init count (fun oid ->

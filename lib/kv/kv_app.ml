@@ -91,6 +91,7 @@ let app ~keys ~partitions ~init =
     resp_size;
     execute;
     serial_hint = (fun _ -> false);
+    read_only = (function Get _ | Read_all _ -> true | _ -> false);
     catalog =
       (fun () ->
         List.init keys (fun k ->

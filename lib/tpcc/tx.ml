@@ -368,5 +368,9 @@ let app ~scale ~seed =
       (function
        | Delivery _ | Stock_level _ -> true
        | New_order _ | Payment _ | Order_status _ -> false);
+    read_only =
+      (function
+       | Order_status _ | Stock_level _ -> true
+       | New_order _ | Payment _ | Delivery _ -> false);
     catalog = (fun () -> Gen.catalog ~scale ~seed);
   }

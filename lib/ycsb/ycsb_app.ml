@@ -88,6 +88,7 @@ let app ~records ~value_bytes ~partitions =
             in
             Y_scanned n);
     serial_hint = (fun _ -> false);
+    read_only = (function Y_read _ | Y_scan _ -> true | _ -> false);
     catalog =
       (fun () ->
         List.init records (fun k ->

@@ -299,6 +299,7 @@ let app ~partitions ~roots =
         in
         execute ~partitions ctx req);
     serial_hint = (fun _ -> false);
+    read_only = (function Read _ | Children _ | Multi_read _ -> true | _ -> false);
     catalog =
       (fun () ->
         List.map

@@ -59,6 +59,15 @@ echo "== pipelined chaos sweep =="
 dune exec bin/probe.exe -- chaos --seeds 0..200 --pipeline --shrink --corpus test/corpus
 dune exec bin/probe.exe -- chaos --replay test/corpus --pipeline
 
+echo "== fast-reads chaos sweep =="
+# The same schedule space with lease-based local reads on (DESIGN.md
+# §14): single-partition reads served from lease holders' local stores
+# under crashes, restarts and migrations, judged by the same
+# linearizability verdict. The pinned corpus replays under the flag
+# too — schedules are config-agnostic.
+dune exec bin/probe.exe -- chaos --seeds 0..200 --fast-reads --shrink --corpus test/corpus
+dune exec bin/probe.exe -- chaos --replay test/corpus --fast-reads
+
 echo "== reconfig chaos sweep =="
 # Live-repartitioning schedules: migrations timed into crash/restart
 # windows (DESIGN.md §10), same shrink-and-pin flow.
@@ -95,6 +104,16 @@ dune exec bin/probe.exe -- benchguard BENCH_pipeline.json \
   scripts/bench_pipeline_baseline.json \
   --keys best_pipeline_tput_tps,off_tput_tps --max-regression-pct 10
 
+echo "== bench reads smoke =="
+# Fast-read ablation: YCSB A/B/C x fast_reads on/off plus write and
+# scan probes -> BENCH_reads.json. The guard holds the lease-served
+# YCSB-C read throughput against the committed quick-mode baseline.
+dune exec bench/main.exe -- quick reads --breakdown
+dune exec bin/probe.exe -- jsonlint BENCH_reads.json
+dune exec bin/probe.exe -- benchguard BENCH_reads.json \
+  scripts/bench_reads_baseline.json \
+  --keys read_tput_tps,read_tput_off_tps --max-regression-pct 10
+
 echo "== bench longhaul smoke =="
 # Durability ablation: checkpointing on vs off over a long virtual
 # horizon -> BENCH_longhaul.json (flat vs linear log growth, O(delta)
@@ -114,7 +133,7 @@ dune exec bin/probe.exe -- jsonlint BENCH_reconfig.json
 
 if [ -n "${ARTIFACTS:-}" ]; then
   cp BENCH_coord.json BENCH_reconfig.json BENCH_pipeline.json \
-    BENCH_longhaul.json "$ARTIFACTS/"
+    BENCH_longhaul.json BENCH_reads.json "$ARTIFACTS/"
 fi
 
 echo "all checks passed"

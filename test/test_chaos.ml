@@ -365,6 +365,47 @@ let durability_refinement_verdict_prop =
         QCheck.Test.fail_reportf "seed %d: %s (on) vs %s (off)" seed k_on k_off
       else true)
 
+(* {2 Fast-read refinement (DESIGN.md §14)}
+
+   Lease-based local reads must refine to the ordered path: the same
+   schedule with fast reads on and off reaches the same verdict — in
+   particular, a schedule that linearizes through the multicast still
+   linearizes when its reads are served from lease-holding replicas'
+   local stores under crashes, restarts and migrations. Each run's
+   history is checked independently, so the "on" leg re-proves
+   linearizability of the fast path itself, not just agreement with the
+   "off" leg. *)
+
+let fast_reads_refinement_verdict_prop =
+  QCheck.Test.make ~name:"fast reads on/off: same verdict on generated schedules"
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let sc = Schedule.generate ~seed in
+      let k_on = outcome_kind (Driver.run ~fast_reads:true sc) in
+      let k_off = outcome_kind (Driver.run sc) in
+      if k_on <> k_off then
+        QCheck.Test.fail_reportf "seed %d: %s (on) vs %s (off)" seed k_on k_off
+      else true)
+
+let test_fast_reads_serve_locally () =
+  (* The refinement property would pass vacuously if the fast path
+     never fired; pin that it does. Mixed workloads are read-heavy
+     enough that a lease-holding replica serves at least one Get
+     locally across a few schedules. *)
+  let served = Metrics.counter Metrics.default "reads.local_served" in
+  let before = Metrics.counter_value served in
+  List.iter
+    (fun seed ->
+      match Driver.run ~fast_reads:true (Schedule.generate ~seed) with
+      | Driver.Completed _ -> ()
+      | Driver.Failed f ->
+          Alcotest.failf "fast-read seed %d: %s" seed
+            (Format.asprintf "%a" Driver.pp_failure f))
+    [ 0; 1; 2 ];
+  check_bool "some reads served from leases" true
+    (Metrics.counter_value served > before)
+
 (* {2 Longhaul driver} *)
 
 let test_longhaul_seeds_pass () =
@@ -460,13 +501,22 @@ let test_corpus_replays () =
           (match Schedule.validate sc with
           | Ok () -> ()
           | Error msg -> Alcotest.failf "%s: invalid: %s" file msg);
-          (* longhaul_* pins replay under the configuration that judged
-             them: durability on, flat-memory verdict armed. *)
-          let longhaul =
-            String.length (Filename.basename file) >= 9
-            && String.sub (Filename.basename file) 0 9 = "longhaul_"
+          (* Pins replay under the configuration that judged them:
+             longhaul_* with durability on and the flat-memory verdict
+             armed, *fastreads_* with lease-based local reads on. *)
+          let base = Filename.basename file in
+          let has_prefix p =
+            String.length base >= String.length p
+            && String.sub base 0 (String.length p) = p
           in
-          match Driver.run ~durability:longhaul ~longhaul sc with
+          let contains needle =
+            let n = String.length needle and l = String.length base in
+            let rec go i = i + n <= l && (String.sub base i n = needle || go (i + 1)) in
+            go 0
+          in
+          let longhaul = has_prefix "longhaul_" in
+          let fast_reads = contains "fastreads_" in
+          match Driver.run ~durability:longhaul ~longhaul ~fast_reads sc with
           | Driver.Completed _ -> ()
           | Driver.Failed f ->
               Alcotest.failf "%s REGRESSED: %s" file
@@ -506,6 +556,11 @@ let suite =
         Alcotest.test_case "longhaul seeds pass" `Slow test_longhaul_seeds_pass;
         tc "non-durable baseline flagged unbounded"
           test_longhaul_flags_nondurable_baseline;
+      ] );
+    ( "chaos.fast_reads",
+      [
+        qc fast_reads_refinement_verdict_prop;
+        tc "fast path actually serves reads" test_fast_reads_serve_locally;
       ] );
     ( "chaos.shrink",
       [

@@ -1575,6 +1575,143 @@ let test_durability_truncation_races_migration () =
   check_bool "truncation kept pace" true
     (counter_of reg "durability.truncated_entries" > 0)
 
+(* {1 Fast reads: lease-based local linearizable reads (DESIGN.md §14)} *)
+
+let fr_tweak ?(write_wait = true) reg c =
+  {
+    c with
+    Config.fast_reads =
+      { Config.default_fast_reads with
+        Config.fr_enabled = true;
+        fr_write_wait = write_wait };
+    metrics = reg;
+  }
+
+let test_read_lease_table () =
+  let eng = Engine.create ~seed:1 () in
+  let fab = Fabric.create eng ~profile:Profile.default in
+  let node = Fabric.add_node fab ~name:"rl" in
+  let t = Read_lease.create node ~replicas:3 in
+  check_bool "no entry before first grant" true (Read_lease.entry t ~idx:1 = None);
+  Read_lease.apply_grant t ~idx:1 ~incarnation:1 ~expiry_ns:1_000 ~at:(tmp 5);
+  Read_lease.apply_grant t ~idx:1 ~incarnation:2 ~expiry_ns:2_000 ~at:(tmp 9);
+  (match Read_lease.entry t ~idx:1 with
+  | Some e ->
+      check_int "renewal wins" 2 e.Read_lease.le_incarnation;
+      check_bool "grant position advanced" true
+        (Tstamp.equal e.Read_lease.le_grant (tmp 9))
+  | None -> Alcotest.fail "entry missing");
+  (* A grant older than the held entry — redelivered behind an adopted
+     donor snapshot — must not rewind the table. *)
+  Read_lease.apply_grant t ~idx:1 ~incarnation:9 ~expiry_ns:9_000 ~at:(tmp 5);
+  (match Read_lease.entry t ~idx:1 with
+  | Some e -> check_int "older grant ignored" 2 e.Read_lease.le_incarnation
+  | None -> Alcotest.fail "entry missing");
+  (* Frontier copies carry the publisher's epoch tag. *)
+  Read_lease.write_copy_local t ~idx:2 (tmp 7) ~epoch:3;
+  let f, ep = Read_lease.read_copy t ~idx:2 in
+  check_bool "copy frontier" true (Tstamp.equal f (tmp 7));
+  check_int "copy epoch" 3 ep;
+  let by = Read_lease.encode_copy (tmp 7) ~epoch:3 in
+  check_i64 "encoded frontier" (Tstamp.to_int64 (tmp 7)) (Bytes.get_int64_le by 0);
+  check_i64 "encoded epoch" 3L (Bytes.get_int64_le by 8);
+  (* Snapshots deep-copy and adopt merges by grant position. *)
+  let snap = Read_lease.snapshot t in
+  check_int "snapshot footprint" 24 (Read_lease.snapshot_bytes snap);
+  let t2 = Read_lease.create node ~replicas:3 in
+  Read_lease.apply_grant t2 ~idx:1 ~incarnation:4 ~expiry_ns:4_000 ~at:(tmp 11);
+  Read_lease.adopt t2 snap;
+  match Read_lease.entry t2 ~idx:1 with
+  | Some e ->
+      check_bool "newer live entry survives adoption" true
+        (Tstamp.equal e.Read_lease.le_grant (tmp 11))
+  | None -> Alcotest.fail "adopt dropped the entry"
+
+let test_fast_reads_end_to_end () =
+  let reg = Heron_obs.Metrics.create () in
+  let w = make_kv ~seed:37 ~keys:4 ~partitions:1 ~tweak:(fr_tweak reg) () in
+  let vals = ref [] in
+  on_client w "c0" (fun node ->
+      ignore (System.submit w.sys ~from:node (Kv_app.Put (3, 42L)));
+      for _ = 1 to 6 do
+        vals :=
+          value_resp (snd (List.hd (System.submit w.sys ~from:node (Kv_app.Get 3))))
+          :: !vals
+      done);
+  Engine.run_until w.eng (Time_ns.ms 10);
+  check_int "all reads answered" 6 (List.length !vals);
+  List.iter (fun v -> check_i64 "read sees the committed write" 42L v) !vals;
+  check_bool "some reads served from leases" true
+    (counter_of reg "reads.local_served" > 0);
+  assert_replicas_converged w
+
+let run_stale_read_probe ~write_wait =
+  (* One replica lags every execution by 400us. A write is acknowledged
+     as soon as a fast replica replies; the reads that follow
+     round-robin across all three replicas, so one of them lands on the
+     lagger while it still holds a valid lease but has not yet applied
+     the write. Only the writer's commit-wait (fr_write_wait) closes
+     that window. *)
+  let reg = Heron_obs.Metrics.create () in
+  let w =
+    make_kv ~seed:41 ~keys:4 ~partitions:1 ~tweak:(fr_tweak ~write_wait reg) ()
+  in
+  Replica.inject_exec_delay (System.replica w.sys ~part:0 ~idx:2) (Time_ns.us 400);
+  let vals = ref [] in
+  on_client w "c0" (fun node ->
+      (* Let the startup grants deliver so every replica holds a lease. *)
+      Engine.sleep (Time_ns.us 50);
+      ignore (System.submit w.sys ~from:node (Kv_app.Put (0, 7L)));
+      for _ = 1 to 3 do
+        vals :=
+          value_resp (snd (List.hd (System.submit w.sys ~from:node (Kv_app.Get 0))))
+          :: !vals
+      done);
+  Engine.run_until w.eng (Time_ns.ms 20);
+  check_int "all reads answered" 3 (List.length !vals);
+  !vals
+
+let test_fast_reads_commit_wait_regression () =
+  (* Pinned stale-read scenario: with the commit-wait deliberately
+     disabled the lagging lease holder serves the pre-write value after
+     the write was acknowledged — the linearizability violation the
+     protocol exists to prevent. The identical run with fr_write_wait
+     on must read fresh everywhere. A refactor that weakens the
+     commit-wait turns the second half of this test red. *)
+  let stale = run_stale_read_probe ~write_wait:false in
+  check_bool "unsafe config caught serving a stale read" true
+    (List.exists (fun v -> Int64.equal v 0L) stale);
+  let safe = run_stale_read_probe ~write_wait:true in
+  List.iter (fun v -> check_i64 "commit-wait keeps reads fresh" 7L v) safe
+
+let test_fast_reads_crash_recovery () =
+  (* Bounce a lease-holding follower mid-traffic: writes must not stall
+     past the lease term (the dead holder's epoch no longer matches its
+     entry), reads during the outage keep linearizing, and the rejoiner
+     resumes serving locally under a fresh-incarnation lease. *)
+  let reg = Heron_obs.Metrics.create () in
+  let w = make_kv ~seed:43 ~keys:4 ~partitions:1 ~tweak:(fr_tweak reg) () in
+  let bad = ref 0 and completed = ref 0 in
+  on_client w "c0" (fun node ->
+      for i = 1 to 30 do
+        ignore (System.submit w.sys ~from:node (Kv_app.Put (0, Int64.of_int i)));
+        let v =
+          value_resp (snd (List.hd (System.submit w.sys ~from:node (Kv_app.Get 0))))
+        in
+        if not (Int64.equal v (Int64.of_int i)) then incr bad;
+        incr completed
+      done);
+  on_client w "chaos" (fun _ ->
+      Engine.sleep (Time_ns.us 300);
+      Fabric.crash (Replica.node (System.replica w.sys ~part:0 ~idx:2));
+      Engine.sleep (Time_ns.ms 4);
+      System.restart_replica w.sys ~part:0 ~idx:2);
+  Engine.run_until w.eng (Time_ns.s 2);
+  check_int "all rounds completed" 30 !completed;
+  check_int "every read saw its own write" 0 !bad;
+  check_bool "fast path still in use" true (counter_of reg "reads.local_served" > 0);
+  assert_replicas_converged w
+
 let suite =
   [
     ( "core.store",
@@ -1658,6 +1795,14 @@ let suite =
         tc "pipeline on/off equivalence" test_pipeline_onoff_equivalence;
         tc "conflicting requests serialize" test_pipeline_conflicts_serialize;
         qc pipeline_flush_timeout_prop;
+      ] );
+    ( "core.fast_reads",
+      [
+        tc "lease table grants, copies, snapshots" test_read_lease_table;
+        tc "local reads observe committed writes" test_fast_reads_end_to_end;
+        tc "stale read without commit-wait (regression)"
+          test_fast_reads_commit_wait_regression;
+        tc "lease holder crash and rejoin" test_fast_reads_crash_recovery;
       ] );
   ]
 

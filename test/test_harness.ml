@@ -154,6 +154,80 @@ let test_table1_shape () =
       check_bool "percent cell" true (String.length pct > 0 && pct.[String.length pct - 1] = '%'))
     rows
 
+(* {1 Benchguard} *)
+
+let with_json contents f =
+  let file = Filename.temp_file "benchguard" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc contents;
+      close_out oc;
+      f file)
+
+let test_benchguard_verdicts () =
+  with_json {|{"tput": 900.0, "reads": 5000, "extra": 1}|} (fun current ->
+      with_json {|{"tput": 1000.0, "reads": 1000}|} (fun baseline ->
+          (* tput fell 10% exactly (at the floor, not below): ok.
+             reads improved 5x: ok. *)
+          (match
+             Benchguard.check ~current ~baseline ~keys:[ "tput"; "reads" ]
+               ~max_regression_pct:10.0
+           with
+          | Benchguard.Ok_all [ t; r ] ->
+              check_bool "tput at floor passes" false t.Benchguard.vd_regressed;
+              check_bool "improvement passes" false r.Benchguard.vd_regressed;
+              check_int "exit code" 0 (Benchguard.exit_code (Benchguard.Ok_all [ t; r ]))
+          | o ->
+              Alcotest.failf "expected Ok_all: %s"
+                (Format.asprintf "%a" Benchguard.pp_summary o));
+          (* Tighten the tolerance: tput now regresses, reads still ok,
+             and the summary names exactly the regressed key. *)
+          match
+            Benchguard.check ~current ~baseline ~keys:[ "tput"; "reads" ]
+              ~max_regression_pct:5.0
+          with
+          | Benchguard.Regressed vs as r ->
+              Alcotest.(check (list string))
+                "regressed keys" [ "tput" ]
+                (Benchguard.regressed_keys vs);
+              check_int "exit code" 1 (Benchguard.exit_code r);
+              check_bool "summary names the key" true
+                (let s = Format.asprintf "%a" Benchguard.pp_summary r in
+                 String.length s >= 4
+                 && List.exists
+                      (fun i -> String.sub s i 4 = "tput")
+                      (List.init (String.length s - 3) Fun.id))
+          | o ->
+              Alcotest.failf "expected Regressed: %s"
+                (Format.asprintf "%a" Benchguard.pp_summary o)))
+
+let test_benchguard_bad_input () =
+  with_json {|{"tput": 1000.0}|} (fun good ->
+      (* Missing key. *)
+      (match
+         Benchguard.check ~current:good ~baseline:good ~keys:[ "nope" ]
+           ~max_regression_pct:10.0
+       with
+      | Benchguard.Bad_input _ as r -> check_int "exit code" 1 (Benchguard.exit_code r)
+      | _ -> Alcotest.fail "missing key accepted");
+      (* Non-numeric key. *)
+      with_json {|{"tput": "fast"}|} (fun stringy ->
+          match
+            Benchguard.check ~current:stringy ~baseline:good ~keys:[ "tput" ]
+              ~max_regression_pct:10.0
+          with
+          | Benchguard.Bad_input _ -> ()
+          | _ -> Alcotest.fail "non-numeric key accepted");
+      (* Unreadable file. *)
+      match
+        Benchguard.check ~current:"/nonexistent/bench.json" ~baseline:good
+          ~keys:[ "tput" ] ~max_regression_pct:10.0
+      with
+      | Benchguard.Bad_input _ -> ()
+      | _ -> Alcotest.fail "missing file accepted")
+
 let tc name f = Alcotest.test_case name `Quick f
 let stc name f = Alcotest.test_case name `Slow f
 
@@ -165,6 +239,11 @@ let suite =
         tc "single/multi split" test_driver_single_multi_split;
         tc "ramcast runner" test_ramcast_runner;
         tc "null app" test_null_app_isolates_coordination;
+      ] );
+    ( "harness.benchguard",
+      [
+        tc "verdicts and regressed-key summary" test_benchguard_verdicts;
+        tc "bad input rejected" test_benchguard_bad_input;
       ] );
     ( "harness.experiments",
       [

@@ -681,6 +681,154 @@ let run_reconfig ~quick =
          BENCH_reconfig.json\n"
         s_post r_post s_pre r_pre migrations moved epoch)
 
+(* {1 Elastic ramp bench}
+
+   Closed-loop write traffic whose client population grows 10x
+   mid-run — the launch-day ramp. The elastic deployment (DESIGN.md
+   §15) starts with two shards over a six-group pool and lets the
+   rebalancer's split tier recruit dormant groups as load saturates;
+   the static deployment is provisioned at the same initial serving
+   capacity (two partitions) and has nowhere to grow. Post-ramp the
+   elastic run must out-serve the static one with at least one split
+   landing mid-run — the acceptance bar BENCH_elastic.json records and
+   check.sh guards against the committed quick-mode baseline. *)
+
+let run_elastic ~quick =
+  timed "elastic" (fun () ->
+      let open Heron_sim in
+      let open Heron_core in
+      let open Heron_kv in
+      let t0 = Unix.gettimeofday () in
+      let replicas = 3 and keys = 96 in
+      let pool = 8 and provisioned = 2 in
+      let base_clients = 2 and ramp_factor = 10 in
+      let warmup = Time_ns.ms (if quick then 2 else 5) in
+      let measure = Time_ns.ms (if quick then 8 else 20) in
+      let adapt = Time_ns.ms (if quick then 6 else 15) in
+      let run ~partitions ~elastic =
+        let reg = Heron_obs.Metrics.create () in
+        let eng = Engine.create ~seed:31 () in
+        let cfg =
+          {
+            (Config.default ~partitions ~replicas) with
+            Config.metrics = reg;
+            reconfig = { Config.enabled = elastic };
+            topology =
+              (if elastic then
+                 { Config.topo_enabled = true; topo_shards = provisioned }
+               else Config.default_topology);
+          }
+        in
+        let sys =
+          System.create eng ~cfg ~app:(Kv_app.app ~keys ~partitions ~init:0L)
+        in
+        System.start sys;
+        let phase = ref None in
+        let phases = [| Sample_set.create (); Sample_set.create () |] in
+        let completed = [| ref 0; ref 0 |] in
+        let spawn_client c =
+          let rng = Random.State.make [| c; 0xE1A5; 0x11C |] in
+          let node =
+            System.new_client_node sys ~name:(Printf.sprintf "el-%d" c)
+          in
+          Heron_rdma.Fabric.spawn_on node (fun () ->
+              let rec loop () =
+                let k = Random.State.int rng keys in
+                let t0 = Engine.self_now () in
+                ignore (System.submit sys ~from:node (Kv_app.Add (k, 1L)));
+                let t1 = Engine.self_now () in
+                (match !phase with
+                | None -> ()
+                | Some p ->
+                    incr completed.(p);
+                    Sample_set.add phases.(p) (t1 - t0));
+                loop ()
+              in
+              loop ())
+        in
+        for c = 0 to base_clients - 1 do
+          spawn_client c
+        done;
+        let rb =
+          if elastic then
+            Some
+              (Heron_reconfig.Rebalancer.start
+                 ~policy:
+                   {
+                     Heron_reconfig.Rebalancer.default_policy with
+                     (* Tier 1 object moves cannot relieve uniform
+                        saturation; park it and let the split/merge
+                        tiers carry the ramp. *)
+                     period_ns = Time_ns.us 500;
+                     imbalance_x100 = 1_000_000;
+                     split_min_accesses = 40;
+                     split_patience = 1;
+                     merge_max_accesses = 0;
+                   }
+                 sys)
+          else None
+        in
+        Engine.run_until eng (Engine.now eng + warmup);
+        phase := Some 0;
+        Engine.run_until eng (Engine.now eng + measure);
+        phase := None;
+        (* The floodgates open: traffic grows [ramp_factor]x. *)
+        for c = base_clients to (base_clients * ramp_factor) - 1 do
+          spawn_client c
+        done;
+        Engine.run_until eng (Engine.now eng + adapt);
+        phase := Some 1;
+        Engine.run_until eng (Engine.now eng + measure);
+        phase := None;
+        Option.iter Heron_reconfig.Rebalancer.stop rb;
+        let tput p = float_of_int !(completed.(p)) /. Time_ns.to_s_f measure in
+        let c name =
+          Heron_obs.Metrics.counter_value (Heron_obs.Metrics.counter reg name)
+        in
+        let g name =
+          Heron_obs.Metrics.gauge_value (Heron_obs.Metrics.gauge reg name)
+        in
+        ( tput 0,
+          tput 1,
+          float_of_int (Sample_set.percentile phases.(1) 50.) /. 1e3,
+          c "topology.splits",
+          g "topology.shards",
+          Placement.epoch (System.directory sys) )
+      in
+      let s_pre, s_post, s_p50, _, _, _ =
+        run ~partitions:provisioned ~elastic:false
+      in
+      let e_pre, e_post, e_p50, splits, shards, epoch =
+        run ~partitions:pool ~elastic:true
+      in
+      let json =
+        Heron_obs.Json.Obj
+          [
+            ("bench", Heron_obs.Json.String "elastic");
+            ("quick", Heron_obs.Json.Bool quick);
+            ("static_preramp_tput_tps", Heron_obs.Json.Float s_pre);
+            ("static_postramp_tput_tps", Heron_obs.Json.Float s_post);
+            ("static_postramp_p50_us", Heron_obs.Json.Float s_p50);
+            ("elastic_preramp_tput_tps", Heron_obs.Json.Float e_pre);
+            ("elastic_postramp_tput_tps", Heron_obs.Json.Float e_post);
+            ("elastic_postramp_p50_us", Heron_obs.Json.Float e_p50);
+            ("splits", Heron_obs.Json.Int splits);
+            ("final_shards", Heron_obs.Json.Int shards);
+            ("final_epoch", Heron_obs.Json.Int epoch);
+            ("wall_s", Heron_obs.Json.Float (Unix.gettimeofday () -. t0));
+          ]
+      in
+      let oc = open_out "BENCH_elastic.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Heron_obs.Json.to_channel oc json;
+          output_char oc '\n');
+      say
+        "elastic: post-ramp %.0f tps elastic vs %.0f tps static (pre-ramp %.0f \
+         vs %.0f), %d splits, %d shards, epoch %d -> BENCH_elastic.json\n"
+        e_post s_post e_pre s_pre splits shards epoch)
+
 (* {1 Long-horizon durability bench}
 
    Continuous increment traffic over a multi-second virtual horizon
@@ -935,6 +1083,7 @@ let () =
   if List.mem "pipeline" args then run_pipeline ~quick;
   if List.mem "reads" args then run_reads ~quick ~breakdown;
   if List.mem "reconfig" args then run_reconfig ~quick;
+  if List.mem "elastic" args then run_elastic ~quick;
   if List.mem "longhaul" args then run_longhaul ~quick;
   if wants "micro" then run_micro ();
   Option.iter dump_metrics metrics_file;

@@ -12,7 +12,8 @@
                                                    (exit 0/1)
      dune exec bin/probe.exe -- chaos --seeds 0..500 [--shrink]
                                                 [--corpus DIR] [--reconfig]
-                                                [--pipeline] [--fast-reads]
+                                                [--elastic] [--pipeline]
+                                                [--fast-reads]
                                                 [--replay FILE-OR-DIR]...
                                                 -- chaos-schedule sweep /
                                                    corpus replay (exit 0/1)
@@ -224,6 +225,7 @@ let run_chaos ?(longhaul = false) args =
   let seed_lo = ref 0 and seed_hi = ref 100 in
   let shrink = ref false in
   let reconfig = ref false in
+  let elastic = ref false in
   let pipeline = ref false in
   let fast_reads = ref false in
   let corpus = ref None in
@@ -233,7 +235,8 @@ let run_chaos ?(longhaul = false) args =
       "usage: probe %s [--seeds A..B] [--shrink] [--corpus DIR]%s \
        [--replay FILE-OR-DIR]...\n"
       (if longhaul then "longhaul" else "chaos")
-      (if longhaul then "" else " [--reconfig] [--pipeline] [--fast-reads]");
+      (if longhaul then ""
+       else " [--reconfig] [--elastic] [--pipeline] [--fast-reads]");
     exit 2
   in
   (* A --replay directory means every *.json inside it, in name order —
@@ -260,6 +263,9 @@ let run_chaos ?(longhaul = false) args =
         parse rest
     | "--reconfig" :: rest ->
         reconfig := true;
+        parse rest
+    | "--elastic" :: rest ->
+        elastic := true;
         parse rest
     | "--pipeline" :: rest ->
         pipeline := true;
@@ -310,7 +316,8 @@ let run_chaos ?(longhaul = false) args =
                   (if longhaul then
                      Printf.sprintf "longhaul_seed_%d.json" sc.Sched.sc_seed
                    else
-                     Printf.sprintf "chaos_%s%sseed_%d.json"
+                     Printf.sprintf "chaos_%s%s%sseed_%d.json"
+                       (if !elastic then "elastic_" else "")
                        (if !pipeline then "pipeline_" else "")
                        (if !fast_reads then "fastreads_" else "")
                        sc.Sched.sc_seed)
@@ -338,6 +345,7 @@ let run_chaos ?(longhaul = false) args =
     let t0 = Unix.gettimeofday () in
     let gen =
       if longhaul then Sched.generate_longhaul
+      else if !elastic then Sched.generate_elastic
       else if !reconfig then Sched.generate_reconfig
       else Sched.generate
     in
@@ -347,10 +355,11 @@ let run_chaos ?(longhaul = false) args =
         (Cdriver.run ~pipeline:!pipeline ~durability:longhaul ~longhaul
            ~fast_reads:!fast_reads sc)
     done;
-    pr "%d %s%s%s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
+    pr "%d %s%s%s%s%sschedules (seeds %d..%d), %d failed, %.1fs\n"
       (!seed_hi - !seed_lo + 1)
       (if longhaul then "longhaul " else "")
       (if !reconfig then "reconfig " else "")
+      (if !elastic then "elastic " else "")
       (if !pipeline then "pipelined " else "")
       (if !fast_reads then "fast-read " else "")
       !seed_lo !seed_hi !failures

@@ -113,6 +113,33 @@ let inject sys ev =
               with
               | Ok () -> ()
               | Error _ -> Metrics.incr m_skipped))
+  | S.Split { shard; at = t } ->
+      at t (fun () ->
+          (* Indices are reduced against the live table at fire time:
+             pinned schedules stay meaningful whatever earlier shard ops
+             did. An impossible split (topology off, arc too narrow,
+             pool exhausted, orchestrator busy) is skipped and counted
+             like any other no-op injection. *)
+          let node = System.new_client_node sys ~name:"chaos-split" in
+          Fabric.spawn_on node (fun () ->
+              match Placement.shards (System.directory sys) with
+              | None -> Metrics.incr m_skipped
+              | Some sm -> (
+                  let shard = shard mod Heron_topology.Shard_map.count sm in
+                  match Heron_reconfig.Elastic.split sys ~from:node ~shard with
+                  | Ok _ -> ()
+                  | Error _ -> Metrics.incr m_skipped)))
+  | S.Merge { left; at = t } ->
+      at t (fun () ->
+          let node = System.new_client_node sys ~name:"chaos-merge" in
+          Fabric.spawn_on node (fun () ->
+              match Placement.shards (System.directory sys) with
+              | Some sm when Heron_topology.Shard_map.count sm >= 2 -> (
+                  let left = left mod (Heron_topology.Shard_map.count sm - 1) in
+                  match Heron_reconfig.Elastic.merge sys ~from:node ~left with
+                  | Ok _ -> ()
+                  | Error _ -> Metrics.incr m_skipped)
+              | _ -> Metrics.incr m_skipped))
 
 let divergence sys =
   let problem = ref None in
@@ -229,6 +256,15 @@ let run_exn ?(pipeline = false) ?(durability = false) ?(longhaul = false)
     {
       base with
       reconfig = { Config.enabled = true };
+      (* The elastic topology rides in the schedule itself (unlike the
+         deployment flags below): a pinned crash-mid-split JSON must
+         replay with the same shard table wherever it runs, and
+         pre-topology pins decode to [sc_shards = 0] — topology off,
+         behavior-identical to the system that pinned them. *)
+      topology =
+        (if sc.S.sc_shards > 0 then
+           { Config.topo_enabled = true; topo_shards = sc.S.sc_shards }
+         else Config.default_topology);
       (* Schedules are config-agnostic: the same pinned JSON replays
          under both the classic loop and the compartmentalized pipeline
          (DESIGN.md §12), so the corpus doubles as a pipeline corpus. *)

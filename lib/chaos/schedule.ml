@@ -10,6 +10,13 @@ type event =
       (* live-migrate one key to partition [dst]; the source is resolved
          from the placement directory at fire time, and the injection is
          skipped if the key already lives there *)
+  | Split of { shard : int; at : int }
+      (* split a shard of the elastic table (DESIGN.md §15); [shard] is
+         reduced modulo the table's size at fire time, so a pinned
+         schedule stays meaningful whatever earlier splits/merges did *)
+  | Merge of { left : int; at : int }
+      (* merge the adjacent pair at [left mod (size - 1)]; skipped if
+         the table is down to one shard at fire time *)
 
 type workload = Incr_all | Mixed
 
@@ -23,6 +30,10 @@ type t = {
   sc_workload : workload;
   sc_horizon_ns : int;
   sc_think_ns : int;
+  sc_shards : int;
+      (* deployment-time shards of the elastic topology; 0 (the
+         default, and what pre-topology pins decode to) runs with the
+         topology off *)
   sc_events : event list;
 }
 
@@ -30,11 +41,14 @@ let default_horizon_ns = 60_000_000
 
 let event_time = function
   | Crash { at; _ } | Restart { at; _ } | Delay_link { at; _ }
-  | Drop_writes { at; _ } | Pause_replica { at; _ } | Migrate { at; _ } ->
+  | Drop_writes { at; _ } | Pause_replica { at; _ } | Migrate { at; _ }
+  | Split { at; _ } | Merge { at; _ } ->
       at
 
 let event_end = function
-  | Crash { at; _ } | Restart { at; _ } | Migrate { at; _ } -> at
+  | Crash { at; _ } | Restart { at; _ } | Migrate { at; _ }
+  | Split { at; _ } | Merge { at; _ } ->
+      at
   | Delay_link { at; span; _ } | Drop_writes { at; span; _ }
   | Pause_replica { at; span; _ } ->
       at + span
@@ -140,6 +154,7 @@ let generate ~seed =
       sc_workload = workload;
       sc_horizon_ns = default_horizon_ns;
       sc_think_ns = 0;
+      sc_shards = 0;
       sc_events = !events;
     }
 
@@ -188,6 +203,7 @@ let generate_reconfig ~seed =
       sc_workload = workload;
       sc_horizon_ns = default_horizon_ns;
       sc_think_ns = 0;
+      sc_shards = 0;
       sc_events = !events;
     }
 
@@ -253,6 +269,71 @@ let generate_longhaul ~seed =
       sc_workload = workload;
       sc_horizon_ns = horizon;
       sc_think_ns = think;
+      sc_shards = 0;
+      sc_events = !events;
+    }
+
+(* Elastic-focused generator (DESIGN.md §15): every schedule runs with
+   the topology on — a 4-group pool with 2 deployment-time shards — and
+   carries shard splits and merges whose times cluster around the
+   crash/restart windows, so a crash lands while a split's freeze or
+   bootstrap is in flight as often as possible (the crash-mid-split
+   sweep the CI elastic job runs). Stays inside the f = 1 envelope:
+   follower-only crashes, one replica down at a time. *)
+let generate_elastic ~seed =
+  let rng = Random.State.make [| seed; 0xE1A57 |] in
+  let int = Random.State.int rng in
+  let partitions = 4 and replicas = 3 and keys = 8 in
+  let workload = if int 3 = 0 then Incr_all else Mixed in
+  let events = ref [] in
+  let t = ref 0 in
+  let rounds = 1 + int 2 in
+  for _ = 1 to rounds do
+    let crash_at = !t + 200_000 + int 900_000 in
+    let restart_at = crash_at + 250_000 + int 950_000 in
+    let part = int partitions and idx = 1 + int (replicas - 1) in
+    events :=
+      Restart { part; idx; at = restart_at }
+      :: Crash { part; idx; at = crash_at }
+      :: !events;
+    (* One or two splits/merges inside [crash - 200us, restart + 300us];
+       indices are reduced against the live table at fire time, so any
+       draw is meaningful. Splits outnumber merges two to one — a merge
+       needs an earlier split to have something to undo. *)
+    for _ = 1 to 1 + int 2 do
+      let at = max 0 (crash_at - 200_000 + int (restart_at - crash_at + 500_000)) in
+      events :=
+        (if int 3 < 2 then Split { shard = int 4; at }
+         else Merge { left = int 3; at })
+        :: !events
+    done;
+    (* Sometimes an object migration racing the shard ops, so overrides
+       and table changes interleave in the epoch stream. *)
+    if int 2 = 0 then begin
+      let at = max 0 (crash_at - 100_000 + int (restart_at - crash_at + 300_000)) in
+      events := Migrate { key = int keys; dst = int partitions; at } :: !events
+    end;
+    t := restart_at
+  done;
+  if int 2 = 0 then
+    events :=
+      Pause_replica
+        { part = int partitions; idx = int replicas;
+          extra_ns = 5_000 + int 25_000; at = int 3_000_000;
+          span = 200_000 + int 1_800_000 }
+      :: !events;
+  normalize
+    {
+      sc_seed = seed;
+      sc_partitions = partitions;
+      sc_replicas = replicas;
+      sc_keys = keys;
+      sc_clients = 3;
+      sc_ops = 40;
+      sc_workload = workload;
+      sc_horizon_ns = default_horizon_ns;
+      sc_think_ns = 0;
+      sc_shards = 2;
       sc_events = !events;
     }
 
@@ -270,6 +351,14 @@ let validate t =
   else if t.sc_clients < 1 || t.sc_ops < 1 then err "need clients and ops"
   else if t.sc_horizon_ns < 1_000_000 then err "horizon shorter than 1ms"
   else if t.sc_think_ns < 0 then err "negative think time"
+  else if t.sc_shards < 0 || t.sc_shards > t.sc_partitions then
+    err "shards out of range (need 0 <= shards <= partitions)"
+  else if
+    t.sc_shards = 0
+    && List.exists
+         (function Split _ | Merge _ -> true | _ -> false)
+         t.sc_events
+  then err "split/merge events require a nonzero shard count"
   else begin
     let bad = ref None in
     let check_event e =
@@ -296,7 +385,13 @@ let validate t =
           if key < 0 || key >= t.sc_keys then fail "migration key %d out of range" key
           else if dst < 0 || dst >= t.sc_partitions then
             fail "migration destination %d out of range" dst
-          else if at < 0 then fail "negative migration time")
+          else if at < 0 then fail "negative migration time"
+      | Split { shard; at } ->
+          if shard < 0 then fail "negative split shard index"
+          else if at < 0 then fail "negative split time"
+      | Merge { left; at } ->
+          if left < 0 then fail "negative merge pair index"
+          else if at < 0 then fail "negative merge time")
     in
     List.iter check_event t.sc_events;
     let rec sorted = function
@@ -359,6 +454,14 @@ let event_to_json = function
       Json.Obj
         [ ("kind", Json.String "migrate"); ("key", Json.Int key);
           ("dst_part", Json.Int dst); ("at_ns", Json.Int at) ]
+  | Split { shard; at } ->
+      Json.Obj
+        [ ("kind", Json.String "split"); ("shard", Json.Int shard);
+          ("at_ns", Json.Int at) ]
+  | Merge { left; at } ->
+      Json.Obj
+        [ ("kind", Json.String "merge"); ("left", Json.Int left);
+          ("at_ns", Json.Int at) ]
 
 let to_json t =
   Json.Obj
@@ -374,6 +477,7 @@ let to_json t =
         Json.String (match t.sc_workload with Incr_all -> "incr_all" | Mixed -> "mixed") );
       ("horizon_ns", Json.Int t.sc_horizon_ns);
       ("think_ns", Json.Int t.sc_think_ns);
+      ("shards", Json.Int t.sc_shards);
       ("events", Json.List (List.map event_to_json t.sc_events));
     ]
 
@@ -423,6 +527,8 @@ let event_of_json j =
       Migrate
         { key = int_field "key" j; dst = int_field "dst_part" j;
           at = int_field "at_ns" j }
+  | "split" -> Split { shard = int_field "shard" j; at = int_field "at_ns" j }
+  | "merge" -> Merge { left = int_field "left" j; at = int_field "at_ns" j }
   | k -> raise (Bad (Printf.sprintf "unknown event kind %S" k))
 
 let of_json j =
@@ -451,6 +557,7 @@ let of_json j =
              | w -> raise (Bad (Printf.sprintf "unknown workload %S" w)));
            sc_horizon_ns = int_field_opt "horizon_ns" ~default:default_horizon_ns j;
            sc_think_ns = int_field_opt "think_ns" ~default:0 j;
+           sc_shards = int_field_opt "shards" ~default:0 j;
            sc_events = events;
          })
   with Bad msg -> Error msg
@@ -489,6 +596,8 @@ let pp_event ppf = function
         extra_ns (span / 1000)
   | Migrate { key; dst; at } ->
       Format.fprintf ppf "@%dus migrate k%d->p%d" (at / 1000) key dst
+  | Split { shard; at } -> Format.fprintf ppf "@%dus split shard %d" (at / 1000) shard
+  | Merge { left; at } -> Format.fprintf ppf "@%dus merge pair %d" (at / 1000) left
 
 let pp ppf t =
   Format.fprintf ppf "seed %d, %dx%d, %d clients x %d %s ops, %dms horizon, %d events"

@@ -37,6 +37,17 @@ type event =
           directory says when the event fires; if the key already lives
           on [dst] — or another migration is in flight — the injection
           is skipped and counted, like a crash of a dead replica. *)
+  | Split of { shard : int; at : int }
+      (** Split a shard of the elastic table (DESIGN.md §15); requires
+          [sc_shards > 0]. [shard] is reduced modulo the table's size
+          when the event fires, so the injection stays meaningful
+          whatever earlier splits and merges did; an impossible split
+          (arc too narrow, pool exhausted, orchestrator busy) is
+          skipped and counted. *)
+  | Merge of { left : int; at : int }
+      (** Merge the adjacent shard pair at [left] (reduced modulo
+          [size - 1] at fire time); skipped and counted if the table is
+          down to one shard or the orchestrator is busy. *)
 
 type workload =
   | Incr_all  (** every op is [Incr_all [0;1]] — cross-partition writes *)
@@ -59,6 +70,12 @@ type t = {
       (** per-client pause between operations — 0 for the classic
           closed-loop families; longhaul schedules use it to spread
           traffic across the whole horizon *)
+  sc_shards : int;
+      (** deployment-time shards of the elastic topology (DESIGN.md
+          §15): the driver runs with [Config.topology] enabled and this
+          many initial shards when positive. 0 — the default, and what
+          pinned JSON from before the field existed decodes to — runs
+          with the topology off. *)
   sc_events : event list;  (** sorted by {!event_time} *)
 }
 
@@ -100,6 +117,14 @@ val generate_longhaul : seed:int -> t
     bootstrap-from-checkpoint path and the driver's memory-bound and
     O(delta)-rejoin verdicts are meaningful. Same liveness envelope as
     {!generate}. *)
+
+val generate_elastic : seed:int -> t
+(** Elastic-topology generator (DESIGN.md §15): a 4-group pool with 2
+    deployment-time shards, and 1–2 shard splits/merges per
+    crash/restart round timed to overlap the down window — so crashes
+    land mid-split, between the freeze and the bootstrap, as often as
+    possible — plus occasional object migrations interleaving override
+    and table epochs. Same liveness envelope as {!generate}. *)
 
 val validate : t -> (unit, string) result
 (** Well-formedness (shape, ranges, sortedness, crash/restart

@@ -38,6 +38,11 @@ type fast_reads = {
   fr_write_wait : bool;
 }
 
+type topology = {
+  topo_enabled : bool;
+  topo_shards : int;
+}
+
 type t = {
   partitions : int;
   replicas : int;
@@ -55,6 +60,7 @@ type t = {
   pipeline : pipeline;
   durability : durability;
   fast_reads : fast_reads;
+  topology : topology;
   metrics : Heron_obs.Metrics.t;
   reqtrace : Heron_obs.Reqtrace.t option;
 }
@@ -96,6 +102,18 @@ let default_fast_reads =
     fr_write_wait = true;
   }
 
+let default_topology = { topo_enabled = false; topo_shards = 1 }
+
+(* The epoch-0 shard table is a pure function of the deployment config,
+   so replicas, clients and the directory each compute it locally and
+   agree without coordination. *)
+let initial_shards t =
+  if t.topology.topo_enabled then
+    Some
+      (Heron_topology.Shard_map.initial ~shards:t.topology.topo_shards
+         ~pool:t.partitions)
+  else None
+
 let default ~partitions ~replicas =
   if partitions <= 0 then invalid_arg "Config.default: partitions must be positive";
   if replicas <= 0 || replicas mod 2 = 0 then
@@ -117,6 +135,7 @@ let default ~partitions ~replicas =
     pipeline = default_pipeline;
     durability = default_durability;
     fast_reads = default_fast_reads;
+    topology = default_topology;
     metrics = Heron_obs.Metrics.default;
     reqtrace = None;
   }

@@ -137,6 +137,25 @@ type fast_reads = {
           (test_chaos's stale-read regression). *)
 }
 
+type topology = {
+  topo_enabled : bool;
+      (** elastic shard topology (DESIGN.md §15): the [partitions]
+          count becomes a {e server pool} of provisioned replica
+          groups, object homes resolve through a ring-hashed shard
+          table layered under {!Placement}, and shards split and merge
+          at runtime through the total order. Requires
+          [reconfig.enabled] (splits ride the Migrate machinery) and a
+          catalog whose partition-placed objects are all [Registered]
+          (their cells move with the shard). Off (the default) is
+          behavior-identical to the fixed-partition system: no shard
+          table exists and the static oracle decides placement. *)
+  topo_shards : int;
+      (** shards active at deployment time; the remaining
+          [partitions - topo_shards] groups start dormant, holding no
+          keys until a split assigns them an arc. Must satisfy
+          [1 <= topo_shards <= partitions]. *)
+}
+
 type t = {
   partitions : int;
   replicas : int;  (** per partition; odd *)
@@ -177,6 +196,8 @@ type t = {
           disabled by default *)
   fast_reads : fast_reads;
       (** lease-based local reads (DESIGN.md §14); disabled by default *)
+  topology : topology;
+      (** elastic shard topology (DESIGN.md §15); disabled by default *)
   metrics : Heron_obs.Metrics.t;
       (** registry the whole deployment records into: the fabric's RDMA
           verb series, the multicast counters and the replicas'
@@ -209,6 +230,17 @@ val default_pipeline : pipeline
 val default_fast_reads : fast_reads
 (** Disabled; when [fr_enabled] is flipped on, the defaults are a 2ms
     lease renewed every 800us, with writer commit-wait on. *)
+
+val default_topology : topology
+(** Disabled; when [topo_enabled] is flipped on, one initial shard
+    owns the whole ring unless [topo_shards] says otherwise. *)
+
+val initial_shards : t -> Heron_topology.Shard_map.t option
+(** The epoch-0 shard table implied by the config — [None] with the
+    topology off. A pure function of [partitions] and [topology], so
+    every replica, client and the directory compute the same table
+    locally. Raises [Invalid_argument] when [topo_shards] is out of
+    range. *)
 
 val default : partitions:int -> replicas:int -> t
 (** Grace-based phase-4 coordination, majority phase-2, calibrated

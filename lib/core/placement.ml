@@ -1,15 +1,17 @@
 open Heron_obs
+module Shard_map = Heron_topology.Shard_map
 
 type t = {
   mutable dir_epoch : int;
   dir_overrides : (Oid.t, int) Hashtbl.t;
+  mutable dir_shards : Shard_map.t option;
   mutable dir_busy : bool;
   mutable dir_gauge : Metrics.gauge option;
 }
 
-let create () =
-  { dir_epoch = 0; dir_overrides = Hashtbl.create 32; dir_busy = false;
-    dir_gauge = None }
+let create ?shards () =
+  { dir_epoch = 0; dir_overrides = Hashtbl.create 32; dir_shards = shards;
+    dir_busy = false; dir_gauge = None }
 
 let attach_metrics t reg =
   let g = Metrics.gauge reg "reconfig.epoch" in
@@ -18,33 +20,44 @@ let attach_metrics t reg =
 
 let epoch t = t.dir_epoch
 let lookup t oid = Hashtbl.find_opt t.dir_overrides oid
+let shards t = t.dir_shards
 
-let commit t ~epoch ~moves =
+let commit ?shards t ~epoch ~moves =
   if epoch <> t.dir_epoch + 1 then
     invalid_arg
       (Printf.sprintf "Placement.commit: epoch %d, directory at %d" epoch
          t.dir_epoch);
   List.iter (fun (oid, part) -> Hashtbl.replace t.dir_overrides oid part) moves;
+  (match shards with Some sm -> t.dir_shards <- Some sm | None -> ());
   t.dir_epoch <- epoch;
   match t.dir_gauge with None -> () | Some g -> Metrics.set_gauge g epoch
 
 let begin_exclusive t = if t.dir_busy then false else (t.dir_busy <- true; true)
 let end_exclusive t = t.dir_busy <- false
 
-type view = { mutable v_epoch : int; v_overrides : (Oid.t, int) Hashtbl.t }
+type view = {
+  mutable v_epoch : int;
+  v_overrides : (Oid.t, int) Hashtbl.t;
+  mutable v_shards : Shard_map.t option;
+}
 
-let fresh_view () = { v_epoch = 0; v_overrides = Hashtbl.create 8 }
+let fresh_view ?shards () =
+  { v_epoch = 0; v_overrides = Hashtbl.create 8; v_shards = shards }
+
 let view_epoch v = v.v_epoch
+let view_shards v = v.v_shards
 
 let refresh v t =
   Hashtbl.reset v.v_overrides;
   Hashtbl.iter (fun oid part -> Hashtbl.replace v.v_overrides oid part)
     t.dir_overrides;
+  v.v_shards <- t.dir_shards;
   v.v_epoch <- t.dir_epoch
 
-let install v ~epoch ~moves =
+let install ?shards v ~epoch ~moves =
   if epoch > v.v_epoch then begin
     List.iter (fun (oid, part) -> Hashtbl.replace v.v_overrides oid part) moves;
+    (match shards with Some sm -> v.v_shards <- Some sm | None -> ());
     v.v_epoch <- epoch
   end
 
@@ -52,18 +65,35 @@ let copy_view ~src ~dst =
   Hashtbl.reset dst.v_overrides;
   Hashtbl.iter (fun oid part -> Hashtbl.replace dst.v_overrides oid part)
     src.v_overrides;
+  dst.v_shards <- src.v_shards;
   dst.v_epoch <- src.v_epoch
 
 let view_size v = Hashtbl.length v.v_overrides
+
+(* Wire size of a shipped view: epoch header, one (oid, partition) pair
+   per override, one (lo, hi, group) arc per shard-table entry. *)
+let view_bytes v =
+  8
+  + (16 * Hashtbl.length v.v_overrides)
+  + (match v.v_shards with Some sm -> 24 * Shard_map.count sm | None -> 0)
+
 let view_lookup v oid = Hashtbl.find_opt v.v_overrides oid
 
+(* Resolution order: a per-object override (a §10 migration) wins, then
+   the shard table (elastic topology, §15), then the static oracle.
+   Replicated objects never move. The shard table replaces the static
+   oracle wholesale for partition-placed objects — one lookup either
+   way. *)
 let placement_under v static oid =
   match static oid with
   | App.Replicated -> App.Replicated
   | App.Partition _ as p -> (
       match Hashtbl.find_opt v.v_overrides oid with
       | Some part -> App.Partition part
-      | None -> p)
+      | None -> (
+          match v.v_shards with
+          | Some sm -> App.Partition (Shard_map.home sm (Oid.to_int oid))
+          | None -> p))
 
 let destinations v app ~partitions req =
   App.destinations_under

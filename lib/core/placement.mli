@@ -1,14 +1,17 @@
 (** Epoch-versioned placement: dynamic object-to-partition overrides
-    layered over the application's static placement oracle.
+    and the elastic shard table, layered over the application's static
+    placement oracle.
 
     The paper's oracle ([App.placement_of]) is a pure function fixed at
     deployment time; live repartitioning (DESIGN.md §10) layers a small
-    override table on top of it. Placement state exists in three roles:
+    override table on top of it, and the elastic topology (DESIGN.md
+    §15) layers a ring-hashed shard table underneath the overrides.
+    Placement state exists in three roles:
 
     - the {e authoritative directory} ({!type-t}), owned by the
       deployment ({!System.directory}) and advanced by the migration
-      orchestrator ({!Heron_reconfig.Migration}) when a migration
-      commits;
+      orchestrator ({!Heron_reconfig.Migration}) or the elastic
+      orchestrator ({!Heron_reconfig.Elastic}) when a command commits;
     - one {e replica view} per replica, advanced when the replica
       executes a [Migrate] command at its position in the delivery
       order — so every replica of a partition holds the same view at
@@ -19,13 +22,20 @@
       location oracle).
 
     Epochs are strictly increasing integers; epoch 0 is the pure static
-    oracle. Views are cheap copies: an override table holds one entry
-    per object that ever migrated. *)
+    oracle — or, with the topology enabled, the deployment-time shard
+    table ({!Config.initial_shards}), which every party computes
+    locally. Migrations and shard splits/merges share the one epoch
+    counter, so redirect-chasing and the exclusive-orchestrator slot
+    serialize them together. Views are cheap copies: an override table
+    holds one entry per object that ever migrated, plus a shared
+    immutable shard table. *)
 
 type t
 (** The authoritative directory. *)
 
-val create : unit -> t
+val create : ?shards:Heron_topology.Shard_map.t -> unit -> t
+(** [?shards] installs the deployment-time shard table (elastic
+    topology); without it epoch 0 is the pure static oracle. *)
 
 val attach_metrics : t -> Heron_obs.Metrics.t -> unit
 (** Publish the directory's epoch as the [reconfig.epoch] gauge. *)
@@ -35,14 +45,23 @@ val epoch : t -> int
 val lookup : t -> Oid.t -> int option
 (** Current override for an object, if it ever migrated. *)
 
-val commit : t -> epoch:int -> moves:(Oid.t * int) list -> unit
-(** Install a committed migration's moves and advance the epoch.
-    Raises [Invalid_argument] unless [epoch = epoch t + 1] (migrations
-    are serialized by {!begin_exclusive}). *)
+val shards : t -> Heron_topology.Shard_map.t option
+(** The committed shard table, when the elastic topology is on. *)
+
+val commit :
+  ?shards:Heron_topology.Shard_map.t ->
+  t ->
+  epoch:int ->
+  moves:(Oid.t * int) list ->
+  unit
+(** Install a committed command's moves — and, for a shard split or
+    merge, its new shard table — and advance the epoch. Raises
+    [Invalid_argument] unless [epoch = epoch t + 1] (commands are
+    serialized by {!begin_exclusive}). *)
 
 val begin_exclusive : t -> bool
-(** Try to acquire the single-orchestrator migration slot; [false] if a
-    migration is already in flight. *)
+(** Try to acquire the single-orchestrator reconfiguration slot;
+    [false] if a migration, split or merge is already in flight. *)
 
 val end_exclusive : t -> unit
 
@@ -50,32 +69,45 @@ val end_exclusive : t -> unit
 
 type view
 
-val fresh_view : unit -> view
-(** Epoch 0: the pure static oracle. *)
+val fresh_view : ?shards:Heron_topology.Shard_map.t -> unit -> view
+(** Epoch 0: the static oracle, or the initial shard table when given. *)
 
 val view_epoch : view -> int
+val view_shards : view -> Heron_topology.Shard_map.t option
 
 val refresh : view -> t -> unit
-(** Re-cache the directory's current overrides and epoch (a client
-    reacting to a wrong-epoch redirect). *)
+(** Re-cache the directory's current overrides, shard table and epoch
+    (a client reacting to a wrong-epoch redirect). *)
 
-val install : view -> epoch:int -> moves:(Oid.t * int) list -> unit
-(** Apply one migration's moves to a view (a replica executing a
-    [Migrate] command). Epochs advance monotonically; re-installing an
-    already-seen epoch is idempotent. *)
+val install :
+  ?shards:Heron_topology.Shard_map.t ->
+  view ->
+  epoch:int ->
+  moves:(Oid.t * int) list ->
+  unit
+(** Apply one command's moves (and new shard table, for a split or
+    merge) to a view — a replica executing a [Migrate] command. Epochs
+    advance monotonically; re-installing an already-seen epoch is
+    idempotent. *)
 
 val copy_view : src:view -> dst:view -> unit
-(** Overwrite [dst] with [src]'s overrides and epoch (the state-transfer
-    donor shipping its placement alongside the object state). *)
+(** Overwrite [dst] with [src]'s overrides, shard table and epoch (the
+    state-transfer donor shipping its placement alongside the object
+    state). *)
 
 val view_size : view -> int
-(** Number of overrides (transfer byte accounting). *)
+(** Number of overrides. *)
+
+val view_bytes : view -> int
+(** Serialized size of the view on the wire: overrides plus the shard
+    table (transfer byte accounting). *)
 
 val view_lookup : view -> Oid.t -> int option
 
 val placement_under : view -> (Oid.t -> App.placement) -> Oid.t -> App.placement
-(** The effective oracle: the view's override if present, otherwise the
-    static placement. Replicated objects never migrate and are returned
+(** The effective oracle: the view's override if present, else the
+    shard table's ring lookup if one is installed, otherwise the static
+    placement. Replicated objects never migrate and are returned
     unchanged. *)
 
 val destinations :

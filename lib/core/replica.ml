@@ -19,8 +19,14 @@ type migration = {
   mg_src : int;
   mg_dst : int;
   mg_oids : (Oid.t * int) list;  (* object and its cell capacity *)
+  mg_shards : Heron_topology.Shard_map.t option;
+      (* a shard split or merge (DESIGN.md §15): the full replacement
+         shard table, installed instead of per-object overrides; the
+         oid list still drives the destination's cell pulls *)
   mg_client_node : Fabric.node;
   mg_done : part:int -> unit;
+  mg_trace : int;  (* reqtrace id minted by the orchestrator; 0 untraced *)
+  mg_parent : int;
 }
 
 type lease_grant = {
@@ -227,7 +233,7 @@ let create ~cfg ~app ~part ~idx ~node ~store_region_size =
     r_peers = [||];
     r_qps = Hashtbl.create 16;
     r_addr_known = Hashtbl.create 1024;
-    r_view = Placement.fresh_view ();
+    r_view = Placement.fresh_view ?shards:(Config.initial_shards cfg) ();
     r_track = cfg.Config.reconfig.Config.enabled;
     r_access = Hashtbl.create 64;
     r_stats = make_stats ();
@@ -252,6 +258,7 @@ let node r = r.r_node
 let part r = r.r_part
 let idx r = r.r_idx
 let last_req r = r.r_last_req
+let last_applied r = r.r_last_applied
 let stats r = r.r_stats
 
 let clear_stats r =
@@ -495,6 +502,38 @@ let commit_wait r ~tmp =
     let waited = Engine.now r.r_eng - t0 in
     if waited > 0 then Heron_obs.Metrics.observe r.r_obs.ob_invalidation waited
   end
+
+(* The stable frontier: the minimum applied frontier over this replica
+   and every peer currently holding a valid lease (same validity test
+   as [lease_block]). A version at or below it has been applied by
+   every replica able to serve a fast read, so no later local read can
+   observe an older value; a version above it is still inside some
+   commit-wait window — applied here, possibly not at a valid peer —
+   and serving it would let two reads of the same object straddle an
+   unacknowledged write across replicas. Peer copies only lag their
+   true frontiers, so staleness makes the bound lower (more misses),
+   never unsafe. *)
+let stable_frontier r ~now =
+  let bound = ref r.r_last_applied in
+  for i = 0 to n_replicas r - 1 do
+    if i <> r.r_idx then
+      match Read_lease.entry r.r_lease ~idx:i with
+      | None -> ()
+      | Some e ->
+          let q = peer r ~part:r.r_part ~idx:i in
+          if
+            now < e.Read_lease.le_expiry_ns
+            && Fabric.is_alive q.r_node
+            && Fabric.epoch q.r_node = e.Read_lease.le_incarnation
+          then begin
+            let f, f_epoch = Read_lease.read_copy r.r_lease ~idx:i in
+            let f =
+              if f_epoch <> e.Read_lease.le_incarnation then Tstamp.zero else f
+            in
+            if Tstamp.(f < !bound) then bound := f
+          end
+  done;
+  !bound
 
 (* {1 Coordination (Algorithm 1, Phases 2 and 4)} *)
 
@@ -833,7 +872,7 @@ let do_transfer r ~lagger_idx ~failed_tmp =
   (* Snapshot the placement view in the same turn: it must describe the
      same instant as [upto] (exec_migration installs the epoch and marks
      the command applied without suspending in between). *)
-  let plc = Placement.fresh_view () in
+  let plc = Placement.fresh_view ?shards:(Config.initial_shards r.r_cfg) () in
   Placement.copy_view ~src:r.r_view ~dst:plc;
   (* The lease table rides along under the same single-turn snapshot
      argument: it describes the same instant as [upto] (grants are
@@ -845,7 +884,7 @@ let do_transfer r ~lagger_idx ~failed_tmp =
   in
   let loc_bytes = loc_footprint loc_values in
   let plc_bytes =
-    8 + (16 * Placement.view_size plc) + Read_lease.snapshot_bytes lease_snap
+    Placement.view_bytes plc + Read_lease.snapshot_bytes lease_snap
   in
   charge_ser r ser_bytes;
   let qp = qp_to r lagger.r_node in
@@ -1129,12 +1168,21 @@ let ensure_addr_known r oid ~h =
    the whole candidate set has failed. Shared by remote reads
    (Algorithm 2) and migration pulls (DESIGN.md §10), which both need a
    cell consistent with the Phase-2 cut of the request they execute. *)
-let remote_fetch_cell r oid ~h ~tmp =
+(* [bound], when set, demands a cell image as of the cut [bound]:
+   versions at or past it are dropped from the returned image, a donor
+   retaining none is skipped like a failed replica, and when every
+   reached donor has moved past the cut the fetch raises {!Lagging} —
+   the frozen value no longer exists at the source and only a state
+   transfer (whose donor executed the migration) can cover it. Remote
+   reads do not pass it: they bound-select client-side from the raw
+   dual-version image and handle misses themselves. *)
+let remote_fetch_cell ?bound r oid ~h ~tmp =
   ensure_addr_known r oid ~h;
   let rng = Engine.rng r.r_eng in
   let n = n_replicas r in
   let tried = Array.make n false in
   let candidates = Array.make n 0 in
+  let bound_missed = ref false in
   let rec attempt ~tried_any =
     let n_cand = ref 0 in
     for i = 0 to n - 1 do
@@ -1145,6 +1193,7 @@ let remote_fetch_cell r oid ~h ~tmp =
       end
     done;
     if !n_cand = 0 then begin
+      if !bound_missed then raise Lagging;
       if tried_any then
         (* All candidates failed: reset and retry the full set. *)
         Array.fill tried 0 n false
@@ -1173,7 +1222,20 @@ let remote_fetch_cell r oid ~h ~tmp =
             (Versioned_store.cell_addr q.r_store oid)
             ~len:(Versioned_store.cell_len q.r_store oid)
         with
-        | raw -> raw
+        | raw -> (
+            match bound with
+            | None -> raw
+            | Some b -> (
+                match Versioned_store.truncate_raw_cell raw ~bound:b with
+                | Some cell -> cell
+                | None ->
+                    (* The donor moved past the cut and overwrote both
+                       versions — it can no longer serve the frozen
+                       value. Try the remaining donors; a slower one
+                       may still hold it. *)
+                    bound_missed := true;
+                    tried.(i) <- true;
+                    attempt ~tried_any:true))
         | exception Qp.Rdma_exception _ ->
             tried.(i) <- true;
             attempt ~tried_any:true
@@ -1421,36 +1483,76 @@ let notify_migration_done r mg ~tmp =
 
 let exec_migration r mg ~tmp ~dst ~on_applied =
   let t0 = Engine.now r.r_eng in
+  (* Causal spans for the elastic orchestrator (DESIGN.md §15): the
+     Phase-2 barrier is the split's freeze point, the cell pulls its
+     bootstrap; both land in the trace the orchestrator minted. *)
+  let mg_span stage ~start =
+    match r.r_cfg.Config.reqtrace with
+    | Some col when mg.mg_trace <> 0 ->
+        ignore
+          (Heron_obs.Reqtrace.add_span col ~trace:mg.mg_trace
+             ~parent:mg.mg_parent ~stage
+             ~attrs:[ ("part", string_of_int r.r_part) ]
+             ~start (Engine.now r.r_eng))
+    | _ -> ()
+  in
   coordinate r ~tmp ~dst ~stage:1 ~wait:r.r_cfg.Config.wait_phase2;
+  mg_span "reshard.freeze" ~start:t0;
   if r.r_part = mg.mg_dst then begin
-    (* Pull each object's raw cell from the source partition: both
-       versions ship, so post-migration reads bounded by pre-migration
-       requests still resolve here. *)
+    let t_boot = Engine.now r.r_eng in
+    (* Pull each object's raw cell from the source partition, bounded
+       at the command's timestamp: both surviving versions ship, so
+       post-migration reads bounded by pre-migration requests still
+       resolve here, while a donor that already moved past the cut
+       (this replica is a lagger and the object has since been written
+       — or even migrated back and written) cannot leak post-cut
+       values into the frozen copy. *)
     List.iter
       (fun (oid, cap) ->
         if not (Versioned_store.mem r.r_store oid) then
           Versioned_store.register r.r_store oid
             ~klass:Versioned_store.Registered ~cap ~init:Bytes.empty)
       mg.mg_oids;
-    List.iter
-      (fun (oid, _) ->
-        let raw = remote_fetch_cell r oid ~h:mg.mg_src ~tmp in
-        Versioned_store.write_raw_cell r.r_store oid raw;
-        (* Record the arrival so delta state transfers from this
-           replica ship the migrated-in object. *)
-        Update_log.append r.r_log tmp oid)
-      mg.mg_oids
+    (try
+       List.iter
+         (fun (oid, _) ->
+           let raw = remote_fetch_cell ~bound:tmp r oid ~h:mg.mg_src ~tmp in
+           Versioned_store.write_raw_cell r.r_store oid raw;
+           (* Record the arrival so delta state transfers from this
+              replica ship the migrated-in object. *)
+           Update_log.append r.r_log tmp oid)
+         mg.mg_oids
+     with Lagging ->
+       (* No source replica retains the cut's value: this replica is so
+          far behind that the source overwrote both versions (or lost
+          the object to a later reshard). Synchronise instead — any
+          donor able to cover [tmp] executed this migration, so the
+          adopted store, update log and placement view all include its
+          effects, and the installs below degrade to no-ops. *)
+       let ts0 = Engine.now r.r_eng in
+       initiate_state_transfer r ~failed_tmp:tmp ~cover:tmp;
+       mg_span "reshard.sync" ~start:ts0);
+    if mg.mg_oids <> [] then mg_span "reshard.bootstrap" ~start:t_boot
   end;
   (* Install the new epoch and mark the command applied with no
      suspension in between: a state-transfer donor snapshots
      (r_last_applied, placement view) in one event-loop turn and must
-     see them consistent. *)
-  Placement.install r.r_view ~epoch:mg.mg_epoch
-    ~moves:(List.map (fun (oid, _) -> (oid, mg.mg_dst)) mg.mg_oids);
+     see them consistent. A split or merge installs its shard table
+     instead of per-object overrides: the table already resolves the
+     moved keys, and leaving no override behind is what lets a later
+     merge restore the pre-split map exactly. *)
+  let moves =
+    match mg.mg_shards with
+    | Some _ -> []
+    | None -> List.map (fun (oid, _) -> (oid, mg.mg_dst)) mg.mg_oids
+  in
+  Placement.install ?shards:mg.mg_shards r.r_view ~epoch:mg.mg_epoch ~moves;
   on_applied ();
   Heron_obs.Metrics.incr r.r_obs.ob_migrations_applied;
   coordinate r ~tmp ~dst ~stage:2 ~wait:r.r_cfg.Config.wait_phase4;
-  trace r ~name:"migrate" ~tmp ~start:t0 (Engine.now r.r_eng);
+  trace r
+    ~name:(if mg.mg_shards = None then "migrate" else "reshard")
+    ~tmp ~start:t0 (Engine.now r.r_eng);
   notify_migration_done r mg ~tmp
 
 (* A request whose destination set was computed under an older placement
@@ -1909,9 +2011,17 @@ exception Fast_miss
    commit-wait gated on all valid holders' published frontiers, and a
    write acknowledged before our grant was applied at the acknowledging
    replica sits below the grant position, hence below our frontier.
-   Serving only versions at or below the frontier (freshest-above
-   means miss: a donor snapshot may ship a peer's in-flight writes
-   ahead of our prefix) therefore never misses an acknowledged write.
+   But the converse hazard is real too: [r_last_applied] also covers
+   writes still inside their commit-wait window — applied here, not
+   yet at a lagging valid holder — and serving one lets a later read
+   at the lagger observe the older value (reads straddling an
+   unacknowledged write go backwards; reshard bootstraps make the
+   apply skew between replicas wide enough to hit). So reads are
+   bounded by the {e stable frontier} instead: the minimum applied
+   frontier across all valid holders, i.e. exactly the condition
+   commit-wait enforces before any acknowledgement. Freshest-above-
+   bound means miss, never serve-an-older-version: the older version
+   may already have been superseded in a peer's served reads.
    The whole store snapshot is taken in one event-loop turn — no
    suspension points, costs charged only afterwards — so multi-object
    reads observe a single request boundary. *)
@@ -1930,7 +2040,7 @@ let try_serve_read r payload =
     in
     if not self_valid then None
     else
-      let bound = r.r_last_applied in
+      let bound = stable_frontier r ~now in
       let plan = r.r_app.App.read_plan ~part:r.r_part payload in
       match
         let snap : (Oid.t, bytes option) Hashtbl.t = Hashtbl.create 16 in

@@ -40,15 +40,28 @@ type migration = {
   mg_src : int;  (** partition the objects leave *)
   mg_dst : int;  (** partition the objects join *)
   mg_oids : (Oid.t * int) list;  (** objects and their cell capacities *)
+  mg_shards : Heron_topology.Shard_map.t option;
+      (** for a shard split or merge (DESIGN.md §15): the full
+          replacement shard table every replica installs at this
+          command's position instead of per-object overrides —
+          [mg_oids] then lists the carved keys the destination
+          bootstraps, and the table alone re-homes them *)
   mg_client_node : Heron_rdma.Fabric.node;  (** the orchestrator's node *)
   mg_done : part:int -> unit;  (** per-partition completion, like a reply *)
+  mg_trace : int;
+      (** orchestrator-minted trace id (DESIGN.md §11) under which the
+          replicas record [reshard.freeze] / [reshard.bootstrap] spans;
+          0 when untraced *)
+  mg_parent : int;  (** the trace's root span id; 0 when untraced *)
 }
-(** An online object migration (DESIGN.md §10), multicast to {e every}
+(** An online object migration (DESIGN.md §10) — or, with [mg_shards]
+    set, a shard split/merge (DESIGN.md §15) — multicast to {e every}
     partition as an ordinary totally-ordered command: the Phase-2
     barrier fixes the cut, the destination partition pulls the objects'
     raw dual-version cells from Phase-2-reached source replicas, and
     each replica installs [mg_epoch] at the command's position in the
-    delivery order. Built by {!Heron_reconfig.Migration}. *)
+    delivery order. Built by {!Heron_reconfig.Migration} and
+    {!Heron_reconfig.Elastic}. *)
 
 type lease_grant = {
   lg_part : int;  (** the granter's partition (also the multicast dst) *)
@@ -119,6 +132,12 @@ val node : ('req, 'resp) t -> Heron_rdma.Fabric.node
 val part : ('req, 'resp) t -> int
 val idx : ('req, 'resp) t -> int
 val last_req : ('req, 'resp) t -> Tstamp.t
+
+val last_applied : ('req, 'resp) t -> Tstamp.t
+(** The applied frontier: the highest position executed or covered by a
+    state transfer. The lease granter gates renewals on it — see
+    {!System}. *)
+
 val stats : ('req, 'resp) t -> stats
 
 val clear_stats : ('req, 'resp) t -> unit

@@ -38,6 +38,7 @@ type ('req, 'resp) t = {
       (* fast-read client QPs, by (client node id, replica node id) *)
   sys_rr : int array;  (* fast-read round-robin cursor, per partition *)
   mutable sys_clients : int;
+  mutable sys_jitter : int;  (* redirect-backoff jitter salt (deterministic) *)
 }
 
 let engine t = t.sys_eng
@@ -50,11 +51,17 @@ let multicast t = t.sys_mcast
 let directory t = t.sys_dir
 
 (* Serialized size of a message on the wire: payload plus the read-set
-   object ids and the header for a request; the object list and the
-   header for a migration. *)
+   object ids and the header for a request; the object list, the header
+   and (for a split/merge) the replacement shard table for a
+   migration. *)
 let msg_size app = function
   | Replica.Req rq -> app.App.req_size rq.Replica.rq_payload + 32
-  | Replica.Migrate mg -> 48 + (16 * List.length mg.Replica.mg_oids)
+  | Replica.Migrate mg ->
+      48
+      + (16 * List.length mg.Replica.mg_oids)
+      + (match mg.Replica.mg_shards with
+        | Some sm -> 24 * Heron_topology.Shard_map.count sm
+        | None -> 0)
   | Replica.Lease _ -> 32
   | Replica.Batch reqs ->
       (* Per-request payloads and headers plus one batch header. *)
@@ -78,14 +85,19 @@ let region_size_for cfg specs ~part =
           if reconfig || p = part then acc + cell spec.App.spec_cap else acc)
     0 specs
 
-(* Register the catalog objects owned by one partition into a store. *)
-let load_partition_catalog ~specs ~part store =
+(* Register the catalog objects owned by one partition into a store.
+   With the elastic topology on, the epoch-0 shard table decides which
+   group homes each partition-placed object; the static placement is
+   only the oracle's input then. *)
+let load_partition_catalog ~specs ~part ?shards store =
   List.iter
     (fun spec ->
       let owned =
-        match spec.App.spec_placement with
-        | App.Partition p -> p = part
-        | App.Replicated -> true
+        match (spec.App.spec_placement, shards) with
+        | App.Replicated, _ -> true
+        | App.Partition _, Some sm ->
+            Heron_topology.Shard_map.home sm (Oid.to_int spec.App.spec_oid) = part
+        | App.Partition p, None -> p = part
       in
       if owned then
         Versioned_store.register store spec.App.spec_oid ~klass:spec.App.spec_klass
@@ -95,6 +107,33 @@ let load_partition_catalog ~specs ~part store =
 let create eng ~cfg ~app =
   let fab = Fabric.create ~metrics:cfg.Config.metrics eng ~profile:cfg.Config.profile in
   let specs = app.App.catalog () in
+  if cfg.Config.topology.Config.topo_enabled then begin
+    (* Splits ride the Migrate machinery (exclusive slot, redirect
+       chasing, whole-catalog regions), and a split re-homes keys by
+       hash alone — Local-class partition state would be left behind. *)
+    if not cfg.Config.reconfig.Config.enabled then
+      invalid_arg "System.create: topology.topo_enabled requires reconfig.enabled";
+    List.iter
+      (fun spec ->
+        match (spec.App.spec_klass, spec.App.spec_placement) with
+        | Versioned_store.Local, App.Partition _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "System.create: topology.topo_enabled requires Registered \
+                  partition-placed objects (oid %d is Local)"
+                 (Oid.to_int spec.App.spec_oid))
+        | _ -> ())
+      specs
+  end;
+  let shards = Config.initial_shards cfg in
+  (* The serving-set gauge starts at the deployment-time table; splits
+     and merges move it from there. *)
+  (match shards with
+  | Some sm ->
+      Heron_obs.Metrics.set_gauge
+        (Heron_obs.Metrics.gauge cfg.Config.metrics "topology.shards")
+        (Heron_topology.Shard_map.count sm)
+  | None -> ());
   let sys_replicas =
     Array.init cfg.Config.partitions (fun part ->
         let region = region_size_for cfg specs ~part + 64 in
@@ -110,7 +149,9 @@ let create eng ~cfg ~app =
   (* Load the catalog. *)
   Array.iteri
     (fun part row ->
-      Array.iter (fun r -> load_partition_catalog ~specs ~part (Replica.store r)) row)
+      Array.iter
+        (fun r -> load_partition_catalog ~specs ~part ?shards (Replica.store r))
+        row)
     sys_replicas;
   let groups = Array.map (Array.map Replica.node) sys_replicas in
   (* The ordering layer reads (trace id, root span id) straight out of
@@ -150,7 +191,7 @@ let create eng ~cfg ~app =
                 Ramcast.log_retained sys_mcast ~gid:part ~idx:(Replica.idx r)))
         row)
     sys_replicas;
-  let sys_dir = Placement.create () in
+  let sys_dir = Placement.create ?shards () in
   if cfg.Config.reconfig.Config.enabled then
     Placement.attach_metrics sys_dir cfg.Config.metrics;
   let sys_batcher =
@@ -179,7 +220,8 @@ let create eng ~cfg ~app =
     sys_lease_miss = Heron_obs.Metrics.counter cfg.Config.metrics "reads.lease_miss";
     sys_read_qps = Hashtbl.create 32;
     sys_rr = Array.make cfg.Config.partitions 0;
-    sys_clients = 0 }
+    sys_clients = 0;
+    sys_jitter = 0 }
 
 (* Read-lease granter (DESIGN.md §14): one fiber per replica, looping
    grant-then-sleep. The grant's absolute expiry is stamped {e before}
@@ -188,22 +230,49 @@ let create eng ~cfg ~app =
    a grant ordered before a crash can never validate the next
    incarnation. The fiber runs on the replica's node: it dies with a
    crash and is respawned (with the bumped epoch) by
-   [restart_replica]. *)
+   [restart_replica].
+
+   Renewal requires progress: no new grant until the replica has
+   applied the previous one. A healthy replica always has — grants are
+   ordered units, applied within one ordering latency — but a replica
+   wedged in its delivery path must not be renewed: every commit-wait
+   in the deployment blocks on a valid holder's stale frontier, and
+   renewing a holder that is not applying extends that stall forever
+   (the grant itself would sit unapplied behind the wedge). Withholding
+   renewal lets the lease expire, bounding the stall at the lease
+   length, after which the rest of the system proceeds — and the
+   resulting traffic is what refills the wedged replica's coordination
+   slots and frees it. *)
 let spawn_granter t r =
   let fr = t.sys_cfg.Config.fast_reads in
   let node = Replica.node r in
   Fabric.spawn_on node (fun () ->
+      (* Expiry of the most recent grant issued by this granter
+         incarnation. Expiries are stamped from the virtual clock, so
+         they are strictly increasing across grants; the replica's own
+         table entry reaching it proves the grant was applied. *)
+      let last_expiry = ref 0 in
       let rec loop () =
-        let expiry = Engine.now t.sys_eng + fr.Config.fr_lease_ns in
-        ignore
-          (Ramcast.multicast t.sys_mcast ~from:node ~dst:[ Replica.part r ]
-             (Replica.Lease
-                {
-                  Replica.lg_part = Replica.part r;
-                  lg_idx = Replica.idx r;
-                  lg_incarnation = Fabric.epoch node;
-                  lg_expiry_ns = expiry;
-                }));
+        let applied_last_grant =
+          match
+            Read_lease.entry (Replica.lease_table r) ~idx:(Replica.idx r)
+          with
+          | None -> !last_expiry = 0
+          | Some e -> e.Read_lease.le_expiry_ns >= !last_expiry
+        in
+        if applied_last_grant then begin
+          let expiry = Engine.now t.sys_eng + fr.Config.fr_lease_ns in
+          ignore
+            (Ramcast.multicast t.sys_mcast ~from:node ~dst:[ Replica.part r ]
+               (Replica.Lease
+                  {
+                    Replica.lg_part = Replica.part r;
+                    lg_idx = Replica.idx r;
+                    lg_incarnation = Fabric.epoch node;
+                    lg_expiry_ns = expiry;
+                  }));
+          last_expiry := expiry
+        end;
         Engine.sleep fr.Config.fr_renew_ns;
         loop ()
       in
@@ -227,7 +296,11 @@ let restart_replica t ~part ~idx =
     Replica.create ~cfg:t.sys_cfg ~app:t.sys_app ~part ~idx ~node
       ~store_region_size:region
   in
-  load_partition_catalog ~specs ~part (Replica.store fresh);
+  (* Epoch-0 ownership, like [create]: anything a split or migration
+     re-homed since then arrives with the donor's snapshot. *)
+  load_partition_catalog ~specs ~part
+    ?shards:(Config.initial_shards t.sys_cfg)
+    (Replica.store fresh);
   (* Peers address coordination/state/store memory through the shared
      directory matrix; the in-place swap repoints them all. *)
   t.sys_replicas.(part).(idx) <- fresh;
@@ -267,7 +340,7 @@ let client_view t node =
   match Hashtbl.find_opt t.sys_views key with
   | Some v -> v
   | None ->
-      let v = Placement.fresh_view () in
+      let v = Placement.fresh_view ?shards:(Config.initial_shards t.sys_cfg) () in
       Hashtbl.replace t.sys_views key v;
       v
 
@@ -482,8 +555,21 @@ let submit_loop t ~from ~dst payload =
       let view = client_view t from in
       let before = Placement.view_epoch view in
       Placement.refresh view t.sys_dir;
-      if Placement.view_epoch view = before then
-        Engine.sleep t.sys_cfg.Config.costs.Config.redirect_backoff_ns;
+      if Placement.view_epoch view = before then begin
+        (* Jittered backoff: the migration behind the redirect has not
+           committed yet, and every redirected client lands here in the
+           same virtual instant — a fixed pause would retry them all in
+           lockstep on the same tick, redirecting the whole herd again.
+           Half the configured backoff is the floor, the rest a
+           deterministic hash of (client node, retry ordinal). *)
+        let b = t.sys_cfg.Config.costs.Config.redirect_backoff_ns in
+        t.sys_jitter <- t.sys_jitter + 1;
+        let j =
+          Heron_topology.Ring.mix
+            (Fabric.node_id from + (t.sys_jitter * 0x9E37))
+        in
+        Engine.sleep ((b / 2) + (j mod (max 1 b)))
+      end;
       let dst' =
         match
           Placement.destinations view t.sys_app

@@ -44,8 +44,10 @@ val multicast :
 
 val directory : ('req, 'resp) t -> Placement.t
 (** The deployment's authoritative placement directory: epoch 0 with no
-    overrides until migrations commit ({!Heron_reconfig.Migration}).
-    Clients cache views of it and refresh on wrong-epoch redirects. *)
+    overrides — and, with the elastic topology on, the deployment-time
+    shard table — until migrations ({!Heron_reconfig.Migration}) or
+    splits/merges ({!Heron_reconfig.Elastic}) commit. Clients cache
+    views of it and refresh on wrong-epoch redirects. *)
 
 val new_client_node : ('req, 'resp) t -> name:string -> Heron_rdma.Fabric.node
 (** Add a client machine to the fabric. *)

@@ -187,6 +187,28 @@ let decode_cell raw =
   in
   (slot 0, slot (16 + cap))
 
+let truncate_raw_cell raw ~bound =
+  let (va, ta), (vb, tb) = decode_cell raw in
+  let a_ok = Tstamp.(ta < bound) and b_ok = Tstamp.(tb < bound) in
+  if a_ok && b_ok then Some raw
+  else
+    match
+      if a_ok then Some (va, ta) else if b_ok then Some (vb, tb) else None
+    with
+    | None -> None
+    | Some (v, tmp) ->
+        let total = Bytes.length raw in
+        let cap = (total - 32) / 2 in
+        let out = Bytes.make total '\000' in
+        let put off =
+          Bytes.set_int64_le out off (Tstamp.to_int64 tmp);
+          Bytes.set_int64_le out (off + 8) (Int64.of_int (Bytes.length v));
+          Bytes.blit v 0 out (off + 16) (Bytes.length v)
+        in
+        put 0;
+        put (16 + cap);
+        Some out
+
 let encode_cell_of t oid =
   let ro = find_reg t oid in
   Memory.read_bytes t.region ~off:ro.ro_off ~len:(cell_len_of_cap ro.ro_cap)

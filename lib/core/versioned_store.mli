@@ -93,6 +93,15 @@ val pick_version :
 (** Algorithm 2 line 22: the version with the larger timestamp that is
     still strictly smaller than [bound], if any. *)
 
+val truncate_raw_cell : bytes -> bound:Tstamp.t -> bytes option
+(** The cell's wire image with every version at or past [bound]
+    dropped: the freshest surviving version fills both slots when only
+    one survives, and [None] means the donor retains nothing older
+    than [bound]. Migration bootstraps (DESIGN.md §10/§15) pull cells
+    through this so a donor that has {e moved past} the migration —
+    legal under the Phase-2 wait condition — cannot leak post-cut
+    writes into a lagging destination replica's frozen copy. *)
+
 val encode_cell_of : t -> Oid.t -> bytes
 (** Raw cell bytes of a registered object (donor side of state
     transfer). *)

@@ -1,0 +1,149 @@
+open Heron_sim
+open Heron_multicast
+open Heron_core
+module Ring = Heron_topology.Ring
+module Shard_map = Heron_topology.Shard_map
+
+type outcome = {
+  el_epoch : int;  (** placement epoch the operation installed *)
+  el_src : int;  (** group the carved keys left *)
+  el_dst : int;  (** group the carved keys joined *)
+  el_moved : int;  (** catalog objects whose home changed *)
+}
+
+let shard_table sys =
+  let cfg = System.config sys in
+  if not cfg.Config.topology.Config.topo_enabled then
+    Error "elastic topology is disabled (Config.topology)"
+  else
+    match Placement.shards (System.directory sys) with
+    | Some sm -> Ok sm
+    | None -> Error "no shard table committed (directory predates topology)"
+
+(* The catalog objects a table change re-homes: registered,
+   partition-placed, not pinned elsewhere by a per-object override, and
+   hashing into the moved arc [lo, hi). Hash-in-arc plus no-override
+   implies the object is currently homed at the arc's old group, so
+   this is exactly the set the destination must bootstrap. Enumerated
+   from the catalog (every object enters the system through it), in oid
+   order, so any orchestrator computes the same list. *)
+let moved_objects sys ~lo ~hi =
+  let app = System.app sys in
+  let dir = System.directory sys in
+  List.filter_map
+    (fun spec ->
+      match (spec.App.spec_klass, spec.App.spec_placement) with
+      | Versioned_store.Registered, App.Partition _
+        when Placement.lookup dir spec.App.spec_oid = None ->
+          let p = Ring.point_of_key (Oid.to_int spec.App.spec_oid) in
+          if lo <= p && p < hi then Some (spec.App.spec_oid, spec.App.spec_cap)
+          else None
+      | _ -> None)
+    (List.sort
+       (fun a b -> compare (Oid.to_int a.App.spec_oid) (Oid.to_int b.App.spec_oid))
+       (app.App.catalog ()))
+
+(* Order the table change through the total order and commit it: the
+   same Migrate machinery as a §10 object migration, with the full
+   replacement table riding in [mg_shards] and the carved keys in
+   [mg_oids]. Every partition delivers it, the Phase-2 barrier freezes
+   the parent at the cut, the destination group bootstraps the carved
+   cells via the state-sync fetch path, and each replica installs the
+   table at the command's position in the delivery order. Stale clients
+   chase redirects exactly as for a migration. *)
+let run_reshard sys ~from ~op ~table ~src ~dst ~moved =
+  let dir = System.directory sys in
+  if not (Placement.begin_exclusive dir) then
+    Error "another reconfiguration is in flight"
+  else
+    Fun.protect
+      ~finally:(fun () -> Placement.end_exclusive dir)
+      (fun () ->
+        let cfg = System.config sys in
+        let reg = cfg.Config.metrics in
+        let col = cfg.Config.reqtrace in
+        let t0 = Engine.now (System.engine sys) in
+        let trace, parent =
+          match col with
+          | None -> (0, 0)
+          | Some col ->
+              Heron_obs.Reqtrace.start_trace col
+                ~attrs:
+                  [ ("op", op);
+                    ("src", string_of_int src);
+                    ("dst", string_of_int dst) ]
+                ~now:t0 ()
+        in
+        let parts = List.init cfg.Config.partitions Fun.id in
+        let acks = List.map (fun p -> (p, Ivar.create ())) parts in
+        let epoch = Placement.epoch dir + 1 in
+        let mg =
+          {
+            Replica.mg_epoch = epoch;
+            mg_src = src;
+            mg_dst = dst;
+            mg_oids = moved;
+            mg_shards = Some table;
+            mg_client_node = from;
+            mg_done =
+              (fun ~part ->
+                match List.assoc_opt part acks with
+                | Some iv -> ignore (Ivar.try_fill iv ())
+                | None -> ());
+            mg_trace = trace;
+            mg_parent = parent;
+          }
+        in
+        ignore
+          (Ramcast.multicast (System.multicast sys) ~from ~dst:parts
+             (Replica.Migrate mg));
+        List.iter (fun (_, iv) -> Ivar.read iv) acks;
+        Placement.commit ~shards:table dir ~epoch ~moves:[];
+        Heron_obs.Metrics.incr
+          (Heron_obs.Metrics.counter reg (Printf.sprintf "topology.%ss" op));
+        Heron_obs.Metrics.set_gauge
+          (Heron_obs.Metrics.gauge reg "topology.shards")
+          (Shard_map.count table);
+        Heron_obs.Metrics.add
+          (Heron_obs.Metrics.counter reg "topology.objects_moved")
+          (List.length moved);
+        (match col with
+        | Some col when trace <> 0 ->
+            let now = Engine.now (System.engine sys) in
+            ignore
+              (Heron_obs.Reqtrace.add_span col ~trace ~parent
+                 ~stage:(op ^ ".commit")
+                 ~attrs:[ ("epoch", string_of_int epoch) ]
+                 ~start:t0 now);
+            Heron_obs.Reqtrace.finish col ~trace ~now
+        | _ -> ());
+        Ok { el_epoch = epoch; el_src = src; el_dst = dst;
+             el_moved = List.length moved })
+
+let split sys ~from ~shard =
+  match shard_table sys with
+  | Error _ as e -> e
+  | Ok sm -> (
+      let cfg = System.config sys in
+      match Shard_map.split sm ~shard ~pool:cfg.Config.partitions with
+      | Error e -> Error ("split: " ^ e)
+      | Ok (sm', info) ->
+          let moved =
+            moved_objects sys ~lo:info.Shard_map.sp_mid ~hi:info.Shard_map.sp_hi
+          in
+          run_reshard sys ~from ~op:"split" ~table:sm'
+            ~src:info.Shard_map.sp_parent ~dst:info.Shard_map.sp_child ~moved)
+
+let merge sys ~from ~left =
+  match shard_table sys with
+  | Error _ as e -> e
+  | Ok sm -> (
+      match Shard_map.merge sm ~left with
+      | Error e -> Error ("merge: " ^ e)
+      | Ok (sm', info) ->
+          let moved =
+            moved_objects sys ~lo:info.Shard_map.mg_lo ~hi:info.Shard_map.mg_hi
+          in
+          run_reshard sys ~from ~op:"merge" ~table:sm'
+            ~src:info.Shard_map.mg_dissolved ~dst:info.Shard_map.mg_survivor
+            ~moved)

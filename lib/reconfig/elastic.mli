@@ -1,0 +1,54 @@
+(** Shard split and merge orchestration (DESIGN.md §15).
+
+    A split carves a shard's arc in two: the left half stays with the
+    parent replica group, the right half goes to a dormant group of the
+    pool chosen by ring succession from the cut point. A merge is the
+    inverse: two adjacent arcs re-join under the left group and the
+    right group returns to the pool. Both are ordered through the
+    atomic multicast as [Replica.Migrate] commands carrying the full
+    replacement shard table — so the Phase-2 barrier freezes the moved
+    keys at a single point of the total order, the destination group
+    bootstraps their dual-version cells through the state-sync fetch
+    path, and every replica installs the new epoch at the same position
+    of the delivery order. Clients on the old table chase redirects
+    exactly as for a §10 object migration.
+
+    Operations serialize with migrations through the directory's
+    exclusive slot; a concurrent call returns [Error] instead of
+    queueing. Must be called from a fiber on a client node (they block
+    on per-partition acknowledgements).
+
+    Metrics: [topology.splits], [topology.merges] (counters),
+    [topology.shards] (gauge), [topology.objects_moved]. With
+    [Config.reqtrace] set, each operation is one trace ([op=split] or
+    [op=merge]) with replica-side [reshard.freeze] /
+    [reshard.bootstrap] spans and an orchestrator [split.commit] /
+    [merge.commit] span. *)
+
+open Heron_core
+
+type outcome = {
+  el_epoch : int;  (** placement epoch the operation installed *)
+  el_src : int;  (** group the carved keys left *)
+  el_dst : int;  (** group the carved keys joined *)
+  el_moved : int;  (** catalog objects whose home changed *)
+}
+
+val split :
+  ('req, 'resp) System.t ->
+  from:Heron_rdma.Fabric.node ->
+  shard:int ->
+  (outcome, string) result
+(** Halve shard [shard] (an index into the committed table). [Error]
+    if the topology is disabled, the index is out of range, the arc is
+    too narrow, no free group remains in the pool, or another
+    reconfiguration holds the exclusive slot. *)
+
+val merge :
+  ('req, 'resp) System.t ->
+  from:Heron_rdma.Fabric.node ->
+  left:int ->
+  (outcome, string) result
+(** Join shards [left] and [left + 1] under the left group. [Error] if
+    the topology is disabled, there is no adjacent pair at [left], or
+    another reconfiguration holds the exclusive slot. *)

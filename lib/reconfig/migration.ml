@@ -3,13 +3,21 @@ open Heron_rdma
 open Heron_multicast
 open Heron_core
 
+(* Resolution order mirrors [Placement.placement_under]: a per-object
+   override wins, then the committed shard table (elastic topology),
+   then the static oracle. *)
 let current_partition sys oid =
-  match Placement.lookup (System.directory sys) oid with
-  | Some p -> Some p
-  | None -> (
-      match (System.app sys).App.placement_of oid with
-      | App.Partition p -> Some p
-      | App.Replicated -> None)
+  match (System.app sys).App.placement_of oid with
+  | App.Replicated -> None
+  | App.Partition p -> (
+      let dir = System.directory sys in
+      match Placement.lookup dir oid with
+      | Some p' -> Some p'
+      | None -> (
+          match Placement.shards dir with
+          | Some sm ->
+              Some (Heron_topology.Shard_map.home sm (Oid.to_int oid))
+          | None -> Some p))
 
 (* Cell capacity of each object, read off a live source replica's store
    (the cell layout is [32 + 2*cap] bytes). *)
@@ -79,7 +87,10 @@ let migrate sys ~from ~oids ~dst =
                     mg_src = src;
                     mg_dst = dst;
                     mg_oids = oids_caps;
+                    mg_shards = None;
                     mg_client_node = from;
+                    mg_trace = 0;
+                    mg_parent = 0;
                     mg_done =
                       (fun ~part ->
                         match List.assoc_opt part acks with

@@ -1,16 +1,23 @@
 open Heron_sim
 open Heron_rdma
 open Heron_core
+module Shard_map = Heron_topology.Shard_map
 
 type policy = {
   period_ns : int;
   imbalance_x100 : int;
   min_accesses : int;
   max_moves : int;
+  split_min_accesses : int;
+  split_patience : int;
+  merge_max_accesses : int;
+  merge_patience : int;
 }
 
 let default_policy =
-  { period_ns = 1_000_000; imbalance_x100 = 150; min_accesses = 64; max_moves = 8 }
+  { period_ns = 1_000_000; imbalance_x100 = 150; min_accesses = 64; max_moves = 8;
+    split_min_accesses = 256; split_patience = 2; merge_max_accesses = 16;
+    merge_patience = 8 }
 
 type t = {
   rb_policy : policy;
@@ -18,10 +25,16 @@ type t = {
   mutable rb_stop : bool;
   mutable rb_rounds : int;
   mutable rb_moves : int;
+  mutable rb_splits : int;
+  mutable rb_merges : int;
+  mutable rb_hot_rounds : int;  (* consecutive saturated-with-no-relief rounds *)
+  mutable rb_cold_rounds : int;  (* consecutive rounds with a cold adjacent pair *)
 }
 
 let rounds t = t.rb_rounds
 let moves t = t.rb_moves
+let splits t = t.rb_splits
+let merges t = t.rb_merges
 let stop t = t.rb_stop <- true
 
 (* Per-object demand over the last window: drain every live replica and
@@ -99,11 +112,85 @@ let plan sys policy counts ~gauge =
     end
   end
 
+(* Tier 2/3 (DESIGN.md §15): when moving objects cannot relieve a
+   saturated group — every key it serves is hot, or tier 1 found
+   nothing to move — split its shard so half the arc lands on a fresh
+   group from the pool; when an adjacent pair of shards stays cold,
+   merge them and return a group. Hysteresis lives in the thresholds
+   ([split_min_accesses] well above [merge_max_accesses]) and the
+   patience counters, so one burst never thrashes split-then-merge. *)
+let topology_step t sys counts ~relieved =
+  let cfg = System.config sys in
+  if cfg.Config.topology.Config.topo_enabled then
+    match Placement.shards (System.directory sys) with
+    | None -> ()
+    | Some sm ->
+        let policy = t.rb_policy in
+        let partitions = cfg.Config.partitions in
+        let load = Array.make partitions 0 in
+        List.iter
+          (fun (oid, n) ->
+            match Migration.current_partition sys oid with
+            | Some p -> load.(p) <- load.(p) + n
+            | None -> ())
+          counts;
+        (* Tier 2: split the hottest serving group's shard. *)
+        let hot = ref None in
+        Array.iter
+          (fun s ->
+            let g = s.Shard_map.s_group in
+            match !hot with
+            | Some (_, l) when l >= load.(g) -> ()
+            | _ -> hot := Some (g, load.(g)))
+          sm;
+        (match !hot with
+        | Some (g, l)
+          when l >= policy.split_min_accesses && (not relieved)
+               && Shard_map.free_groups sm ~pool:partitions <> [] ->
+            t.rb_hot_rounds <- t.rb_hot_rounds + 1;
+            if t.rb_hot_rounds >= policy.split_patience then begin
+              t.rb_hot_rounds <- 0;
+              match Shard_map.index_of_group sm g with
+              | Some shard -> (
+                  match Elastic.split sys ~from:t.rb_node ~shard with
+                  | Ok _ -> t.rb_splits <- t.rb_splits + 1
+                  | Error _ -> ())
+              | None -> ()
+            end
+        | _ -> t.rb_hot_rounds <- 0);
+        (* Tier 3: merge the coldest adjacent pair. Requires some signal
+           in the window — an idle warmup should not collapse the
+           deployment-time table one epoch at a time. *)
+        let total = Array.fold_left ( + ) 0 load in
+        if Shard_map.count sm >= 2 && total > 0 then begin
+          let best = ref None in
+          for i = 0 to Shard_map.count sm - 2 do
+            let a = (Shard_map.arc sm i).Shard_map.s_group in
+            let b = (Shard_map.arc sm (i + 1)).Shard_map.s_group in
+            let l = load.(a) + load.(b) in
+            match !best with
+            | Some (_, bl) when bl <= l -> ()
+            | _ -> best := Some (i, l)
+          done;
+          match !best with
+          | Some (i, l) when l <= policy.merge_max_accesses ->
+              t.rb_cold_rounds <- t.rb_cold_rounds + 1;
+              if t.rb_cold_rounds >= policy.merge_patience then begin
+                t.rb_cold_rounds <- 0;
+                match Elastic.merge sys ~from:t.rb_node ~left:i with
+                | Ok _ -> t.rb_merges <- t.rb_merges + 1
+                | Error _ -> ()
+              end
+          | _ -> t.rb_cold_rounds <- 0
+        end
+        else t.rb_cold_rounds <- 0
+
 let start ?(policy = default_policy) sys =
   let node = System.new_client_node sys ~name:"rebalancer" in
   let t =
     { rb_policy = policy; rb_node = node; rb_stop = false; rb_rounds = 0;
-      rb_moves = 0 }
+      rb_moves = 0; rb_splits = 0; rb_merges = 0; rb_hot_rounds = 0;
+      rb_cold_rounds = 0 }
   in
   let cfg = System.config sys in
   let gauge =
@@ -116,12 +203,17 @@ let start ?(policy = default_policy) sys =
           if not t.rb_stop then begin
             t.rb_rounds <- t.rb_rounds + 1;
             let counts = collect_counts sys in
-            (match plan sys policy counts ~gauge with
-            | None -> ()
-            | Some (oids, dst) -> (
-                match Migration.migrate sys ~from:t.rb_node ~oids ~dst with
-                | Ok () -> t.rb_moves <- t.rb_moves + List.length oids
-                | Error _ -> ()));
+            let relieved =
+              match plan sys policy counts ~gauge with
+              | None -> false
+              | Some (oids, dst) -> (
+                  match Migration.migrate sys ~from:t.rb_node ~oids ~dst with
+                  | Ok () ->
+                      t.rb_moves <- t.rb_moves + List.length oids;
+                      true
+                  | Error _ -> false)
+            in
+            topology_step t sys counts ~relieved;
             loop ()
           end
         in

@@ -1,4 +1,4 @@
-(** Load-driven rebalancer (DESIGN.md §10, policy layer).
+(** Load-driven rebalancer (DESIGN.md §10 tier 1, §15 tiers 2-3).
 
     A policy fiber that periodically drains the replicas' per-object
     access counters, computes per-partition load under the current
@@ -8,6 +8,15 @@
     load to bring the hottest partition down to (and the coldest up to)
     the average, so a concentrated hotspot spreads over a few rounds
     instead of sloshing between two partitions.
+
+    With the elastic topology enabled two more tiers engage: when a
+    replica group stays saturated ([split_min_accesses]) and object
+    moves bring no relief for [split_patience] consecutive rounds, its
+    shard is split onto a dormant group of the pool; when the coldest
+    adjacent shard pair stays under [merge_max_accesses] for
+    [merge_patience] rounds, the pair merges and a group returns to the
+    pool. The split threshold sits well above the merge one, so a
+    workload shift never thrashes split-then-merge.
 
     The imbalance it observes is published as the
     [reconfig.imbalance_x100] gauge (100 = perfectly balanced). *)
@@ -21,11 +30,23 @@ type policy = {
   min_accesses : int;
       (** ignore windows with fewer total accesses (no signal) *)
   max_moves : int;  (** objects migrated per round at most *)
+  split_min_accesses : int;
+      (** tier 2: a serving group at or above this per-window load is
+          saturated — a candidate for splitting its shard *)
+  split_patience : int;
+      (** consecutive saturated rounds without tier-1 relief before the
+          split fires *)
+  merge_max_accesses : int;
+      (** tier 3: an adjacent shard pair at or below this combined
+          per-window load is cold — a candidate for merging *)
+  merge_patience : int;
+      (** consecutive cold rounds before the merge fires *)
 }
 
 val default_policy : policy
 (** 1 ms period, trigger at 150 (hottest 1.5x the average), 64 minimum
-    accesses, 8 moves per round. *)
+    accesses, 8 moves per round; split at 256 accesses after 2 rounds,
+    merge under 16 after 8 rounds. *)
 
 type t
 
@@ -42,3 +63,9 @@ val rounds : t -> int
 
 val moves : t -> int
 (** Objects migrated so far. *)
+
+val splits : t -> int
+(** Shard splits performed so far (elastic topology only). *)
+
+val merges : t -> int
+(** Shard merges performed so far (elastic topology only). *)

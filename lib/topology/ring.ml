@@ -1,0 +1,36 @@
+let bits = 30
+let space = 1 lsl bits
+
+(* Murmur-style avalanche finalizer (xorshift-multiply rounds). The
+   multipliers are 62-bit — OCaml int literals top out below 2^62 — and
+   odd, which is what the avalanche needs; multiplication wraps, so the
+   result is deterministic everywhere the simulator runs. Masking with
+   [max_int] keeps it non-negative. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x3C79AC492BA7B653 in
+  let x = x lxor (x lsr 32) in
+  x land max_int
+
+(* Distinct odd salts keep key points and group points uncorrelated:
+   group g sitting exactly on key k's point would make succession
+   degenerate for that key. *)
+let point_of_key k = mix ((k * 2) + 0x5EED1) land (space - 1)
+let point_of_group g = mix ((g * 2) + 0x9AB42) land (space - 1)
+
+let successor ~point ~groups =
+  let best =
+    List.fold_left
+      (fun best g ->
+        (* Clockwise distance from [point] to g's position, with wrap. *)
+        let d = (point_of_group g - point) land (space - 1) in
+        match best with
+        | Some (bd, bg) when bd < d || (bd = d && bg < g) -> best
+        | _ -> Some (d, g))
+      None groups
+  in
+  match best with
+  | Some (_, g) -> g
+  | None -> invalid_arg "Ring.successor: empty candidate set"

@@ -1,0 +1,32 @@
+(** The logical hash ring shards and replica groups are placed on.
+
+    Every deterministic placement decision in the elastic topology
+    (DESIGN.md §15) reduces to arithmetic on this ring: keys hash to
+    ring points, shards own contiguous arcs of points, and replica
+    groups sit at fixed ring positions so a new shard's group is chosen
+    by ring succession — the first free group at or after the arc's
+    position, the HERD-style assignment rule. Everything here is a pure
+    function of its arguments: replicas, clients and the directory all
+    compute identical answers with no coordination. *)
+
+val space : int
+(** Number of ring positions; points are integers in [\[0, space)]. *)
+
+val mix : int -> int
+(** A Murmur-style avalanche mix yielding a non-negative OCaml int.
+    Deterministic across platforms with 63-bit native ints; also reused
+    as a cheap stateless jitter source. *)
+
+val point_of_key : int -> int
+(** Ring position of an object key (an {!Heron_core.Oid} as int — but
+    this library stays below core, so plain ints). *)
+
+val point_of_group : int -> int
+(** Ring position of a replica group (salted differently from keys so
+    group and key points are uncorrelated). *)
+
+val successor : point:int -> groups:int list -> int
+(** The group whose ring position is first at or after [point], walking
+    clockwise with wrap-around — ring succession over the candidate
+    set. Ties (equal distance) break toward the smaller group id.
+    Raises [Invalid_argument] on an empty candidate list. *)

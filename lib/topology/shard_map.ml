@@ -1,0 +1,111 @@
+type shard = { s_lo : int; s_hi : int; s_group : int }
+type t = shard array
+
+let count t = Array.length t
+let arc t i = t.(i)
+
+let initial ~shards ~pool =
+  if shards < 1 || shards > pool then
+    invalid_arg
+      (Printf.sprintf "Shard_map.initial: %d shards over a pool of %d" shards
+         pool);
+  let free = ref (List.init pool Fun.id) in
+  Array.init shards (fun i ->
+      let lo = i * Ring.space / shards in
+      let hi = if i = shards - 1 then Ring.space else (i + 1) * Ring.space / shards in
+      let g = Ring.successor ~point:lo ~groups:!free in
+      free := List.filter (fun g' -> g' <> g) !free;
+      { s_lo = lo; s_hi = hi; s_group = g })
+
+let lookup t point =
+  let lo = ref 0 and hi = ref (Array.length t - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.(mid).s_lo <= point then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let home t key = t.(lookup t (Ring.point_of_key key)).s_group
+
+let index_of_group t g =
+  let found = ref None in
+  Array.iteri (fun i s -> if !found = None && s.s_group = g then found := Some i) t;
+  !found
+
+let free_groups t ~pool =
+  let busy = Array.to_list (Array.map (fun s -> s.s_group) t) in
+  List.filter (fun g -> not (List.mem g busy)) (List.init pool Fun.id)
+
+type split_info = {
+  sp_parent : int;
+  sp_child : int;
+  sp_lo : int;
+  sp_mid : int;
+  sp_hi : int;
+}
+
+let split t ~shard ~pool =
+  if shard < 0 || shard >= Array.length t then
+    Error (Printf.sprintf "shard %d out of range (table has %d)" shard
+             (Array.length t))
+  else
+    let { s_lo; s_hi; s_group } = t.(shard) in
+    if s_hi - s_lo < 2 then Error "arc too narrow to split"
+    else
+      match free_groups t ~pool with
+      | [] -> Error "no free replica group in the pool"
+      | free ->
+          let mid = s_lo + ((s_hi - s_lo) / 2) in
+          let child = Ring.successor ~point:mid ~groups:free in
+          let t' =
+            Array.init
+              (Array.length t + 1)
+              (fun i ->
+                if i < shard then t.(i)
+                else if i = shard then { s_lo; s_hi = mid; s_group }
+                else if i = shard + 1 then
+                  { s_lo = mid; s_hi; s_group = child }
+                else t.(i - 1))
+          in
+          Ok
+            ( t',
+              { sp_parent = s_group; sp_child = child; sp_lo = s_lo;
+                sp_mid = mid; sp_hi = s_hi } )
+
+type merge_info = {
+  mg_survivor : int;
+  mg_dissolved : int;
+  mg_lo : int;
+  mg_hi : int;
+}
+
+let merge t ~left =
+  if left < 0 || left + 1 >= Array.length t then
+    Error
+      (Printf.sprintf "no adjacent pair at %d (table has %d shards)" left
+         (Array.length t))
+  else
+    let a = t.(left) and b = t.(left + 1) in
+    let t' =
+      Array.init
+        (Array.length t - 1)
+        (fun i ->
+          if i < left then t.(i)
+          else if i = left then { s_lo = a.s_lo; s_hi = b.s_hi; s_group = a.s_group }
+          else t.(i + 1))
+    in
+    Ok
+      ( t',
+        { mg_survivor = a.s_group; mg_dissolved = b.s_group; mg_lo = b.s_lo;
+          mg_hi = b.s_hi } )
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x = y) a b
+
+let pp ppf t =
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "%s[%x,%x)->g%d" (if i = 0 then "" else " ") s.s_lo
+        s.s_hi s.s_group)
+    t

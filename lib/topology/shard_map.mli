@@ -1,0 +1,82 @@
+(** The shard table: contiguous arcs of the hash ring, each owned by
+    one replica group (DESIGN.md §15).
+
+    A table is an immutable array of shards sorted by arc start,
+    partitioning [\[0, Ring.space)]. Each shard is served by exactly one
+    replica group out of a fixed pool of [pool] provisioned groups;
+    groups not owning a shard are dormant (they still order multicasts,
+    they just hold no keys). An object's home is one lookup:
+    [home t key] hashes the key to a ring point and binary-searches the
+    arc that contains it.
+
+    [split] halves a shard's arc — the left half keeps the parent's
+    group, the right half goes to a free group chosen by ring
+    succession from the cut point — and [merge] re-joins two adjacent
+    arcs under the left survivor's group, freeing the right group.
+    Splitting a shard and then merging the resulting pair restores the
+    original table exactly (the qcheck property test_topology pins),
+    and either operation changes the home of precisely the keys whose
+    points lie in the moved arc: minimal disruption.
+
+    Tables are pure values: the epoch-versioned {!Heron_core.Placement}
+    layer owns when a new table becomes visible. *)
+
+type shard = { s_lo : int; s_hi : int; s_group : int }
+(** Arc [\[s_lo, s_hi)] of ring points, owned by replica group
+    [s_group]. *)
+
+type t = shard array
+(** Sorted by [s_lo]; arcs are adjacent and cover the whole ring. *)
+
+val initial : shards:int -> pool:int -> t
+(** The deployment-time table: [shards] near-equal arcs over a pool of
+    [pool] replica groups, each arc's group chosen by ring succession
+    from its start point among the still-free groups. A pure function
+    of its arguments, so every replica and client computes the same
+    epoch-0 table with no coordination. Raises [Invalid_argument]
+    unless [1 <= shards <= pool]. *)
+
+val count : t -> int
+val arc : t -> int -> shard
+
+val lookup : t -> int -> int
+(** Index of the shard whose arc contains a ring point. *)
+
+val home : t -> int -> int
+(** The replica group serving a key: [arc t (lookup t (point_of_key
+    key))].s_group — the one-lookup resolution the placement layer
+    builds on. *)
+
+val index_of_group : t -> int -> int option
+(** The shard a group currently serves, if any (groups own at most one
+    shard). *)
+
+val free_groups : t -> pool:int -> int list
+(** Groups of the pool not currently serving a shard, ascending. *)
+
+type split_info = {
+  sp_parent : int;  (** group keeping the left half *)
+  sp_child : int;  (** freshly assigned group for the right half *)
+  sp_lo : int;
+  sp_mid : int;  (** the cut: keys with points in [\[sp_mid, sp_hi)] move *)
+  sp_hi : int;
+}
+
+val split : t -> shard:int -> pool:int -> (t * split_info, string) result
+(** Halve shard [shard]'s arc. Fails if the index is out of range, the
+    arc is too narrow to cut, or no free group remains in the pool. *)
+
+type merge_info = {
+  mg_survivor : int;  (** the left shard's group, which absorbs the pair *)
+  mg_dissolved : int;  (** the right shard's group, returned to the pool *)
+  mg_lo : int;  (** keys with points in [\[mg_lo, mg_hi)] move *)
+  mg_hi : int;
+}
+
+val merge : t -> left:int -> (t * merge_info, string) result
+(** Join adjacent shards [left] and [left + 1] under the left group.
+    Fails if [left + 1] is out of range (including single-shard
+    tables). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -73,6 +73,14 @@ echo "== reconfig chaos sweep =="
 # windows (DESIGN.md §10), same shrink-and-pin flow.
 dune exec bin/probe.exe -- chaos --seeds 0..99 --reconfig --shrink --corpus test/corpus
 
+echo "== elastic chaos sweep =="
+# Elastic topology schedules (DESIGN.md §15): shard splits and merges
+# ordered through the total order, timed into crash/restart windows so
+# resharding races recovery and lagging bootstraps. Same
+# shrink-and-pin flow; elastic pins carry their topology in the
+# schedule JSON, so the corpus replays above already exercise them.
+dune exec bin/probe.exe -- chaos --seeds 0..100 --elastic --shrink --corpus test/corpus
+
 echo "== longhaul chaos smoke =="
 # Long-horizon durability schedules (DESIGN.md §13): minutes of virtual
 # time per seed with checkpointing on; verdicts include flat memory
@@ -131,9 +139,22 @@ echo "== bench reconfig smoke =="
 dune exec bench/main.exe -- quick reconfig
 dune exec bin/probe.exe -- jsonlint BENCH_reconfig.json
 
+echo "== bench elastic smoke =="
+# Ramp bench: client load grows 10x mid-run; the elastic deployment
+# (ring topology + two-tier rebalancer, DESIGN.md §15) splits shards
+# onto the idle server pool while the static one saturates ->
+# BENCH_elastic.json. The guard holds both post-ramp throughputs
+# against the committed quick-mode baseline.
+dune exec bench/main.exe -- quick elastic
+dune exec bin/probe.exe -- jsonlint BENCH_elastic.json
+dune exec bin/probe.exe -- benchguard BENCH_elastic.json \
+  scripts/bench_elastic_baseline.json \
+  --keys elastic_postramp_tput_tps,static_postramp_tput_tps \
+  --max-regression-pct 10
+
 if [ -n "${ARTIFACTS:-}" ]; then
   cp BENCH_coord.json BENCH_reconfig.json BENCH_pipeline.json \
-    BENCH_longhaul.json BENCH_reads.json "$ARTIFACTS/"
+    BENCH_longhaul.json BENCH_reads.json BENCH_elastic.json "$ARTIFACTS/"
 fi
 
 echo "all checks passed"

@@ -117,6 +117,70 @@ let test_reconfig_generator_overlap () =
       sc.Schedule.sc_events
   done
 
+(* The elastic generator (DESIGN.md §15) carries the topology in the
+   schedule itself ([sc_shards]) and times shard splits/merges into
+   the crash/restart windows, so crashes land mid-split. *)
+let elastic_generator_prop =
+  QCheck.Test.make ~name:"elastic schedules validate and roundtrip" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sc = Schedule.generate_elastic ~seed in
+      match Schedule.validate sc with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg
+      | Ok () -> (
+          match Schedule.of_json (Schedule.to_json sc) with
+          | Ok sc' -> sc' = Schedule.normalize sc
+          | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg))
+
+let test_elastic_generator_shape () =
+  for seed = 0 to 199 do
+    let sc = Schedule.generate_elastic ~seed in
+    if sc.Schedule.sc_shards <= 0 then
+      Alcotest.failf "seed %d runs with the topology off" seed;
+    let shard_ops =
+      List.filter
+        (function Schedule.Split _ | Schedule.Merge _ -> true | _ -> false)
+        sc.Schedule.sc_events
+    in
+    if shard_ops = [] then Alcotest.failf "seed %d has no shard operations" seed
+  done;
+  (* Splits and merges do land inside crash windows somewhere in the
+     family — the whole point of the generator. *)
+  let overlapping = ref 0 in
+  for seed = 0 to 199 do
+    let sc = Schedule.generate_elastic ~seed in
+    let down = ref [] in
+    List.iter
+      (fun e ->
+        match e with
+        | Schedule.Crash { at = c; _ } -> down := (c, max_int) :: !down
+        | Schedule.Restart { at = r; _ } -> (
+            match !down with
+            | (c, _) :: rest -> down := (c, r) :: rest
+            | [] -> ())
+        | _ -> ())
+      sc.Schedule.sc_events;
+    if
+      List.exists
+        (function
+          | Schedule.Split { at; _ } | Schedule.Merge { at; _ } ->
+              List.exists (fun (c, r) -> at >= c && at <= r) !down
+          | _ -> false)
+        sc.Schedule.sc_events
+    then incr overlapping
+  done;
+  if !overlapping < 50 then
+    Alcotest.failf "only %d of 200 seeds crash mid-reshard" !overlapping
+
+(* Pre-topology pins (no "shards" field) decode to sc_shards = 0: the
+   topology stays off and old corpus files replay unchanged. *)
+let test_elastic_field_back_compat () =
+  let sc = Schedule.generate ~seed:3 in
+  check_int "classic generator leaves topology off" 0 sc.Schedule.sc_shards;
+  match Schedule.of_json (Schedule.to_json sc) with
+  | Ok sc' -> check_int "roundtrips as off" 0 sc'.Schedule.sc_shards
+  | Error msg -> Alcotest.fail msg
+
 (* The longhaul generator (DESIGN.md §13) trades event density for
    duration: minutes of virtual time, paced traffic, repeated
    crash/rejoin cycles with migrations racing the down windows. *)
@@ -262,6 +326,23 @@ let test_driver_clean_seeds () =
           Alcotest.failf "seed %d: %s" seed
             (Format.asprintf "%a" Driver.pp_failure f))
     [ 0; 1; 2 ]
+
+let test_driver_elastic_seeds () =
+  (* A handful of elastic schedules — splits and merges racing crashes
+     and laggers — complete and linearize; the 100-seed sweep lives in
+     scripts/check.sh and CI. *)
+  List.iter
+    (fun seed ->
+      let sc = Schedule.generate_elastic ~seed in
+      match Driver.run sc with
+      | Driver.Completed { completed } ->
+          check_int (Printf.sprintf "elastic seed %d op count" seed)
+            (sc.Schedule.sc_clients * sc.Schedule.sc_ops)
+            completed
+      | Driver.Failed f ->
+          Alcotest.failf "elastic seed %d: %s" seed
+            (Format.asprintf "%a" Driver.pp_failure f))
+    [ 0; 1; 7 ]
 
 let test_driver_deterministic () =
   let sc = Schedule.generate ~seed:5 in
@@ -533,6 +614,10 @@ let suite =
         qc json_roundtrip_prop;
         qc reconfig_generator_prop;
         tc "reconfig migrations overlap crash windows" test_reconfig_generator_overlap;
+        qc elastic_generator_prop;
+        tc "elastic generator shape" test_elastic_generator_shape;
+        tc "pre-topology pins decode with topology off"
+          test_elastic_field_back_compat;
         qc longhaul_generator_prop;
         tc "longhaul generator shape" test_longhaul_generator_shape;
         tc "pre-durability pins parse (no horizon field)"
@@ -544,6 +629,7 @@ let suite =
     ( "chaos.driver",
       [
         tc "clean seeds complete" test_driver_clean_seeds;
+        tc "elastic seeds complete" test_driver_elastic_seeds;
         tc "runs are deterministic" test_driver_deterministic;
         tc "schedules_run metric" test_driver_metrics;
         tc "unsafe injections skipped" test_driver_skips_unsafe_injections;
